@@ -1,0 +1,185 @@
+// Command benchgen regenerates the paper's evaluation artifacts: the five
+// Figure 6 panels, Figure 7, Table I and Table II. Text renderings go to
+// stdout; CSVs are written next to -outdir when set.
+//
+// Usage:
+//
+//	benchgen -artifact all                # everything (minutes)
+//	benchgen -artifact fig6a -trials 10   # one panel
+//	benchgen -artifact fig7 -days 60      # enterprise evaluation
+//	benchgen -artifact table1             # parameter table (instant)
+//	benchgen -artifact fig7 -chart        # ASCII population chart
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"botmeter/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchgen", flag.ContinueOnError)
+	artifact := fs.String("artifact", "all", "artifact to regenerate: all, table1, fig6, fig6a..fig6e, fig7, table2, reactivation, taxonomy")
+	trials := fs.Int("trials", 10, "trials per Figure 6 point")
+	population := fs.Int("population", 64, "default bot population N")
+	days := fs.Int("days", 60, "enterprise trace length for fig7/table2")
+	seed := fs.Uint64("seed", 2016, "experiment seed")
+	scale := fs.Float64("scale", 1, "DGA pool scale factor (1 = Table I parameters)")
+	outdir := fs.String("outdir", "", "directory for CSV outputs (optional)")
+	chart := fs.Bool("chart", false, "render ASCII charts for fig7 series")
+	models := fs.String("models", "", "comma-separated DGA models for fig6 (default all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	f6 := experiments.Fig6Config{
+		Trials:     *trials,
+		Population: *population,
+		Seed:       *seed,
+		Scale:      *scale,
+	}
+	if *models != "" {
+		f6.Models = strings.Split(*models, ",")
+	}
+	f7 := experiments.Fig7Config{Days: *days, Seed: *seed, Scale: *scale}
+
+	panels := map[string]func(experiments.Fig6Config) ([]experiments.Fig6Point, error){
+		"fig6a": experiments.Figure6a,
+		"fig6b": experiments.Figure6b,
+		"fig6c": experiments.Figure6c,
+		"fig6d": experiments.Figure6d,
+		"fig6e": experiments.Figure6e,
+	}
+
+	switch *artifact {
+	case "table1":
+		fmt.Print(experiments.RenderTableI())
+		return nil
+	case "fig6a", "fig6b", "fig6c", "fig6d", "fig6e":
+		pts, err := panels[*artifact](f6)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig6(pts))
+		return writeFig6CSV(*outdir, *artifact, pts)
+	case "fig6":
+		pts, err := experiments.Figure6(f6)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig6(pts))
+		return writeFig6CSV(*outdir, "fig6", pts)
+	case "missing":
+		pts, err := experiments.MissingObservations(experiments.MissingObsConfig{
+			Trials: *trials, Population: *population, Seed: *seed, Scale: *scale,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderMissingObs(pts))
+		return nil
+	case "taxonomy":
+		cells, err := experiments.TaxonomyGrid(experiments.TaxonomyGridConfig{
+			Trials: *trials, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTaxonomyGrid(cells))
+		return nil
+	case "reactivation":
+		rows, err := experiments.Reactivation(experiments.ReactivationConfig{
+			Days: *days, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderReactivation(rows))
+		return nil
+	case "fig7", "table2":
+		series, err := experiments.Figure7(f7)
+		if err != nil {
+			return err
+		}
+		if *artifact == "fig7" {
+			fmt.Print(experiments.RenderFig7(series))
+			if *chart {
+				for _, s := range series {
+					fmt.Println(experiments.ASCIIChart(s, 60))
+				}
+			}
+			if err := writeFig7CSV(*outdir, series); err != nil {
+				return err
+			}
+		}
+		fmt.Print(experiments.RenderTableII(experiments.TableII(series)))
+		return nil
+	case "all":
+		fmt.Print(experiments.RenderTableI())
+		fmt.Println()
+		pts, err := experiments.Figure6(f6)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig6(pts))
+		if err := writeFig6CSV(*outdir, "fig6", pts); err != nil {
+			return err
+		}
+		series, err := experiments.Figure7(f7)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig7(series))
+		fmt.Print(experiments.RenderTableII(experiments.TableII(series)))
+		return writeFig7CSV(*outdir, series)
+	default:
+		return fmt.Errorf("unknown artifact %q", *artifact)
+	}
+}
+
+func writeFig6CSV(dir, name string, pts []experiments.Fig6Point) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiments.WriteFig6CSV(f, pts); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeFig7CSV(dir string, series []experiments.Fig7Series) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "fig7.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiments.WriteFig7CSV(f, series); err != nil {
+		return err
+	}
+	return f.Close()
+}

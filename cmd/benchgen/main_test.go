@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunTable1(t *testing.T) {
+	if err := run([]string{"-artifact", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig6aTiny(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-artifact", "fig6a", "-trials", "1", "-scale", "0.05",
+		"-models", "AU", "-outdir", dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig6a.csv")); err != nil {
+		t.Errorf("CSV not written: %v", err)
+	}
+}
+
+func TestRunTable2Tiny(t *testing.T) {
+	if err := run([]string{"-artifact", "table2", "-days", "2", "-scale", "0.05"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig7TinyWithChart(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-artifact", "fig7", "-days", "2", "-scale", "0.05",
+		"-chart", "-outdir", dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig7.csv")); err != nil {
+		t.Errorf("CSV not written: %v", err)
+	}
+}
+
+func TestRunUnknownArtifact(t *testing.T) {
+	if err := run([]string{"-artifact", "fig99"}); err == nil {
+		t.Error("unknown artifact should fail")
+	}
+}

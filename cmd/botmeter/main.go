@@ -1,0 +1,180 @@
+// Command botmeter charts the DGA-botnet landscape of a network from a
+// border-server DNS trace: it matches lookups against a target family's
+// domains, selects the analytical model fitting the family's taxonomy cell
+// (MP for uniform barrels, MB for randomcut, MT otherwise), estimates the
+// active bot population behind every forwarding server and prints the
+// remediation-priority ranking.
+//
+// Usage:
+//
+//	botmeter -family newgoz -seed 1 -in observed.csv
+//	botmeter -family murofet -seed 1 -in obs.jsonl -format jsonl -estimator MT
+//	dgasim -family newgoz -bots 64 -out obs.csv && botmeter -family newgoz -in obs.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"botmeter/internal/core"
+	"botmeter/internal/d3"
+	"botmeter/internal/dga"
+	"botmeter/internal/estimators"
+	"botmeter/internal/remediation"
+	"botmeter/internal/sim"
+	"botmeter/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "botmeter:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("botmeter", flag.ContinueOnError)
+	family := fs.String("family", "", "target DGA family preset (required)")
+	in := fs.String("in", "", "observable dataset path (default stdin)")
+	format := fs.String("format", "csv", "input format: csv, jsonl, or bind (BIND querylog)")
+	seed := fs.Uint64("seed", 1, "DGA seed used to reconstruct pools")
+	estName := fs.String("estimator", "", "force estimator: MT, MP, MB, MB-C, NC (default: by taxonomy)")
+	negTTL := fs.Duration("neg-ttl", 2*60*60*1e9, "negative cache TTL δl")
+	granularity := fs.Duration("granularity", 0, "vantage timestamp granularity")
+	missRate := fs.Float64("d3-miss", 0, "D³ detection miss rate in [0,1)")
+	second := fs.Bool("second-opinion", false, "also run the Timing estimator per server")
+	topK := fs.Int("top", 0, "print only the top-K servers (0 = all)")
+	htmlOut := fs.String("html", "", "also write a self-contained HTML report to this path")
+	jsonOut := fs.Bool("json", false, "print the landscape as JSON instead of text")
+	planCapacity := fs.Float64("plan-capacity", 0, "hosts the response team can vet per day; > 0 prints a remediation schedule")
+	planHosts := fs.Int("plan-hosts", 1000, "assumed hosts behind each local server for the schedule")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *family == "" {
+		return fmt.Errorf("-family is required (try: all, %s)", strings.Join(dga.FamilyNames(), ", "))
+	}
+	if strings.EqualFold(*family, "all") {
+		return runTriage(*in, *format, *seed, sim.FromDuration(*negTTL), sim.FromDuration(*granularity))
+	}
+	spec, err := dga.Lookup(*family)
+	if err != nil {
+		return err
+	}
+
+	var est estimators.Estimator
+	switch strings.ToUpper(*estName) {
+	case "":
+	case "MT":
+		est = estimators.NewTiming()
+	case "MP":
+		est = estimators.NewPoisson()
+	case "MB":
+		est = estimators.NewBernoulli()
+	case "MB-C":
+		est = estimators.NewCoverage()
+	case "NC":
+		est = estimators.NewNaive()
+	default:
+		return fmt.Errorf("unknown estimator %q", *estName)
+	}
+
+	var detection *d3.Window
+	if *missRate > 0 {
+		detection = &d3.Window{MissRate: *missRate, Seed: *seed ^ 0xd3}
+	}
+
+	obs, err := readObserved(*in, *format)
+	if err != nil {
+		return err
+	}
+	if len(obs) == 0 {
+		return fmt.Errorf("no observations in input")
+	}
+	obs.Sort()
+
+	bm, err := core.New(core.Config{
+		Family:        spec,
+		Seed:          *seed,
+		NegativeTTL:   sim.FromDuration(*negTTL),
+		Granularity:   sim.FromDuration(*granularity),
+		Estimator:     est,
+		Detection:     detection,
+		SecondOpinion: *second,
+	})
+	if err != nil {
+		return err
+	}
+	// Analysis window: epoch-aligned around the data.
+	start := (obs[0].T / sim.Day) * sim.Day
+	end := (obs[len(obs)-1].T/sim.Day + 1) * sim.Day
+	land, err := bm.Analyze(obs, sim.Window{Start: start, End: end})
+	if err != nil {
+		return err
+	}
+	if *topK > 0 {
+		land.Servers = land.Top(*topK)
+	}
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			return err
+		}
+		if err := (core.HTMLReport{Landscape: land}).WriteHTML(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote HTML report to %s\n", *htmlOut)
+	}
+	if *jsonOut {
+		if err := land.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(land.String())
+	}
+	if *planCapacity > 0 {
+		sites, err := remediation.FromLandscape(land, nil, *planHosts)
+		if err != nil {
+			return err
+		}
+		plan, err := remediation.Build(sites, *planCapacity)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(plan.String())
+	}
+	if *second {
+		fmt.Printf("\n%-12s %12s %12s\n", "server", spec.Name+" ("+land.Estimator+")", "MT opinion")
+		for _, s := range land.Servers {
+			fmt.Printf("%-12s %12.1f %12.1f\n", s.Server, s.Population, s.SecondOpinion)
+		}
+	}
+	return nil
+}
+
+func readObserved(path, format string) (trace.Observed, error) {
+	r := os.Stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	switch format {
+	case "jsonl":
+		return trace.ReadObservedJSONL(r)
+	case "bind":
+		return trace.ReadBINDLog(r, trace.BINDLogOptions{})
+	default:
+		return trace.ReadObservedCSV(r)
+	}
+}

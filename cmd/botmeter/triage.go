@@ -1,0 +1,80 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"botmeter/internal/core"
+	"botmeter/internal/dga"
+	"botmeter/internal/sim"
+)
+
+// runTriage analyses one trace against EVERY family preset — the first
+// question an analyst actually has is "which botnets are in here at all?".
+// Families with matched traffic are ranked by estimated total population.
+func runTriage(in, format string, seed uint64, negTTL, granularity sim.Time) error {
+	obs, err := readObserved(in, format)
+	if err != nil {
+		return err
+	}
+	if len(obs) == 0 {
+		return fmt.Errorf("no observations in input")
+	}
+	obs.Sort()
+	start := (obs[0].T / sim.Day) * sim.Day
+	end := (obs[len(obs)-1].T/sim.Day + 1) * sim.Day
+	w := sim.Window{Start: start, End: end}
+
+	type hit struct {
+		family    string
+		model     string
+		estimator string
+		matched   int
+		total     float64
+		servers   int
+	}
+	var hits []hit
+	for _, name := range dga.FamilyNames() {
+		spec, err := dga.Lookup(name)
+		if err != nil {
+			return err
+		}
+		bm, err := core.New(core.Config{
+			Family:      spec,
+			Seed:        seed,
+			NegativeTTL: negTTL,
+			Granularity: granularity,
+		})
+		if err != nil {
+			return err
+		}
+		land, err := bm.Analyze(obs, w)
+		if err != nil {
+			return fmt.Errorf("triage %s: %w", name, err)
+		}
+		if land.MatchedLookups == 0 {
+			continue
+		}
+		hits = append(hits, hit{
+			family:    spec.Name,
+			model:     spec.ModelName(),
+			estimator: land.Estimator,
+			matched:   land.MatchedLookups,
+			total:     land.Total,
+			servers:   len(land.Servers),
+		})
+	}
+	if len(hits) == 0 {
+		fmt.Println("no known DGA family matched this trace (with the given seed)")
+		return nil
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].total > hits[j].total })
+	fmt.Printf("triage across %d family presets — %d matched\n", len(dga.FamilyNames()), len(hits))
+	fmt.Printf("%-12s %-28s %-5s %10s %10s %8s\n",
+		"family", "model", "est", "est. bots", "lookups", "servers")
+	for _, h := range hits {
+		fmt.Printf("%-12s %-28s %-5s %10.1f %10d %8d\n",
+			h.family, h.model, h.estimator, h.total, h.matched, h.servers)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"botmeter/internal/trace"
+)
+
+func TestRunGeneratesCSV(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "obs.csv")
+	raw := filepath.Join(dir, "raw.csv")
+	err := run([]string{
+		"-family", "srizbi", "-bots", "5", "-days", "1",
+		"-out", out, "-raw", raw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	obs, err := trace.ReadObservedCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) == 0 {
+		t.Error("no observations written")
+	}
+	rf, err := os.Open(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	rawRecs, err := trace.ReadRawCSV(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rawRecs) < len(obs) {
+		t.Errorf("raw (%d) should be at least as large as observed (%d)", len(rawRecs), len(obs))
+	}
+}
+
+func TestRunGeneratesJSONL(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "obs.jsonl")
+	if err := run([]string{"-family", "torpig", "-bots", "3", "-format", "jsonl", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	obs, err := trace.ReadObservedJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) == 0 {
+		t.Error("no observations written")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFamily(t *testing.T) {
+	if err := run([]string{"-family", "nope"}); err == nil {
+		t.Error("unknown family should fail")
+	}
+}
+
+func TestRunMultiServer(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "obs.csv")
+	if err := run([]string{"-family", "srizbi", "-bots", "4", "-servers", "3", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	obs, err := trace.ReadObservedCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := obs.Servers()
+	if len(servers) != 3 {
+		t.Errorf("servers in trace = %v, want 3", servers)
+	}
+}

@@ -1,0 +1,193 @@
+// Command resolver is a minimal caching-and-forwarding local DNS server —
+// the live counterpart of the simulator's dnssim.Server and the lower tier
+// of the paper's Figure 1. It serves clients over UDP, answers from its
+// positive/negative cache, and forwards misses to an upstream server (for
+// demos: cmd/vantage). Together the two daemons realise the paper's
+// hierarchy end to end:
+//
+//	vantage  -listen 127.0.0.1:5300 -zone c2.txt -observed obs.jsonl &
+//	resolver -listen 127.0.0.1:5301 -upstream 127.0.0.1:5300 &
+//	# point clients (or dgasim -live) at 127.0.0.1:5301, then:
+//	botmeter -family newgoz -in obs.jsonl -format jsonl
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"botmeter/internal/dnssim"
+	"botmeter/internal/dnswire"
+	"botmeter/internal/sim"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "resolver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, logw *os.File) error {
+	fs := flag.NewFlagSet("resolver", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:5301", "UDP address to serve clients on")
+	upstream := fs.String("upstream", "127.0.0.1:5300", "upstream DNS server (border/vantage)")
+	posTTL := fs.Duration("positive-ttl", 24*time.Hour, "positive cache TTL")
+	negTTL := fs.Duration("negative-ttl", 2*time.Hour, "negative cache TTL")
+	timeout := fs.Duration("timeout", 2*time.Second, "upstream query timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	conn, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	fmt.Fprintf(logw, "resolver: serving on %s, forwarding misses to %s\n",
+		conn.LocalAddr(), *upstream)
+
+	fwd := &forwarder{
+		upstream: *upstream,
+		timeout:  *timeout,
+		cache:    dnssim.NewCache(sim.FromDuration(*posTTL), sim.FromDuration(*negTTL)),
+		started:  time.Now(),
+	}
+	done := make(chan error, 1)
+	go func() { done <- fwd.serve(conn) }()
+	select {
+	case <-ctx.Done():
+		conn.Close()
+		<-done
+		return nil
+	case err := <-done:
+		if err != nil && ctx.Err() == nil {
+			return err
+		}
+		return nil
+	}
+}
+
+// forwarder answers from cache and forwards misses upstream.
+type forwarder struct {
+	upstream string
+	timeout  time.Duration
+	started  time.Time
+
+	mu    sync.Mutex
+	cache *dnssim.Cache
+
+	queries   int
+	forwarded int
+}
+
+// now maps wall time onto the cache's virtual clock.
+func (f *forwarder) now() sim.Time {
+	return sim.FromDuration(time.Since(f.started))
+}
+
+func (f *forwarder) serve(conn net.PacketConn) error {
+	buf := make([]byte, 65535)
+	for {
+		n, addr, err := conn.ReadFrom(buf)
+		if err != nil {
+			if strings.Contains(err.Error(), "use of closed") {
+				return nil
+			}
+			return err
+		}
+		pkt := append([]byte(nil), buf[:n]...)
+		resp := f.handle(pkt)
+		if resp != nil {
+			if _, err := conn.WriteTo(resp, addr); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// handle serves one client datagram: cache first, upstream on miss.
+func (f *forwarder) handle(pkt []byte) []byte {
+	msg, err := dnswire.Decode(pkt)
+	if err != nil || msg.Header.QR || len(msg.Questions) == 0 {
+		return nil
+	}
+	domain := strings.ToLower(msg.Questions[0].Name)
+	now := f.now()
+
+	f.mu.Lock()
+	f.queries++
+	ans, hit := f.cache.Lookup(now, domain)
+	f.mu.Unlock()
+	if hit {
+		var resp *dnswire.Message
+		if ans.NX {
+			resp = dnswire.NewResponse(msg, nil, 0)
+		} else {
+			// Cached positives return the sinkhole address; a production
+			// resolver would cache the full RRset.
+			resp = dnswire.NewResponse(msg, net.ParseIP("192.0.2.1"), 60)
+		}
+		wire, err := resp.Encode()
+		if err != nil {
+			return nil
+		}
+		return wire
+	}
+
+	upstreamResp, err := f.forward(pkt)
+	if err != nil {
+		servfail := &dnswire.Message{
+			Header:    dnswire.Header{ID: msg.Header.ID, QR: true, RD: msg.Header.RD, Rcode: dnswire.RcodeServFail},
+			Questions: msg.Questions,
+		}
+		wire, encErr := servfail.Encode()
+		if encErr != nil {
+			return nil
+		}
+		return wire
+	}
+	if parsed, err := dnswire.Decode(upstreamResp); err == nil {
+		f.mu.Lock()
+		f.forwarded++
+		f.cache.Store(now, domain, parsed.Header.Rcode == dnswire.RcodeNXDomain)
+		f.mu.Unlock()
+	}
+	return upstreamResp
+}
+
+// forward relays the raw query upstream and returns the raw response.
+func (f *forwarder) forward(pkt []byte) ([]byte, error) {
+	c, err := net.Dial("udp", f.upstream)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	if err := c.SetDeadline(time.Now().Add(f.timeout)); err != nil {
+		return nil, err
+	}
+	if _, err := c.Write(pkt); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 65535)
+	n, err := c.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), buf[:n]...), nil
+}
+
+// stats reports counters (for tests).
+func (f *forwarder) stats() (queries, forwarded int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.queries, f.forwarded
+}

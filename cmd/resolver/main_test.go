@@ -1,0 +1,209 @@
+package main
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"botmeter/internal/dnssim"
+	"botmeter/internal/dnswire"
+	"botmeter/internal/sim"
+)
+
+// fakeUpstream answers every query: registered domains resolve, everything
+// else is NXDOMAIN. It counts the queries it receives.
+type fakeUpstream struct {
+	conn       net.PacketConn
+	registered map[string]bool
+	received   chan string
+}
+
+func startFakeUpstream(t *testing.T, registered ...string) *fakeUpstream {
+	t.Helper()
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	u := &fakeUpstream{
+		conn:       conn,
+		registered: make(map[string]bool),
+		received:   make(chan string, 100),
+	}
+	for _, d := range registered {
+		u.registered[d] = true
+	}
+	go func() {
+		buf := make([]byte, 65535)
+		for {
+			n, addr, err := conn.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			msg, err := dnswire.Decode(buf[:n])
+			if err != nil || len(msg.Questions) == 0 {
+				continue
+			}
+			name := msg.Questions[0].Name
+			u.received <- name
+			var ip net.IP
+			if u.registered[name] {
+				ip = net.ParseIP("192.0.2.77")
+			}
+			resp, err := dnswire.NewResponse(msg, ip, 60).Encode()
+			if err == nil {
+				conn.WriteTo(resp, addr)
+			}
+		}
+	}()
+	t.Cleanup(func() { conn.Close() })
+	return u
+}
+
+func newTestForwarder(t *testing.T, upstream string) *forwarder {
+	t.Helper()
+	return &forwarder{
+		upstream: upstream,
+		timeout:  time.Second,
+		cache:    dnssim.NewCache(sim.Day, 2*sim.Hour),
+		started:  time.Now(),
+	}
+}
+
+func query(t *testing.T, f *forwarder, id uint16, domain string) *dnswire.Message {
+	t.Helper()
+	wire, err := dnswire.NewQuery(id, domain).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := f.handle(wire)
+	if resp == nil {
+		t.Fatalf("no response for %s", domain)
+	}
+	m, err := dnswire.Decode(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestForwarderResolvesAndCaches(t *testing.T) {
+	up := startFakeUpstream(t, "c2.example.com")
+	f := newTestForwarder(t, up.conn.LocalAddr().String())
+
+	// First query: forwarded upstream, positive answer.
+	m := query(t, f, 1, "c2.example.com")
+	if m.Header.Rcode != dnswire.RcodeNoError || len(m.Answers) != 1 {
+		t.Fatalf("positive answer = %+v", m)
+	}
+	select {
+	case name := <-up.received:
+		if name != "c2.example.com" {
+			t.Errorf("upstream saw %q", name)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("upstream never saw the query")
+	}
+
+	// Second query: served from cache — upstream must NOT see it.
+	m = query(t, f, 2, "c2.example.com")
+	if m.Header.Rcode != dnswire.RcodeNoError {
+		t.Fatalf("cached answer = %+v", m)
+	}
+	select {
+	case name := <-up.received:
+		t.Fatalf("cache miss leaked upstream: %q", name)
+	case <-time.After(100 * time.Millisecond):
+	}
+	q, fwd := f.stats()
+	if q != 2 || fwd != 1 {
+		t.Errorf("stats = %d queries, %d forwarded; want 2, 1", q, fwd)
+	}
+}
+
+func TestForwarderNegativeCaching(t *testing.T) {
+	up := startFakeUpstream(t) // nothing registered
+	f := newTestForwarder(t, up.conn.LocalAddr().String())
+
+	m := query(t, f, 3, "nxd.example.org")
+	if m.Header.Rcode != dnswire.RcodeNXDomain {
+		t.Fatalf("want NXDOMAIN, got %+v", m.Header)
+	}
+	<-up.received
+	// Cached negative: answered locally.
+	m = query(t, f, 4, "nxd.example.org")
+	if m.Header.Rcode != dnswire.RcodeNXDomain {
+		t.Fatalf("cached NXDOMAIN = %+v", m.Header)
+	}
+	select {
+	case <-up.received:
+		t.Fatal("negative cache miss leaked upstream")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestForwarderServfailOnDeadUpstream(t *testing.T) {
+	f := newTestForwarder(t, "127.0.0.1:1") // nothing listens there
+	f.timeout = 200 * time.Millisecond
+	m := query(t, f, 5, "any.example.com")
+	if m.Header.Rcode != dnswire.RcodeServFail {
+		t.Errorf("want SERVFAIL, got rcode %d", m.Header.Rcode)
+	}
+}
+
+func TestForwarderIgnoresGarbage(t *testing.T) {
+	f := newTestForwarder(t, "127.0.0.1:1")
+	if resp := f.handle([]byte{1, 2, 3}); resp != nil {
+		t.Error("garbage should be dropped")
+	}
+	// Responses are not relayed (loop prevention).
+	r, err := dnswire.NewResponse(dnswire.NewQuery(6, "x.com"), nil, 0).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := f.handle(r); resp != nil {
+		t.Error("response packets should be dropped")
+	}
+}
+
+// TestFullHierarchyLoopback wires resolver → fake upstream over real UDP
+// sockets and drives a client through the resolver's serve loop.
+func TestFullHierarchyLoopback(t *testing.T) {
+	up := startFakeUpstream(t, "rendezvous.example.com")
+	f := newTestForwarder(t, up.conn.LocalAddr().String())
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.serve(conn) }()
+
+	client, err := net.Dial("udp", conn.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	wire, err := dnswire.NewQuery(99, "rendezvous.example.com").Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 4096)
+	n, err := client.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dnswire.Decode(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.ID != 99 || len(m.Answers) != 1 {
+		t.Errorf("end-to-end answer = %+v", m)
+	}
+	conn.Close()
+	if err := <-done; err != nil {
+		t.Errorf("serve: %v", err)
+	}
+}

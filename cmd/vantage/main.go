@@ -1,0 +1,192 @@
+// Command vantage is a border-DNS vantage point: a UDP DNS server that
+// local caching/forwarding DNS servers can use as their upstream. It
+// answers A queries from a static registered-domain zone (everything else
+// gets NXDOMAIN, as a sinkholed DGA pool would) and appends every received
+// query to an observable dataset (JSON lines) that cmd/botmeter can analyse
+// — the live-deployment counterpart of the simulator's Border server.
+//
+// Usage:
+//
+//	vantage -listen 127.0.0.1:5353 -zone registered.txt -observed obs.jsonl
+//	# ... point local resolvers' forwarders at it, then later:
+//	botmeter -family newgoz -in obs.jsonl -format jsonl
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"botmeter/internal/dnswire"
+	"botmeter/internal/sim"
+	"botmeter/internal/trace"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "vantage:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, logw *os.File) error {
+	fs := flag.NewFlagSet("vantage", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:5353", "UDP address to serve DNS on")
+	zonePath := fs.String("zone", "", "file of registered domains (one per line, optional 'domain ip')")
+	observedPath := fs.String("observed", "observed.jsonl", "observable dataset output (JSON lines)")
+	ttl := fs.Uint("ttl", 3600, "TTL for positive answers (seconds)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	zone, err := loadZone(*zonePath)
+	if err != nil {
+		return err
+	}
+	out, err := os.OpenFile(*observedPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+
+	conn, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	fmt.Fprintf(logw, "vantage: serving DNS on %s (%d registered domains), observing to %s\n",
+		conn.LocalAddr(), len(zone), *observedPath)
+
+	srv := &sink{
+		zone:    zone,
+		ttl:     uint32(*ttl),
+		started: time.Now(),
+		enc:     bufio.NewWriter(out),
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.serve(conn) }()
+	select {
+	case <-ctx.Done():
+		conn.Close()
+		<-done
+	case err := <-done:
+		if err != nil && ctx.Err() == nil {
+			return err
+		}
+	}
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return srv.enc.Flush()
+}
+
+// sink answers queries and records observations.
+type sink struct {
+	zone    map[string]net.IP
+	ttl     uint32
+	started time.Time
+
+	mu  sync.Mutex
+	enc *bufio.Writer
+}
+
+func (s *sink) serve(conn net.PacketConn) error {
+	buf := make([]byte, 65535)
+	for {
+		n, addr, err := conn.ReadFrom(buf)
+		if err != nil {
+			if strings.Contains(err.Error(), "use of closed") {
+				return nil
+			}
+			return err
+		}
+		resp := s.handle(buf[:n], addr)
+		if resp != nil {
+			if _, err := conn.WriteTo(resp, addr); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// handle parses one datagram, records the observation and builds the
+// response (nil for unparseable input).
+func (s *sink) handle(pkt []byte, from net.Addr) []byte {
+	msg, err := dnswire.Decode(pkt)
+	if err != nil || msg.Header.QR || len(msg.Questions) == 0 {
+		return nil
+	}
+	domain := strings.ToLower(msg.Questions[0].Name)
+
+	// The forwarding server's identity is its source address (ports vary
+	// per query; the host is the stable identity).
+	server := from.String()
+	if host, _, err := net.SplitHostPort(server); err == nil {
+		server = host
+	}
+	rec := trace.ObservedRecord{
+		T:      sim.Time(time.Now().UnixMilli()),
+		Server: server,
+		Domain: domain,
+	}
+	s.mu.Lock()
+	writeJSONL(s.enc, rec)
+	s.mu.Unlock()
+
+	ip := s.zone[domain]
+	resp := dnswire.NewResponse(msg, ip, s.ttl)
+	wire, err := resp.Encode()
+	if err != nil {
+		return nil
+	}
+	return wire
+}
+
+// writeJSONL appends one record; errors surface at final Flush.
+func writeJSONL(w *bufio.Writer, rec trace.ObservedRecord) {
+	fmt.Fprintf(w, `{"t":%d,"server":%q,"domain":%q}`+"\n", int64(rec.T), rec.Server, rec.Domain)
+}
+
+// loadZone reads "domain [ip]" lines; a missing IP defaults to 192.0.2.1
+// (TEST-NET-1), the convention for sinkholes.
+func loadZone(path string) (map[string]net.IP, error) {
+	zone := make(map[string]net.IP)
+	if path == "" {
+		return zone, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		ip := net.ParseIP("192.0.2.1")
+		if len(fields) > 1 {
+			if ip = net.ParseIP(fields[1]); ip == nil {
+				return nil, fmt.Errorf("zone %s:%d: bad IP %q", path, lineNo, fields[1])
+			}
+		}
+		zone[strings.ToLower(strings.TrimSuffix(fields[0], "."))] = ip
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return zone, nil
+}

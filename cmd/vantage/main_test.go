@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"botmeter/internal/dnswire"
+)
+
+type fakeAddr string
+
+func (a fakeAddr) Network() string { return "udp" }
+func (a fakeAddr) String() string  { return string(a) }
+
+func newTestSink(t *testing.T, zoneLines string) (*sink, *bytes.Buffer) {
+	t.Helper()
+	dir := t.TempDir()
+	zonePath := filepath.Join(dir, "zone.txt")
+	if err := os.WriteFile(zonePath, []byte(zoneLines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	zone, err := loadZone(zonePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	return &sink{zone: zone, ttl: 60, enc: bufio.NewWriter(&buf)}, &buf
+}
+
+func TestSinkAnswersRegistered(t *testing.T) {
+	s, obs := newTestSink(t, "c2.evil.com 192.0.2.99\n")
+	q := dnswire.NewQuery(1, "C2.Evil.COM")
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := s.handle(wire, fakeAddr("10.0.0.5:4242"))
+	if resp == nil {
+		t.Fatal("no response")
+	}
+	m, err := dnswire.Decode(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.Rcode != dnswire.RcodeNoError || len(m.Answers) != 1 {
+		t.Errorf("response = %+v", m)
+	}
+	if !net.IP(m.Answers[0].Data).Equal(net.ParseIP("192.0.2.99")) {
+		t.Errorf("answer IP = %v", net.IP(m.Answers[0].Data))
+	}
+	s.enc.Flush()
+	line := obs.String()
+	if !strings.Contains(line, `"server":"10.0.0.5"`) || !strings.Contains(line, `"domain":"c2.evil.com"`) {
+		t.Errorf("observation = %q", line)
+	}
+}
+
+func TestSinkNXDomainForUnknown(t *testing.T) {
+	s, _ := newTestSink(t, "")
+	q := dnswire.NewQuery(2, "random-dga-name.net")
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := s.handle(wire, fakeAddr("10.0.0.6:1111"))
+	m, err := dnswire.Decode(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.Rcode != dnswire.RcodeNXDomain {
+		t.Errorf("rcode = %d, want NXDOMAIN", m.Header.Rcode)
+	}
+}
+
+func TestSinkIgnoresGarbageAndResponses(t *testing.T) {
+	s, obs := newTestSink(t, "")
+	if resp := s.handle([]byte{1, 2, 3}, fakeAddr("x")); resp != nil {
+		t.Error("garbage should be dropped")
+	}
+	// A response message must not be echoed (loop prevention).
+	r := dnswire.NewResponse(dnswire.NewQuery(3, "a.com"), nil, 0)
+	wire, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := s.handle(wire, fakeAddr("x")); resp != nil {
+		t.Error("responses should be dropped")
+	}
+	s.enc.Flush()
+	if obs.Len() != 0 {
+		t.Errorf("garbage produced observations: %q", obs.String())
+	}
+}
+
+func TestLoadZone(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "zone.txt")
+	content := "# comment\n\nplain.com\nwithip.net 198.51.100.7\nDotted.org.\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	zone, err := loadZone(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zone) != 3 {
+		t.Fatalf("zone = %v", zone)
+	}
+	if !zone["plain.com"].Equal(net.ParseIP("192.0.2.1")) {
+		t.Error("default sinkhole IP missing")
+	}
+	if !zone["withip.net"].Equal(net.ParseIP("198.51.100.7")) {
+		t.Error("explicit IP not parsed")
+	}
+	if _, ok := zone["dotted.org"]; !ok {
+		t.Error("trailing dot not normalised")
+	}
+	if err := os.WriteFile(path, []byte("bad.com not-an-ip\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadZone(path); err == nil {
+		t.Error("bad IP should fail")
+	}
+	if zone, err := loadZone(""); err != nil || len(zone) != 0 {
+		t.Error("empty path should give empty zone")
+	}
+}
+
+// TestServeLoopback exercises the real UDP path end to end.
+func TestServeLoopback(t *testing.T) {
+	s, obs := newTestSink(t, "live.example.com 192.0.2.5\n")
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.serve(conn) }()
+
+	client, err := net.Dial("udp", conn.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	q := dnswire.NewQuery(42, "live.example.com")
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	n, err := client.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dnswire.Decode(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.ID != 42 || len(m.Answers) != 1 {
+		t.Errorf("live response = %+v", m)
+	}
+	conn.Close()
+	if err := <-done; err != nil {
+		t.Errorf("serve returned %v", err)
+	}
+	s.mu.Lock()
+	s.enc.Flush()
+	s.mu.Unlock()
+	if !strings.Contains(obs.String(), "live.example.com") {
+		t.Errorf("observation missing: %q", obs.String())
+	}
+}

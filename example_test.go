@@ -1,0 +1,54 @@
+package botmeter_test
+
+import (
+	"fmt"
+
+	"botmeter"
+	"botmeter/internal/botnet"
+	"botmeter/internal/dnssim"
+	"botmeter/internal/sim"
+)
+
+// Example runs the complete pipeline: simulate a newGoZ botnet behind a
+// caching local DNS server, then estimate its population from the
+// cache-filtered border view.
+func Example() {
+	const seed = 42
+	family, _ := botmeter.LookupFamily("newgoz")
+
+	net := dnssim.NewNetwork(dnssim.NetworkConfig{
+		LocalServers: 1,
+		PositiveTTL:  sim.Day,
+		NegativeTTL:  2 * sim.Hour,
+	})
+	runner, _ := botnet.NewRunner(botnet.Config{
+		Spec:          family,
+		Seed:          seed,
+		BotsPerServer: map[string]int{"local-00": 64},
+	}, net)
+	day := botmeter.Window{Start: 0, End: botmeter.Day}
+	truth, _ := runner.Run(day)
+
+	bm, _ := botmeter.New(botmeter.Config{Family: family, Seed: seed})
+	landscape, _ := bm.Analyze(net.Border.Observed(), day)
+
+	fmt.Printf("model %s, estimator %s\n", landscape.Model, landscape.Estimator)
+	fmt.Printf("actual %d, estimated %.0f\n",
+		truth.ActiveBots["local-00"][0], landscape.Estimate("local-00"))
+	// Output:
+	// model AR, estimator MB
+	// actual 64, estimated 70
+}
+
+// ExampleForModel shows the taxonomy-driven estimator pairing.
+func ExampleForModel() {
+	for _, name := range []string{"murofet", "newgoz", "conficker.c", "pushdo"} {
+		spec, _ := botmeter.LookupFamily(name)
+		fmt.Printf("%-12s %-28s → %s\n", spec.Name, spec.ModelName(), botmeter.ForModel(spec).Name())
+	}
+	// Output:
+	// Murofet      AU                           → MP
+	// newGoZ       AR                           → MB
+	// Conficker.C  AS                           → MT
+	// PushDo       sliding-window/uniform       → MP
+}

@@ -1,0 +1,65 @@
+// Quickstart: simulate a newGoZ-infected network behind one local DNS
+// server, observe only the cache-filtered lookups at the border, and let
+// BotMeter estimate how many bots are active.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"botmeter/internal/botnet"
+	"botmeter/internal/core"
+	"botmeter/internal/dga"
+	"botmeter/internal/dnssim"
+	"botmeter/internal/sim"
+)
+
+func main() {
+	const seed = 42
+
+	// 1. A hierarchical DNS infrastructure: one caching local server
+	//    forwarding misses to a border server (the vantage point).
+	net := dnssim.NewNetwork(dnssim.NetworkConfig{
+		LocalServers: 1,
+		PositiveTTL:  sim.Day,
+		NegativeTTL:  2 * sim.Hour,
+		Granularity:  100 * sim.Millisecond,
+	})
+
+	// 2. A newGoZ botnet (randomcut DGA: 500 consecutive domains from a
+	//    random start in a 10K pool) of 64 bots behind that server.
+	family := dga.NewGoZ()
+	runner, err := botnet.NewRunner(botnet.Config{
+		Spec:          family,
+		Seed:          seed,
+		BotsPerServer: map[string]int{"local-00": 64},
+	}, net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	day := sim.Window{Start: 0, End: sim.Day}
+	truth, err := runner.Run(day)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. BotMeter taps the border server. It knows the DGA (and hence its
+	//    domains) but sees neither clients nor cache-absorbed lookups.
+	bm, err := core.New(core.Config{Family: family, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	landscape, err := bm.Analyze(net.Border.Observed(), day)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(landscape)
+	fmt.Printf("\nground truth: %d bots actually activated\n",
+		truth.ActiveBots["local-00"][0])
+	fmt.Printf("BotMeter saw %d forwarded lookups out of %d issued (%.0f%% cache-filtered)\n",
+		landscape.MatchedLookups, truth.QueriesIssued,
+		100*(1-float64(landscape.MatchedLookups)/float64(truth.QueriesIssued)))
+}

@@ -1,0 +1,112 @@
+// Takedown: quantify how estimator choice changes what a response team
+// believes, across three threat models — a cooperative uniform-barrel DGA
+// (Murofet), a randomcut DGA (newGoZ), and the paper's §VII "future work"
+// adversary: a DGA designed to evade population estimation by randomising
+// its query pacing and sampling its barrel.
+//
+//	go run ./examples/takedown
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"botmeter/internal/botnet"
+	"botmeter/internal/core"
+	"botmeter/internal/dga"
+	"botmeter/internal/dnssim"
+	"botmeter/internal/estimators"
+	"botmeter/internal/sim"
+)
+
+func main() {
+	const (
+		seed = 31
+		bots = 48
+	)
+	day := sim.Window{Start: 0, End: sim.Day}
+
+	scenarios := []struct {
+		title string
+		spec  dga.Spec
+		ests  []estimators.Estimator
+	}{
+		{
+			title: "Murofet (AU — identical barrels, cache hides most bots)",
+			spec:  dga.Murofet(),
+			ests: []estimators.Estimator{
+				estimators.NewNaive(),   // visible activations only
+				estimators.NewTiming(),  // Algorithm 1
+				estimators.NewPoisson(), // Equation 1, corrects for caching
+			},
+		},
+		{
+			title: "newGoZ (AR — random cuts, segment structure is informative)",
+			spec:  dga.NewGoZ(),
+			ests: []estimators.Estimator{
+				estimators.NewTiming(),
+				estimators.NewBernoulli(), // Theorem 1
+				estimators.NewCoverage(),  // coverage-inversion alternative
+			},
+		},
+		{
+			title: "Adaptive (§VII adversary — jittered pacing, sampled barrel)",
+			spec:  dga.Adaptive(),
+			ests: []estimators.Estimator{
+				estimators.NewTiming(),
+				estimators.NewPoisson(),
+				estimators.NewCoverage(),
+			},
+		},
+	}
+
+	for _, sc := range scenarios {
+		fmt.Printf("=== %s ===\n", sc.title)
+		net := dnssim.NewNetwork(dnssim.NetworkConfig{
+			LocalServers: 1,
+			PositiveTTL:  sim.Day,
+			NegativeTTL:  2 * sim.Hour,
+			Granularity:  sim.Second, // realistic coarse vantage logs
+		})
+		runner, err := botnet.NewRunner(botnet.Config{
+			Spec:          sc.spec,
+			Seed:          seed,
+			BotsPerServer: map[string]int{"local-00": bots},
+		}, net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth, err := runner.Run(day)
+		if err != nil {
+			log.Fatal(err)
+		}
+		actual := truth.ActiveBots["local-00"][0]
+		obs := net.Border.Observed()
+		fmt.Printf("ground truth: %d active bots; %d lookups issued, %d visible\n",
+			actual, truth.QueriesIssued, len(obs))
+		for _, est := range sc.ests {
+			bm, err := core.New(core.Config{
+				Family:      sc.spec,
+				Seed:        seed,
+				Granularity: sim.Second,
+				Estimator:   est,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			land, err := bm.Analyze(obs, day)
+			if err != nil {
+				log.Fatal(err)
+			}
+			got := land.Estimate("local-00")
+			fmt.Printf("  %-5s estimates %6.1f bots  (error %+5.0f%%)\n",
+				est.Name(), got, 100*(got-float64(actual))/float64(actual))
+		}
+		fmt.Println()
+	}
+	fmt.Println("Reading the adversary's numbers: randomised pacing breaks MT's")
+	fmt.Println("phase heuristic and sampling breaks MP's identical-barrel premise;")
+	fmt.Println("set-based estimators (MB-C here) survive because the adversary")
+	fmt.Println("cannot hide WHICH domains were queried — only when. That asymmetry")
+	fmt.Println("is the paper's closing argument for semantic+temporal hybrids.")
+}

@@ -1,0 +1,62 @@
+// Taxonomy: exercise every DGA family preset in the library — one
+// simulated epoch each — and print the DNS dynamics that the paper's
+// taxonomy (Figure 3) is built on: pool model, barrel model, pool size,
+// lookups issued vs visible at the vantage point, and C2 contact rate.
+//
+//	go run ./examples/taxonomy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"botmeter/internal/botnet"
+	"botmeter/internal/dga"
+	"botmeter/internal/dnssim"
+	"botmeter/internal/sim"
+)
+
+func main() {
+	const (
+		seed = 5
+		bots = 24
+	)
+	day := sim.Window{Start: 0, End: sim.Day}
+
+	fmt.Printf("%-12s %-18s %-12s %8s %9s %9s %7s\n",
+		"family", "pool model", "barrel", "pool", "issued", "visible", "C2 hits")
+	for _, name := range dga.FamilyNames() {
+		spec, err := dga.Lookup(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		net := dnssim.NewNetwork(dnssim.NetworkConfig{
+			LocalServers: 1,
+			PositiveTTL:  sim.Day,
+			NegativeTTL:  2 * sim.Hour,
+		})
+		runner, err := botnet.NewRunner(botnet.Config{
+			Spec:          spec,
+			Seed:          seed,
+			BotsPerServer: map[string]int{"local-00": bots},
+		}, net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := runner.Run(day)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pc, bc := spec.Classify()
+		fmt.Printf("%-12s %-18s %-12s %8d %9d %9d %7d\n",
+			spec.Name, pc, bc,
+			spec.Pool.NXDomains()+spec.Pool.C2Domains(),
+			res.QueriesIssued, len(net.Border.Observed()), res.C2Contacts)
+	}
+
+	fmt.Println("\nReading the table: uniform barrels (Murofet, PushDo, Srizbi…) show")
+	fmt.Println("the strongest cache filtering — identical query sequences collapse")
+	fmt.Println("into one visible activation per TTL window. Sampling and randomcut")
+	fmt.Println("barrels leak far more distinct NXDs, which is exactly the signal")
+	fmt.Println("the Bernoulli estimator consumes.")
+}

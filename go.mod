@@ -1,0 +1,3 @@
+module botmeter
+
+go 1.22

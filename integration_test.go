@@ -1,0 +1,198 @@
+// Integration tests exercising the public facade end-to-end: multiple DGA
+// families coexisting in one network, estimation through the root-package
+// API, and the taxonomy cells outside the paper's evaluated grid.
+package botmeter_test
+
+import (
+	"testing"
+
+	"botmeter"
+	"botmeter/internal/botnet"
+	"botmeter/internal/dga"
+	"botmeter/internal/dnssim"
+	"botmeter/internal/sim"
+	"botmeter/internal/stats"
+)
+
+// TestTwoFamiliesOneNetwork runs newGoZ and Murofet simultaneously behind
+// the same local server; each BotMeter instance must isolate its own
+// family's traffic and recover its own population.
+func TestTwoFamiliesOneNetwork(t *testing.T) {
+	net := dnssim.NewNetwork(dnssim.NetworkConfig{
+		LocalServers: 1,
+		PositiveTTL:  sim.Day,
+		NegativeTTL:  2 * sim.Hour,
+		Granularity:  100 * sim.Millisecond,
+	})
+	day := sim.Window{Start: 0, End: sim.Day}
+
+	type deployment struct {
+		spec  dga.Spec
+		seed  uint64
+		bots  int
+		truth float64
+	}
+	deployments := []*deployment{
+		{spec: dga.NewGoZ(), seed: 101, bots: 40},
+		{spec: dga.Murofet(), seed: 202, bots: 24},
+	}
+	for _, d := range deployments {
+		runner, err := botnet.NewRunner(botnet.Config{
+			Spec:          d.spec,
+			Seed:          d.seed,
+			BotsPerServer: map[string]int{"local-00": d.bots},
+		}, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := runner.Run(day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.truth = float64(res.ActiveBots["local-00"][0])
+	}
+
+	obs := net.Border.Observed()
+	for _, d := range deployments {
+		bm, err := botmeter.New(botmeter.Config{Family: d.spec, Seed: d.seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		land, err := bm.Analyze(obs, day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := land.Estimate("local-00")
+		if are := stats.ARE(got, d.truth); are > 0.5 {
+			t.Errorf("%s: estimate %v vs truth %v (ARE %.2f)", d.spec.Name, got, d.truth, are)
+		}
+		// Cross-contamination check: matched lookups must be a strict
+		// subset of the total stream.
+		if land.MatchedLookups == 0 || land.MatchedLookups >= len(obs) {
+			t.Errorf("%s: matched %d of %d lookups — matcher not isolating",
+				d.spec.Name, land.MatchedLookups, len(obs))
+		}
+	}
+}
+
+// TestFacadeEstimatorConstructors verifies the re-exported constructors
+// select and name the estimators consistently.
+func TestFacadeEstimatorConstructors(t *testing.T) {
+	if botmeter.NewTiming().Name() != "MT" ||
+		botmeter.NewPoisson().Name() != "MP" ||
+		botmeter.NewBernoulli().Name() != "MB" ||
+		botmeter.NewCoverage().Name() != "MB-C" {
+		t.Error("estimator names drifted")
+	}
+	spec, err := botmeter.LookupFamily("murofet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if botmeter.ForModel(spec).Name() != "MP" {
+		t.Error("ForModel(Murofet) should be MP")
+	}
+	if len(botmeter.FamilyNames()) < 10 {
+		t.Error("family registry incomplete")
+	}
+}
+
+// TestSlidingWindowFamilyEstimable covers a taxonomy cell outside the
+// paper's evaluated grid: a sliding-window pool (PushDo) estimated with MT,
+// exactly as the model-selection table prescribes.
+func TestSlidingWindowFamilyEstimable(t *testing.T) {
+	spec := dga.PushDo()
+	net := dnssim.NewNetwork(dnssim.NetworkConfig{
+		LocalServers: 1,
+		PositiveTTL:  sim.Day,
+		NegativeTTL:  2 * sim.Hour,
+	})
+	runner, err := botnet.NewRunner(botnet.Config{
+		Spec:          spec,
+		Seed:          5,
+		BotsPerServer: map[string]int{"local-00": 10},
+	}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := sim.Window{Start: 0, End: sim.Day}
+	res, err := runner.Run(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := botmeter.New(botmeter.Config{Family: spec, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.EstimatorName() != "MP" {
+		t.Fatalf("uniform-barrel sliding-window family selected %s, want MP", bm.EstimatorName())
+	}
+	land, err := bm.Analyze(net.Border.Observed(), day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := land.Estimate("local-00")
+	truth := float64(res.ActiveBots["local-00"][0])
+	if got <= 0 {
+		t.Errorf("no estimate for sliding-window family (truth %v)", truth)
+	}
+}
+
+// TestMixturePoolFamilyEstimable covers the multiple-mixture cell (Pykspa):
+// the matcher must absorb the 16K noisy domains without breaking MT.
+func TestMixturePoolFamilyEstimable(t *testing.T) {
+	spec := dga.Pykspa()
+	net := dnssim.NewNetwork(dnssim.NetworkConfig{
+		LocalServers: 1,
+		PositiveTTL:  sim.Day,
+		NegativeTTL:  2 * sim.Hour,
+	})
+	runner, err := botnet.NewRunner(botnet.Config{
+		Spec:          spec,
+		Seed:          6,
+		BotsPerServer: map[string]int{"local-00": 8},
+	}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := sim.Window{Start: 0, End: sim.Day}
+	if _, err := runner.Run(day); err != nil {
+		t.Fatal(err)
+	}
+	bm, err := botmeter.New(botmeter.Config{Family: spec, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	land, err := bm.Analyze(net.Border.Observed(), day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if land.Estimate("local-00") <= 0 {
+		t.Error("mixture-pool family produced no estimate")
+	}
+}
+
+// TestDetectionWindowFacade drives the D³ model through the facade type.
+func TestDetectionWindowFacade(t *testing.T) {
+	spec, err := botmeter.LookupFamily("newgoz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := botmeter.New(botmeter.Config{
+		Family:    spec,
+		Seed:      1,
+		Detection: &botmeter.DetectionWindow{MissRate: 0.25, Seed: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := botmeter.Observed{
+		{T: botmeter.Hour, Server: "local-00", Domain: "unmatched.example.com"},
+	}
+	land, err := bm.Analyze(obs, botmeter.Window{Start: 0, End: botmeter.Day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if land.MatchedLookups != 0 {
+		t.Error("benign-only stream matched something")
+	}
+}

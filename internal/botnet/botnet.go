@@ -1,0 +1,296 @@
+// Package botnet simulates DGA-infected bot populations against the
+// dnssim hierarchy. Each epoch the botmaster registers the pool's C2
+// domains; each bot activates once (Poisson-scheduled per the paper's §V-A
+// workload model) and walks its query barrel through its local DNS server —
+// pausing δi between lookups — until it resolves a C2 domain or exhausts θq
+// attempts. The runner produces both datasets of the paper: the raw
+// client-level trace (ground truth) and the cache-filtered observable trace
+// at the border vantage point.
+package botnet
+
+import (
+	"fmt"
+	"sort"
+
+	"botmeter/internal/dga"
+	"botmeter/internal/dnssim"
+	"botmeter/internal/sim"
+)
+
+// Config describes one botnet simulation.
+type Config struct {
+	// Spec is the DGA family to simulate.
+	Spec dga.Spec
+	// Seed drives every random choice (pools, barrels, activations).
+	Seed uint64
+	// EpochLen is δe; the default (0) means one day.
+	EpochLen sim.Time
+	// Activation selects constant (Sigma 0) or dynamic activation rates.
+	Activation sim.ActivationModel
+	// BotsPerServer maps local server IDs to resident bot counts.
+	BotsPerServer map[string]int
+	// ReactivateEvery, when positive, makes a bot that failed to reach a
+	// C2 server retry its activation — re-querying the same barrel — after
+	// this back-off (plus an exponential jitter of the same scale). Real
+	// crimeware loops persistently until it reaches its botmaster; the
+	// paper's workload model activates once per epoch, so this knob
+	// defaults to off and is exercised by the extension experiments.
+	ReactivateEvery sim.Time
+	// MaxActivations bounds the per-epoch attempts when ReactivateEvery is
+	// set (default 4).
+	MaxActivations int
+}
+
+// Result captures a completed run.
+type Result struct {
+	// Epochs are the epoch windows overlapping the run window.
+	Epochs []sim.Window
+	// ActiveBots[server][e] is the ground-truth count of bots behind
+	// server that activated during epoch e within the run window.
+	ActiveBots map[string][]int
+	// QueriesIssued counts client-level DGA lookups.
+	QueriesIssued int
+	// C2Contacts counts activations that successfully resolved a C2
+	// domain.
+	C2Contacts int
+}
+
+// TotalActive sums ground-truth activations for a server across epochs.
+func (r *Result) TotalActive(server string) int {
+	var total int
+	for _, c := range r.ActiveBots[server] {
+		total += c
+	}
+	return total
+}
+
+// Runner executes botnet workloads on a network.
+type Runner struct {
+	cfg Config
+	net *dnssim.Network
+
+	pools     map[int]*dga.Pool
+	poolValid map[int][]string
+}
+
+// NewRunner validates the configuration and binds it to a network.
+func NewRunner(cfg Config, net *dnssim.Network) (*Runner, error) {
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, fmt.Errorf("botnet: %w", err)
+	}
+	if net == nil {
+		return nil, fmt.Errorf("botnet: nil network")
+	}
+	if cfg.EpochLen <= 0 {
+		cfg.EpochLen = sim.Day
+	}
+	if cfg.ReactivateEvery > 0 && cfg.MaxActivations <= 0 {
+		cfg.MaxActivations = 4
+	}
+	for server, n := range cfg.BotsPerServer {
+		if _, ok := net.Local(server); !ok {
+			return nil, fmt.Errorf("botnet: unknown local server %q", server)
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("botnet: negative population for %q", server)
+		}
+	}
+	return &Runner{
+		cfg:       cfg,
+		net:       net,
+		pools:     make(map[int]*dga.Pool),
+		poolValid: make(map[int][]string),
+	}, nil
+}
+
+// Pool returns the (cached) pool for an epoch index.
+func (r *Runner) Pool(epoch int) *dga.Pool {
+	if p, ok := r.pools[epoch]; ok {
+		return p
+	}
+	p := r.cfg.Spec.Pool.PoolFor(r.cfg.Seed, epoch)
+	r.pools[epoch] = p
+	valid := make([]string, 0, len(p.ValidPositions))
+	for _, pos := range p.ValidPositions {
+		valid = append(valid, p.Domains[pos])
+	}
+	r.poolValid[epoch] = valid
+	return p
+}
+
+// Run simulates the window w and returns the ground truth. Observable and
+// raw traces accumulate on the bound network (call net.ResetTraces between
+// runs).
+func (r *Runner) Run(w sim.Window) (*Result, error) {
+	if w.Len() <= 0 {
+		return nil, fmt.Errorf("botnet: empty window %+v", w)
+	}
+	engine := sim.NewEngine()
+	epochLen := r.cfg.EpochLen
+
+	servers := make([]string, 0, len(r.cfg.BotsPerServer))
+	for s := range r.cfg.BotsPerServer {
+		servers = append(servers, s)
+	}
+	sort.Strings(servers)
+
+	res := &Result{ActiveBots: make(map[string][]int, len(servers))}
+	firstEpoch := int(w.Start / epochLen)
+	lastEpoch := int((w.End - 1) / epochLen)
+	numEpochs := lastEpoch - firstEpoch + 1
+	for e := firstEpoch; e <= lastEpoch; e++ {
+		res.Epochs = append(res.Epochs, sim.Window{
+			Start: sim.Time(e) * epochLen,
+			End:   sim.Time(e+1) * epochLen,
+		})
+	}
+	for _, s := range servers {
+		res.ActiveBots[s] = make([]int, numEpochs)
+	}
+
+	// Epoch rollover: the botmaster (de)registers C2 domains at epoch
+	// boundaries. Scheduled first at each boundary (engine preserves
+	// scheduling order for simultaneous events).
+	for ei, ew := range res.Epochs {
+		epoch := firstEpoch + ei
+		start := ew.Start
+		if start < w.Start {
+			start = w.Start
+		}
+		engine.Schedule(start, func(*sim.Engine) {
+			r.rollRegistry(epoch)
+		})
+	}
+
+	// Schedule activations per server per epoch.
+	for _, server := range servers {
+		n := r.cfg.BotsPerServer[server]
+		if n == 0 {
+			continue
+		}
+		for ei := range res.Epochs {
+			epoch := firstEpoch + ei
+			actRNG := sim.SplitFrom(r.cfg.Seed, hashLabels(uint64(epoch), hashString(server), 0xa11))
+			times := r.cfg.Activation.EpochActivations(actRNG, n, res.Epochs[ei].Start, epochLen)
+			for bi, at := range times {
+				if !w.Contains(at) {
+					continue
+				}
+				res.ActiveBots[server][ei]++
+				client := fmt.Sprintf("%s/bot-%04d", server, bi)
+				if err := r.net.AssignClient(client, server); err != nil {
+					return nil, fmt.Errorf("botnet: homing %s: %w", client, err)
+				}
+				bot := botRun{
+					runner: r,
+					server: server,
+					client: client,
+					epoch:  epoch,
+					rng:    sim.SplitFrom(r.cfg.Seed, hashLabels(uint64(epoch), hashString(server), uint64(bi))),
+					result: res,
+				}
+				engine.Schedule(at, bot.start)
+			}
+		}
+	}
+
+	engine.Run(w.End)
+	return res, nil
+}
+
+// rollRegistry replaces the registered C2 set with the given epoch's.
+func (r *Runner) rollRegistry(epoch int) {
+	if prev, ok := r.poolValid[epoch-1]; ok {
+		r.net.Registry.Unregister(prev...)
+	}
+	r.Pool(epoch) // ensures poolValid[epoch] is materialised
+	r.net.Registry.Register(r.poolValid[epoch]...)
+}
+
+// botRun drives one bot's activation(s) through the DNS hierarchy.
+type botRun struct {
+	runner *Runner
+	server string
+	client string
+	epoch  int
+	rng    *sim.RNG
+	result *Result
+
+	positions   []int
+	step        int
+	activations int
+}
+
+func (b *botRun) start(e *sim.Engine) {
+	pool := b.runner.Pool(b.epoch)
+	spec := b.runner.cfg.Spec
+	b.activations++
+	if b.positions == nil {
+		// The barrel is drawn once: the DGA is seeded by the date, so a
+		// retry walks the same list (§III).
+		b.positions = spec.Barrel.Barrel(pool, spec.ThetaQ, b.rng)
+	}
+	b.step = 0
+	b.query(e)
+}
+
+func (b *botRun) query(e *sim.Engine) {
+	if b.step >= len(b.positions) {
+		b.maybeReactivate(e) // aborted after θq attempts without C2 contact
+		return
+	}
+	pool := b.runner.Pool(b.epoch)
+	domain := pool.Domains[b.positions[b.step]]
+	ans, err := b.runner.net.ClientQuery(e.Now(), b.client, domain)
+	if err != nil {
+		return
+	}
+	b.result.QueriesIssued++
+	b.step++
+	if !ans.NX {
+		b.result.C2Contacts++
+		return // rendezvous established; activation ends
+	}
+	e.ScheduleAfter(b.runner.cfg.Spec.Interval(b.rng), b.query)
+}
+
+// maybeReactivate schedules a retry of the same barrel after the back-off,
+// staying within the bot's epoch.
+func (b *botRun) maybeReactivate(e *sim.Engine) {
+	cfg := b.runner.cfg
+	if cfg.ReactivateEvery <= 0 || b.activations >= cfg.MaxActivations {
+		return
+	}
+	delay := cfg.ReactivateEvery + b.rng.Exp(1/float64(cfg.ReactivateEvery))
+	at := e.Now() + delay
+	epochEnd := sim.Time(b.epoch+1) * cfg.EpochLen
+	if at >= epochEnd {
+		return
+	}
+	e.Schedule(at, b.start)
+}
+
+// hashString folds a string into a uint64 label for RNG splitting.
+func hashString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// hashLabels mixes labels into a single RNG-split label.
+func hashLabels(parts ...uint64) uint64 {
+	h := uint64(1469598103934665603)
+	for _, p := range parts {
+		h ^= p
+		h *= 1099511628211
+		h ^= h >> 29
+	}
+	return h
+}

@@ -1,0 +1,83 @@
+package botnet
+
+import (
+	"testing"
+
+	"botmeter/internal/dga"
+	"botmeter/internal/sim"
+)
+
+// reactivationSpec has NO registered domains, so every activation aborts
+// and (with the knob on) retries.
+func reactivationSpec() dga.Spec {
+	return dga.Spec{
+		Name:          "NoC2",
+		Pool:          dga.DrainReplenish{NX: 20, C2: 0, Gen: dga.DefaultGenerator},
+		Barrel:        dga.RandomCut{},
+		ThetaQ:        10,
+		QueryInterval: 500 * sim.Millisecond,
+	}
+}
+
+func TestReactivationIssuesMoreQueries(t *testing.T) {
+	run := func(every sim.Time) (int, int) {
+		net := testNetwork()
+		r, err := NewRunner(Config{
+			Spec:            reactivationSpec(),
+			Seed:            3,
+			BotsPerServer:   map[string]int{"local-00": 5},
+			ReactivateEvery: every,
+		}, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run(sim.Window{Start: 0, End: sim.Day})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.QueriesIssued, res.ActiveBots["local-00"][0]
+	}
+	qOff, activeOff := run(0)
+	qOn, activeOn := run(2 * sim.Hour)
+	if qOn <= qOff {
+		t.Errorf("re-activation should issue more queries: %d vs %d", qOn, qOff)
+	}
+	// Ground truth counts distinct bots, not activations: unchanged.
+	if activeOn != activeOff {
+		t.Errorf("ground truth changed with re-activation: %d vs %d", activeOn, activeOff)
+	}
+	// Same barrel each retry: the distinct query set per bot is unchanged,
+	// so total queries are bounded by attempts × barrel size.
+	if qOn > 4*qOff+5*10 {
+		t.Errorf("re-activation issued %d queries, beyond the 4-attempt bound (single pass %d)", qOn, qOff)
+	}
+}
+
+func TestReactivationStopsAfterC2Contact(t *testing.T) {
+	spec := reactivationSpec()
+	spec.Pool = dga.DrainReplenish{NX: 19, C2: 1, Gen: dga.DefaultGenerator}
+	net := testNetwork()
+	r, err := NewRunner(Config{
+		Spec:            spec,
+		Seed:            4,
+		BotsPerServer:   map[string]int{"local-00": 3},
+		ReactivateEvery: sim.Hour,
+	}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(sim.Window{Start: 0, End: sim.Day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RandomCut over 20 domains with one C2: each activation has a decent
+	// chance of contact; contacted bots must not retry, so C2 contacts are
+	// bounded by... every bot eventually succeeds at most once per
+	// activation chain. Sanity: contacts ≤ bots × MaxActivations.
+	if res.C2Contacts == 0 {
+		t.Error("no C2 contacts with a registered domain")
+	}
+	if res.C2Contacts > 3*4 {
+		t.Errorf("C2 contacts %d exceed attempt budget", res.C2Contacts)
+	}
+}

@@ -1,0 +1,311 @@
+// Package core assembles BotMeter itself (paper Figure 2): tapped at a
+// border DNS server, it matches the incoming forwarded-lookup stream
+// against the domains of a target DGA (as reported by a D³ front end),
+// groups matches by forwarding local server, selects the analytical model
+// fitting the DGA's taxonomy cell, estimates the active bot population
+// behind every local server, and renders the resulting botnet landscape
+// with remediation priorities.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"botmeter/internal/d3"
+	"botmeter/internal/dga"
+	"botmeter/internal/estimators"
+	"botmeter/internal/matcher"
+	"botmeter/internal/sim"
+	"botmeter/internal/trace"
+)
+
+// Config configures one BotMeter deployment for one target DGA family
+// (paper Figure 2, steps 2 and 6: pattern specification plus parameter
+// configuration).
+type Config struct {
+	// Family is the target DGA.
+	Family dga.Spec
+	// Seed reconstructs the family's pools.
+	Seed uint64
+	// EpochLen is δe (default one day).
+	EpochLen sim.Time
+	// NegativeTTL is the local servers' negative-cache TTL δl (default 2 h).
+	NegativeTTL sim.Time
+	// Granularity is the vantage point's timestamp granularity.
+	Granularity sim.Time
+	// Estimator overrides the taxonomy-based model selection when non-nil.
+	Estimator estimators.Estimator
+	// Detection models the D³ front end; nil means perfect pool knowledge.
+	Detection *d3.Window
+	// SecondOpinion additionally runs the Timing estimator on every server
+	// (the paper evaluates MT alongside the model-specific estimator).
+	SecondOpinion bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.EpochLen <= 0 {
+		c.EpochLen = sim.Day
+	}
+	if c.NegativeTTL <= 0 {
+		c.NegativeTTL = 2 * sim.Hour
+	}
+	if c.Estimator == nil {
+		c.Estimator = estimators.ForModel(c.Family)
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Family.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if c.Detection != nil {
+		if err := c.Detection.Validate(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+	return nil
+}
+
+// BotMeter is the analysis pipeline bound to one configuration. A BotMeter
+// parallelises internally across forwarding servers; the value itself is
+// not safe for concurrent Analyze calls (per-epoch matcher state is built
+// lazily) — use one instance per goroutine, they share nothing global.
+type BotMeter struct {
+	cfg Config
+
+	matchersByEpoch map[int]*matcher.Set
+}
+
+// New builds a BotMeter instance.
+func New(cfg Config) (*BotMeter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &BotMeter{
+		cfg:             cfg.withDefaults(),
+		matchersByEpoch: make(map[int]*matcher.Set),
+	}, nil
+}
+
+// EstimatorName reports the selected analytical model.
+func (bm *BotMeter) EstimatorName() string { return bm.cfg.Estimator.Name() }
+
+// matcherFor returns the per-epoch domain matcher, built from the D³
+// report (or the full pool when detection is perfect).
+func (bm *BotMeter) matcherFor(epoch int) *matcher.Set {
+	if m, ok := bm.matchersByEpoch[epoch]; ok {
+		return m
+	}
+	pool := bm.cfg.Family.Pool.PoolFor(bm.cfg.Seed, epoch)
+	var domains []string
+	if bm.cfg.Detection != nil {
+		rep := bm.cfg.Detection.Detect(epoch, pool)
+		domains = rep.All()
+	} else {
+		domains = pool.Domains
+	}
+	m := matcher.NewSet(bm.cfg.Family.Name, domains)
+	bm.matchersByEpoch[epoch] = m
+	return m
+}
+
+// ServerEstimate is the assessment for one local DNS server.
+type ServerEstimate struct {
+	// Server is the forwarding server's identifier.
+	Server string
+	// Population is the estimated number of active bots behind the server
+	// (averaged per epoch across the analysis window).
+	Population float64
+	// SecondOpinion is the Timing estimator's figure when enabled (NaN
+	// semantics avoided: zero when disabled).
+	SecondOpinion float64
+	// MatchedLookups counts DGA-attributed forwarded lookups.
+	MatchedLookups int
+	// DistinctDomains counts distinct DGA domains seen from this server.
+	DistinctDomains int
+	// PerEpoch holds the per-epoch estimates underlying Population.
+	PerEpoch []float64
+}
+
+// Landscape is the chart of a DGA-botnet across the network — the paper's
+// deliverable. Servers are sorted by estimated population, descending: the
+// remediation priority order.
+type Landscape struct {
+	Family    string
+	Model     string
+	Estimator string
+	Window    sim.Window
+	Servers   []ServerEstimate
+	// Total is the summed population estimate across servers.
+	Total float64
+	// MatchedLookups counts all DGA-attributed lookups in the window.
+	MatchedLookups int
+}
+
+// Analyze charts the landscape from an observable dataset over a window.
+func (bm *BotMeter) Analyze(obs trace.Observed, w sim.Window) (*Landscape, error) {
+	if w.Len() <= 0 {
+		return nil, fmt.Errorf("core: empty analysis window")
+	}
+	cfg := bm.cfg
+	estCfg := estimators.Config{
+		Spec:        cfg.Family,
+		Seed:        cfg.Seed,
+		EpochLen:    cfg.EpochLen,
+		NegativeTTL: cfg.NegativeTTL,
+		Granularity: cfg.Granularity,
+		Detection:   cfg.Detection,
+	}
+
+	// Step 3-4: match the stream per epoch (pools rotate across epochs).
+	firstEpoch := int(w.Start / cfg.EpochLen)
+	lastEpoch := int((w.End - 1) / cfg.EpochLen)
+	matched := make(trace.Observed, 0, len(obs))
+	for _, rec := range obs {
+		if !w.Contains(rec.T) {
+			continue
+		}
+		epoch := int(rec.T / cfg.EpochLen)
+		if bm.matcherFor(epoch).Match(rec.Domain) {
+			matched = append(matched, rec)
+		}
+	}
+
+	// Step 5-7: per-server estimation. Servers are independent, so they
+	// are estimated concurrently with a bounded worker pool; the pool size
+	// follows GOMAXPROCS and each worker owns its loop state (the shared
+	// estimator instances synchronise their internal caches themselves).
+	timing := estimators.NewTiming()
+	land := &Landscape{
+		Family:         cfg.Family.Name,
+		Model:          cfg.Family.ModelName(),
+		Estimator:      cfg.Estimator.Name(),
+		Window:         w,
+		MatchedLookups: len(matched),
+	}
+	byServer := matched.ByServer()
+	servers := make([]string, 0, len(byServer))
+	for s := range byServer {
+		servers = append(servers, s)
+	}
+	sort.Strings(servers)
+
+	results := make([]ServerEstimate, len(servers))
+	errs := make([]error, len(servers))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for i, server := range servers {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, server string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = bm.estimateServer(server, byServer[server], w, firstEpoch, lastEpoch, estCfg, timing)
+		}(i, server)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", servers[i], err)
+		}
+	}
+	for _, est := range results {
+		land.Servers = append(land.Servers, est)
+		land.Total += est.Population
+	}
+	sort.Slice(land.Servers, func(i, j int) bool {
+		if land.Servers[i].Population != land.Servers[j].Population {
+			return land.Servers[i].Population > land.Servers[j].Population
+		}
+		return land.Servers[i].Server < land.Servers[j].Server
+	})
+	return land, nil
+}
+
+// estimateServer produces one server's assessment.
+func (bm *BotMeter) estimateServer(server string, serverObs trace.Observed, w sim.Window, firstEpoch, lastEpoch int, estCfg estimators.Config, timing estimators.Estimator) (ServerEstimate, error) {
+	cfg := bm.cfg
+	est := ServerEstimate{
+		Server:          server,
+		MatchedLookups:  len(serverObs),
+		DistinctDomains: len(serverObs.Domains()),
+	}
+	var total float64
+	epochs := 0
+	for ep := firstEpoch; ep <= lastEpoch; ep++ {
+		ew := sim.Window{Start: sim.Time(ep) * cfg.EpochLen, End: sim.Time(ep+1) * cfg.EpochLen}
+		v, err := cfg.Estimator.EstimateEpoch(serverObs.Window(ew), ep, estCfg)
+		if err != nil {
+			return est, fmt.Errorf("epoch %d: %w", ep, err)
+		}
+		est.PerEpoch = append(est.PerEpoch, v)
+		total += v
+		epochs++
+	}
+	if epochs > 0 {
+		est.Population = total / float64(epochs)
+	}
+	if cfg.SecondOpinion {
+		v, err := estimators.EstimateWindow(timing, serverObs, w, estCfg)
+		if err != nil {
+			return est, fmt.Errorf("second opinion: %w", err)
+		}
+		est.SecondOpinion = v
+	}
+	return est, nil
+}
+
+// maxParallel bounds the per-server estimation pool.
+func maxParallel() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 16 {
+		n = 16
+	}
+	return n
+}
+
+// String renders the landscape as a fixed-width report.
+func (l *Landscape) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "BotMeter landscape — family %s (%s), estimator %s\n",
+		l.Family, l.Model, l.Estimator)
+	fmt.Fprintf(&b, "window %v … %v, %d matched lookups\n",
+		l.Window.Start, l.Window.End, l.MatchedLookups)
+	fmt.Fprintf(&b, "%-4s %-12s %12s %10s %10s\n",
+		"rank", "server", "est. bots", "lookups", "domains")
+	for i, s := range l.Servers {
+		fmt.Fprintf(&b, "%-4d %-12s %12.1f %10d %10d\n",
+			i+1, s.Server, s.Population, s.MatchedLookups, s.DistinctDomains)
+	}
+	fmt.Fprintf(&b, "total estimated population: %.1f\n", l.Total)
+	return b.String()
+}
+
+// Top returns the k highest-priority servers (fewer if not available).
+func (l *Landscape) Top(k int) []ServerEstimate {
+	if k > len(l.Servers) {
+		k = len(l.Servers)
+	}
+	out := make([]ServerEstimate, k)
+	copy(out, l.Servers[:k])
+	return out
+}
+
+// Estimate returns the population estimate for one server (0 if the server
+// produced no matched traffic).
+func (l *Landscape) Estimate(server string) float64 {
+	for _, s := range l.Servers {
+		if s.Server == server {
+			return s.Population
+		}
+	}
+	return 0
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"botmeter/internal/botnet"
+	"botmeter/internal/d3"
+	"botmeter/internal/dga"
+	"botmeter/internal/dnssim"
+	"botmeter/internal/estimators"
+	"botmeter/internal/sim"
+	"botmeter/internal/stats"
+	"botmeter/internal/trace"
+)
+
+// simulate runs a botnet and returns the observable trace plus ground
+// truth.
+func simulate(t *testing.T, spec dga.Spec, seed uint64, botsPerServer map[string]int, w sim.Window) (trace.Observed, *botnet.Result) {
+	t.Helper()
+	net := dnssim.NewNetwork(dnssim.NetworkConfig{
+		LocalServers: len(botsPerServer),
+		PositiveTTL:  sim.Day,
+		NegativeTTL:  2 * sim.Hour,
+		Granularity:  100 * sim.Millisecond,
+	})
+	r, err := botnet.NewRunner(botnet.Config{
+		Spec:          spec,
+		Seed:          seed,
+		BotsPerServer: botsPerServer,
+	}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net.Border.Observed(), res
+}
+
+func smallAU() dga.Spec {
+	return dga.Spec{
+		Name:          "mini-AU",
+		Pool:          dga.DrainReplenish{NX: 198, C2: 2, Gen: dga.DefaultGenerator},
+		Barrel:        dga.Uniform{},
+		ThetaQ:        200,
+		QueryInterval: 500 * sim.Millisecond,
+	}
+}
+
+func smallAR() dga.Spec {
+	return dga.Spec{
+		Name:          "mini-AR",
+		Pool:          dga.DrainReplenish{NX: 995, C2: 5, Gen: dga.DefaultGenerator},
+		Barrel:        dga.RandomCut{},
+		ThetaQ:        100,
+		QueryInterval: sim.Second,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	if _, err := New(Config{Family: smallAU(), Detection: &d3.Window{MissRate: -1}}); err == nil {
+		t.Error("invalid detection window should fail")
+	}
+	bm, err := New(Config{Family: smallAU(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.EstimatorName() != "MP" {
+		t.Errorf("AU should auto-select MP, got %s", bm.EstimatorName())
+	}
+}
+
+func TestAnalyzeEmptyWindow(t *testing.T) {
+	bm, err := New(Config{Family: smallAU(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bm.Analyze(nil, sim.Window{}); err == nil {
+		t.Error("empty window should error")
+	}
+}
+
+func TestAnalyzeAUPopulation(t *testing.T) {
+	seed := uint64(77)
+	w := sim.Window{Start: 0, End: sim.Day}
+	bots := map[string]int{"local-00": 64}
+	obs, res := simulate(t, smallAU(), seed, bots, w)
+	bm, err := New(Config{Family: smallAU(), Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	land, err := bm.Analyze(obs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(res.ActiveBots["local-00"][0])
+	got := land.Estimate("local-00")
+	if are := stats.ARE(got, truth); are > 0.5 {
+		t.Errorf("MP estimate %v vs truth %v (ARE %v)", got, truth, are)
+	}
+	if land.Estimator != "MP" || land.Model != "AU" {
+		t.Errorf("landscape metadata: %s/%s", land.Model, land.Estimator)
+	}
+}
+
+func TestAnalyzeARPopulation(t *testing.T) {
+	seed := uint64(88)
+	w := sim.Window{Start: 0, End: sim.Day}
+	bots := map[string]int{"local-00": 64}
+	obs, res := simulate(t, smallAR(), seed, bots, w)
+	bm, err := New(Config{Family: smallAR(), Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	land, err := bm.Analyze(obs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(res.ActiveBots["local-00"][0])
+	got := land.Estimate("local-00")
+	if are := stats.ARE(got, truth); are > 0.4 {
+		t.Errorf("MB estimate %v vs truth %v (ARE %v)", got, truth, are)
+	}
+}
+
+func TestLandscapeRanking(t *testing.T) {
+	seed := uint64(99)
+	w := sim.Window{Start: 0, End: sim.Day}
+	bots := map[string]int{"local-00": 8, "local-01": 96, "local-02": 32}
+	obs, _ := simulate(t, smallAR(), seed, bots, w)
+	bm, err := New(Config{Family: smallAR(), Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	land, err := bm.Analyze(obs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(land.Servers) != 3 {
+		t.Fatalf("servers in landscape: %d", len(land.Servers))
+	}
+	// Remediation priority: the heavily infected server first.
+	if land.Servers[0].Server != "local-01" {
+		t.Errorf("top priority = %s, want local-01", land.Servers[0].Server)
+	}
+	if land.Servers[len(land.Servers)-1].Server != "local-00" {
+		t.Errorf("lowest priority = %s, want local-00", land.Servers[len(land.Servers)-1].Server)
+	}
+	top := land.Top(2)
+	if len(top) != 2 || top[0].Server != "local-01" {
+		t.Errorf("Top(2) = %+v", top)
+	}
+	if land.Total <= 0 {
+		t.Error("total population should be positive")
+	}
+	// Unknown server estimate is 0.
+	if land.Estimate("local-99") != 0 {
+		t.Error("unknown server should estimate 0")
+	}
+}
+
+func TestAnalyzeFiltersBenignTraffic(t *testing.T) {
+	seed := uint64(11)
+	w := sim.Window{Start: 0, End: sim.Day}
+	obs, _ := simulate(t, smallAR(), seed, map[string]int{"local-00": 16}, w)
+	// Inject benign lookups that must not be matched.
+	noisy := make(trace.Observed, 0, len(obs)+100)
+	noisy = append(noisy, obs...)
+	for i := 0; i < 100; i++ {
+		noisy = append(noisy, trace.ObservedRecord{
+			T: sim.Time(i) * sim.Minute, Server: "local-00",
+			Domain: "www.example.org",
+		})
+	}
+	bm, err := New(Config{Family: smallAR(), Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := bm.Analyze(obs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := bm.Analyze(noisy, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Estimate("local-00") != dirty.Estimate("local-00") {
+		t.Errorf("benign noise changed the estimate: %v vs %v",
+			clean.Estimate("local-00"), dirty.Estimate("local-00"))
+	}
+	if dirty.MatchedLookups != clean.MatchedLookups {
+		t.Errorf("benign lookups were matched: %d vs %d",
+			dirty.MatchedLookups, clean.MatchedLookups)
+	}
+}
+
+func TestAnalyzeWithDetectionWindow(t *testing.T) {
+	seed := uint64(22)
+	w := sim.Window{Start: 0, End: sim.Day}
+	obs, res := simulate(t, smallAR(), seed, map[string]int{"local-00": 64}, w)
+	bm, err := New(Config{
+		Family:    smallAR(),
+		Seed:      seed,
+		Detection: &d3.Window{MissRate: 0.3, Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	land, err := bm.Analyze(obs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(res.ActiveBots["local-00"][0])
+	got := land.Estimate("local-00")
+	// Degraded but still in the right ballpark (Fig 6(e) shows ARE growing
+	// to ≈0.25 at 30% misses for MB; leave generous headroom).
+	if are := stats.ARE(got, truth); are > 0.8 {
+		t.Errorf("estimate with 30%% misses: %v vs truth %v (ARE %v)", got, truth, are)
+	}
+	if got <= 0 {
+		t.Error("estimate should remain positive under misses")
+	}
+}
+
+func TestAnalyzeWithCollisionNoise(t *testing.T) {
+	// Collision domains (benign names D³ wrongly attributes to the DGA)
+	// enter the matcher but, having no pool position, must not perturb the
+	// Bernoulli estimate — the paper's noise-resilience claim.
+	seed := uint64(66)
+	w := sim.Window{Start: 0, End: sim.Day}
+	obs, res := simulate(t, smallAR(), seed, map[string]int{"local-00": 32}, w)
+	bm, err := New(Config{
+		Family:    smallAR(),
+		Seed:      seed,
+		Detection: &d3.Window{Collisions: 10, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject lookups for the collision domains from benign hosts.
+	noisy := append(trace.Observed{}, obs...)
+	for i := 0; i < 10; i++ {
+		noisy = append(noisy, trace.ObservedRecord{
+			T:      sim.Time(i) * sim.Hour,
+			Server: "local-00",
+			Domain: fmt.Sprintf("benign-collision-0-%d.com", i),
+		})
+	}
+	land, err := bm.Analyze(noisy, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collision lookups ARE matched (they are in the detected list)...
+	if land.MatchedLookups <= len(obs.FilterDomains(func(string) bool { return true }))-len(obs) {
+		t.Log("collision lookups not matched — acceptable only if matcher drops them")
+	}
+	// ...but the estimate stays anchored to the true population.
+	truth := float64(res.ActiveBots["local-00"][0])
+	if are := stats.ARE(land.Estimate("local-00"), truth); are > 0.4 {
+		t.Errorf("collision noise perturbed MB: estimate %v vs truth %v", land.Estimate("local-00"), truth)
+	}
+}
+
+func TestAnalyzeSecondOpinion(t *testing.T) {
+	seed := uint64(33)
+	w := sim.Window{Start: 0, End: sim.Day}
+	obs, _ := simulate(t, smallAU(), seed, map[string]int{"local-00": 16}, w)
+	bm, err := New(Config{Family: smallAU(), Seed: seed, SecondOpinion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	land, err := bm.Analyze(obs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(land.Servers) == 0 || land.Servers[0].SecondOpinion <= 0 {
+		t.Errorf("second opinion missing: %+v", land.Servers)
+	}
+}
+
+func TestAnalyzeMultiEpoch(t *testing.T) {
+	seed := uint64(44)
+	w := sim.Window{Start: 0, End: 2 * sim.Day}
+	obs, res := simulate(t, smallAR(), seed, map[string]int{"local-00": 32}, w)
+	bm, err := New(Config{Family: smallAR(), Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	land, err := bm.Analyze(obs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(land.Servers) != 1 {
+		t.Fatalf("servers = %d", len(land.Servers))
+	}
+	if got := len(land.Servers[0].PerEpoch); got != 2 {
+		t.Errorf("per-epoch estimates = %d, want 2", got)
+	}
+	truthAvg := float64(res.ActiveBots["local-00"][0]+res.ActiveBots["local-00"][1]) / 2
+	if are := stats.ARE(land.Servers[0].Population, truthAvg); are > 0.4 {
+		t.Errorf("multi-epoch estimate %v vs truth %v", land.Servers[0].Population, truthAvg)
+	}
+}
+
+func TestAnalyzeEstimatorOverride(t *testing.T) {
+	bm, err := New(Config{Family: smallAU(), Seed: 1, Estimator: estimators.NewTiming()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.EstimatorName() != "MT" {
+		t.Errorf("override ignored: %s", bm.EstimatorName())
+	}
+}
+
+func TestLandscapeString(t *testing.T) {
+	seed := uint64(55)
+	w := sim.Window{Start: 0, End: sim.Day}
+	obs, _ := simulate(t, smallAR(), seed, map[string]int{"local-00": 16}, w)
+	bm, err := New(Config{Family: smallAR(), Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	land, err := bm.Analyze(obs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := land.String()
+	for _, want := range []string{"mini-AR", "MB", "local-00", "total estimated population"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	if math.IsNaN(land.Total) {
+		t.Error("NaN total")
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"botmeter/internal/sim"
+)
+
+func TestWriteHTMLBasic(t *testing.T) {
+	var buf bytes.Buffer
+	err := HTMLReport{Landscape: sampleLandscape()}.WriteHTML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html", "newGoZ", "MB", "local-01", "40.5",
+		"remediation priority",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("html missing %q", want)
+		}
+	}
+	// No trend supplied: no sparkline column.
+	if strings.Contains(out, "<svg") {
+		t.Error("unexpected sparklines without a trend")
+	}
+}
+
+func TestWriteHTMLWithTrend(t *testing.T) {
+	tr := NewTrend("newGoZ")
+	tr.Windows = make([]sim.Window, 3)
+	tr.Series["local-01"] = []float64{10, 20, 40.5}
+	tr.Series["local-00"] = []float64{7, 7, 7.2}
+	var buf bytes.Buffer
+	err := HTMLReport{Landscape: sampleLandscape(), Trend: tr}.WriteHTML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "<svg") {
+		t.Error("sparklines missing")
+	}
+	if !strings.Contains(out, "305%") {
+		t.Errorf("growth column missing: want 305%% for local-01")
+	}
+}
+
+func TestWriteHTMLEscapesHostileNames(t *testing.T) {
+	l := sampleLandscape()
+	l.Servers[0].Server = `<script>alert(1)</script>`
+	var buf bytes.Buffer
+	if err := (HTMLReport{Landscape: l}).WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>alert") {
+		t.Error("server name not escaped")
+	}
+}
+
+func TestWriteHTMLNilLandscape(t *testing.T) {
+	if err := (HTMLReport{}).WriteHTML(&bytes.Buffer{}); err == nil {
+		t.Error("nil landscape should error")
+	}
+}

@@ -1,0 +1,99 @@
+package dga
+
+import "botmeter/internal/sim"
+
+// BarrelModel selects the sequence of pool positions a bot intends to query
+// during one activation (paper §III-B). The returned sequence has length at
+// most θq; actual execution additionally stops at the first position holding
+// a registered domain (see ExecuteBarrel).
+type BarrelModel interface {
+	// Class reports the taxonomy cell of this model.
+	Class() BarrelClass
+	// Barrel draws one bot-activation's intended query positions.
+	Barrel(pool *Pool, thetaQ int, rng *sim.RNG) []int
+}
+
+// Uniform queries the pool in generation order — every bot issues the
+// identical sequence (Murofet, Srizbi, Torpig, Ramnit, Qakbot).
+type Uniform struct{}
+
+// Class implements BarrelModel.
+func (Uniform) Class() BarrelClass { return UniformBarrel }
+
+// Barrel implements BarrelModel.
+func (Uniform) Barrel(pool *Pool, thetaQ int, _ *sim.RNG) []int {
+	n := min(thetaQ, pool.Size())
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Sampling queries a uniformly random θq-subset of the pool, in random
+// order (Conficker.C: 500 of 50K).
+type Sampling struct{}
+
+// Class implements BarrelModel.
+func (Sampling) Class() BarrelClass { return SamplingBarrel }
+
+// Barrel implements BarrelModel.
+func (Sampling) Barrel(pool *Pool, thetaQ int, rng *sim.RNG) []int {
+	n := min(thetaQ, pool.Size())
+	return rng.Perm(pool.Size())[:n]
+}
+
+// RandomCut picks a random starting position on the pool circle and queries
+// the next θq positions clockwise (newGoZ: 500 consecutive of 10K).
+type RandomCut struct{}
+
+// Class implements BarrelModel.
+func (RandomCut) Class() BarrelClass { return RandomCutBarrel }
+
+// Barrel implements BarrelModel.
+func (RandomCut) Barrel(pool *Pool, thetaQ int, rng *sim.RNG) []int {
+	size := pool.Size()
+	if size == 0 {
+		return nil
+	}
+	n := min(thetaQ, size)
+	start := rng.IntN(size)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = (start + i) % size
+	}
+	return out
+}
+
+// Permutation queries the entire pool in a fresh random order each
+// activation (Necurs).
+type Permutation struct{}
+
+// Class implements BarrelModel.
+func (Permutation) Class() BarrelClass { return PermutationBarrel }
+
+// Barrel implements BarrelModel.
+func (Permutation) Barrel(pool *Pool, thetaQ int, rng *sim.RNG) []int {
+	n := min(thetaQ, pool.Size())
+	return rng.Perm(pool.Size())[:n]
+}
+
+// ExecuteBarrel truncates an intended barrel at the bot's termination
+// condition: the sequence up to and including the first registered domain,
+// or the whole barrel if every position is an NXD (the bot aborts after θq
+// lookups). This is the sequence of domains actually sent to DNS.
+func ExecuteBarrel(pool *Pool, positions []int) []int {
+	for i, p := range positions {
+		if pool.ValidAt(p) {
+			return positions[:i+1]
+		}
+	}
+	return positions
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

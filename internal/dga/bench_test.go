@@ -1,0 +1,45 @@
+package dga
+
+import (
+	"testing"
+
+	"botmeter/internal/sim"
+)
+
+func BenchmarkConfickerPoolGeneration(b *testing.B) {
+	m := ConfickerC().Pool
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := m.PoolFor(uint64(i), i)
+		if p.Size() != 50000 {
+			b.Fatalf("pool size %d", p.Size())
+		}
+	}
+}
+
+func BenchmarkNewGoZBarrel(b *testing.B) {
+	spec := NewGoZ()
+	pool := spec.Pool.PoolFor(1, 0)
+	rng := sim.NewRNG(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		barrel := spec.Barrel.Barrel(pool, spec.ThetaQ, rng)
+		ExecuteBarrel(pool, barrel)
+	}
+}
+
+func BenchmarkSlidingWindowPool(b *testing.B) {
+	m := PushDo().Pool
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PoolFor(1, i)
+	}
+}
+
+func BenchmarkDomainGeneration(b *testing.B) {
+	rng := sim.NewRNG(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DefaultGenerator.Generate(rng)
+	}
+}

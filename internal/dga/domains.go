@@ -1,0 +1,80 @@
+package dga
+
+import (
+	"strings"
+
+	"botmeter/internal/sim"
+)
+
+// Generator describes the lexical profile of a family's domain output:
+// alphabet, length range and candidate TLDs. It stands in for the byte-level
+// generation logic of real malware; BotMeter's estimators never depend on
+// domain content, only on set membership and pool order, so a profile-
+// faithful generator preserves all relevant behaviour (see DESIGN.md §6).
+type Generator struct {
+	Charset string
+	MinLen  int
+	MaxLen  int
+	TLDs    []string
+}
+
+// DefaultGenerator is a lowercase-alphanumeric profile resembling the bulk
+// of observed DGA output.
+var DefaultGenerator = Generator{
+	Charset: "abcdefghijklmnopqrstuvwxyz",
+	MinLen:  8,
+	MaxLen:  20,
+	TLDs:    []string{"com", "net", "org", "info", "biz", "ru"},
+}
+
+// Generate draws one pseudo-random domain from the profile.
+func (g Generator) Generate(rng *sim.RNG) string {
+	charset := g.Charset
+	if charset == "" {
+		charset = DefaultGenerator.Charset
+	}
+	minLen, maxLen := g.MinLen, g.MaxLen
+	if minLen <= 0 {
+		minLen = DefaultGenerator.MinLen
+	}
+	if maxLen < minLen {
+		maxLen = minLen
+	}
+	tlds := g.TLDs
+	if len(tlds) == 0 {
+		tlds = DefaultGenerator.TLDs
+	}
+	n := minLen
+	if maxLen > minLen {
+		n += rng.IntN(maxLen - minLen + 1)
+	}
+	var b strings.Builder
+	b.Grow(n + 1 + 4)
+	for i := 0; i < n; i++ {
+		b.WriteByte(charset[rng.IntN(len(charset))])
+	}
+	b.WriteByte('.')
+	b.WriteString(tlds[rng.IntN(len(tlds))])
+	return b.String()
+}
+
+// GenerateUnique draws count distinct domains, retrying collisions against
+// both the fresh batch and the supplied exclusion set (which may be nil).
+func (g Generator) GenerateUnique(rng *sim.RNG, count int, exclude map[string]struct{}) []string {
+	out := make([]string, 0, count)
+	seen := make(map[string]struct{}, count)
+	for len(out) < count {
+		d := g.Generate(rng)
+		if _, dup := seen[d]; dup {
+			continue
+		}
+		if exclude != nil {
+			if _, dup := exclude[d]; dup {
+				continue
+			}
+		}
+		seen[d] = struct{}{}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package dga
+
+import (
+	"fmt"
+
+	"botmeter/internal/sim"
+)
+
+// Pool is the ordered set of domains a DGA emits for one epoch. Order
+// matters: the uniform barrel queries positions in order and the randomcut
+// barrel treats positions as a circle. ValidPositions marks the θ∃ domains
+// the botmaster registered as C2 rendezvous points; every other domain is an
+// NXD.
+type Pool struct {
+	Domains        []string
+	ValidPositions []int // sorted positions of registered (C2) domains
+
+	index map[string]int
+	valid map[int]struct{}
+}
+
+// NewPool builds a pool from an ordered domain list and the positions of
+// the registered domains. Positions out of range are ignored.
+func NewPool(domains []string, validPositions []int) *Pool {
+	p := &Pool{
+		Domains: domains,
+		index:   make(map[string]int, len(domains)),
+		valid:   make(map[int]struct{}, len(validPositions)),
+	}
+	for i, d := range domains {
+		p.index[d] = i
+	}
+	for _, v := range validPositions {
+		if v >= 0 && v < len(domains) {
+			if _, dup := p.valid[v]; !dup {
+				p.valid[v] = struct{}{}
+				p.ValidPositions = append(p.ValidPositions, v)
+			}
+		}
+	}
+	sortInts(p.ValidPositions)
+	return p
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Size returns the total pool size θ∃ + θ∅.
+func (p *Pool) Size() int { return len(p.Domains) }
+
+// NXCount returns θ∅, the number of unregistered domains.
+func (p *Pool) NXCount() int { return len(p.Domains) - len(p.ValidPositions) }
+
+// Position returns the pool position of domain d.
+func (p *Pool) Position(d string) (int, bool) {
+	i, ok := p.index[d]
+	return i, ok
+}
+
+// Contains reports whether d belongs to the pool.
+func (p *Pool) Contains(d string) bool {
+	_, ok := p.index[d]
+	return ok
+}
+
+// ValidAt reports whether position i holds a registered (resolving) domain.
+func (p *Pool) ValidAt(i int) bool {
+	_, ok := p.valid[i]
+	return ok
+}
+
+// IsValidDomain reports whether d is a registered domain of this pool.
+func (p *Pool) IsValidDomain(d string) bool {
+	i, ok := p.index[d]
+	if !ok {
+		return false
+	}
+	return p.ValidAt(i)
+}
+
+// PoolModel deterministically produces the pool for a given epoch. The same
+// (seed, epoch) always yields the same pool — the property that lets both
+// the botmaster and every bot (and BotMeter's matcher) agree on the domain
+// set.
+type PoolModel interface {
+	// Class reports the taxonomy cell of this model.
+	Class() PoolClass
+	// PoolFor materialises the epoch's pool.
+	PoolFor(seed uint64, epoch int) *Pool
+	// NXDomains returns θ∅ for sizing estimator parameters.
+	NXDomains() int
+	// C2Domains returns θ∃.
+	C2Domains() int
+}
+
+// DrainReplenish regenerates the full pool every Period epochs (Period 1 =
+// daily, the paper's default; Necurs uses Period 4).
+type DrainReplenish struct {
+	NX     int // θ∅
+	C2     int // θ∃
+	Period int // epochs between regenerations; 0 or 1 = every epoch
+	Gen    Generator
+}
+
+// Class implements PoolModel.
+func (m DrainReplenish) Class() PoolClass { return DrainReplenishPool }
+
+// NXDomains implements PoolModel.
+func (m DrainReplenish) NXDomains() int { return m.NX }
+
+// C2Domains implements PoolModel.
+func (m DrainReplenish) C2Domains() int { return m.C2 }
+
+// PoolFor implements PoolModel.
+func (m DrainReplenish) PoolFor(seed uint64, epoch int) *Pool {
+	period := m.Period
+	if period < 1 {
+		period = 1
+	}
+	gen := epoch / period
+	rng := sim.SplitFrom(seed, uint64(gen)*2654435761+1)
+	domains := m.Gen.GenerateUnique(rng, m.NX+m.C2, nil)
+	valid := rng.Perm(len(domains))[:m.C2]
+	return NewPool(domains, valid)
+}
+
+// SlidingWindow keeps a window of daily blocks: at epoch e the pool is the
+// concatenation of the blocks for epochs [e-Back, e+Forward], each holding
+// PerDay fresh domains (paper §III-A; Ranbyus: Back=29, Forward=0,
+// PerDay=40; PushDo: Back=30, Forward=15, PerDay=30).
+type SlidingWindow struct {
+	PerDay  int
+	Back    int // days of history retained
+	Forward int // days of future domains pre-generated
+	C2      int // registered domains per epoch's pool
+	Gen     Generator
+}
+
+// Class implements PoolModel.
+func (m SlidingWindow) Class() PoolClass { return SlidingWindowPool }
+
+// NXDomains implements PoolModel.
+func (m SlidingWindow) NXDomains() int {
+	return m.PerDay*(m.Back+m.Forward+1) - m.C2
+}
+
+// C2Domains implements PoolModel.
+func (m SlidingWindow) C2Domains() int { return m.C2 }
+
+// PoolFor implements PoolModel.
+func (m SlidingWindow) PoolFor(seed uint64, epoch int) *Pool {
+	domains := make([]string, 0, m.PerDay*(m.Back+m.Forward+1))
+	for day := epoch - m.Back; day <= epoch+m.Forward; day++ {
+		domains = append(domains, m.block(seed, day)...)
+	}
+	// The botmaster registers C2 domains deterministically per epoch,
+	// preferring the freshest block (real operators register new domains as
+	// old ones are sinkholed).
+	rng := sim.SplitFrom(seed, uint64(uint32(epoch))*0x85ebca6b+7)
+	valid := make([]int, 0, m.C2)
+	freshStart := len(domains) - m.PerDay*(m.Forward+1)
+	if freshStart < 0 {
+		freshStart = 0
+	}
+	span := len(domains) - freshStart
+	for _, off := range rng.Perm(span) {
+		if len(valid) == m.C2 {
+			break
+		}
+		valid = append(valid, freshStart+off)
+	}
+	return NewPool(domains, valid)
+}
+
+// block returns the PerDay domains generated on the given absolute day.
+// Negative days are valid (bots that started before the observation epoch).
+func (m SlidingWindow) block(seed uint64, day int) []string {
+	rng := sim.SplitFrom(seed, uint64(uint32(day))*0xc2b2ae35+3)
+	return m.Gen.GenerateUnique(rng, m.PerDay, nil)
+}
+
+// MultipleMixture interleaves one useful drain-and-replenish generator with
+// one or more noise generators whose domains are never registered (paper
+// §III-A; Pykspa: useful pool 200, noise pool 16K).
+type MultipleMixture struct {
+	UsefulNX   int
+	UsefulC2   int
+	NoiseSizes []int
+	Gen        Generator
+}
+
+// Class implements PoolModel.
+func (m MultipleMixture) Class() PoolClass { return MultipleMixturePool }
+
+// NXDomains implements PoolModel.
+func (m MultipleMixture) NXDomains() int {
+	total := m.UsefulNX
+	for _, n := range m.NoiseSizes {
+		total += n
+	}
+	return total
+}
+
+// C2Domains implements PoolModel.
+func (m MultipleMixture) C2Domains() int { return m.UsefulC2 }
+
+// PoolFor implements PoolModel.
+func (m MultipleMixture) PoolFor(seed uint64, epoch int) *Pool {
+	rng := sim.SplitFrom(seed, uint64(uint32(epoch))*0x27d4eb2f+11)
+	useful := m.Gen.GenerateUnique(rng, m.UsefulNX+m.UsefulC2, nil)
+	exclude := make(map[string]struct{}, len(useful))
+	for _, d := range useful {
+		exclude[d] = struct{}{}
+	}
+	pools := [][]string{useful}
+	for i, size := range m.NoiseSizes {
+		noiseRNG := sim.SplitFrom(seed, uint64(uint32(epoch))*0x27d4eb2f+uint64(i)*0x165667b1+13)
+		noise := m.Gen.GenerateUnique(noiseRNG, size, exclude)
+		for _, d := range noise {
+			exclude[d] = struct{}{}
+		}
+		pools = append(pools, noise)
+	}
+	// Interleave the instances round-robin, as concurrently running DGA
+	// instances would emit them.
+	domains := make([]string, 0, m.NXDomains()+m.UsefulC2)
+	usefulPos := make(map[string]struct{}, len(useful))
+	idx := make([]int, len(pools))
+	for {
+		progressed := false
+		for pi := range pools {
+			if idx[pi] < len(pools[pi]) {
+				d := pools[pi][idx[pi]]
+				if pi == 0 {
+					usefulPos[d] = struct{}{}
+				}
+				domains = append(domains, d)
+				idx[pi]++
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	// Registered domains come from the useful instance only.
+	usefulIdx := make([]int, 0, len(useful))
+	for i, d := range domains {
+		if _, ok := usefulPos[d]; ok {
+			usefulIdx = append(usefulIdx, i)
+		}
+	}
+	valid := make([]int, 0, m.UsefulC2)
+	for _, off := range rng.Perm(len(usefulIdx)) {
+		if len(valid) == m.UsefulC2 {
+			break
+		}
+		valid = append(valid, usefulIdx[off])
+	}
+	return NewPool(domains, valid)
+}
+
+// validatePool is a debug helper ensuring model invariants; exposed via
+// tests.
+func validatePool(p *Pool, wantC2 int) error {
+	if len(p.ValidPositions) != wantC2 {
+		return fmt.Errorf("pool has %d valid positions, want %d", len(p.ValidPositions), wantC2)
+	}
+	seen := make(map[string]struct{}, len(p.Domains))
+	for _, d := range p.Domains {
+		if _, dup := seen[d]; dup {
+			return fmt.Errorf("duplicate domain %q", d)
+		}
+		seen[d] = struct{}{}
+	}
+	return nil
+}

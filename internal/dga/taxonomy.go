@@ -1,0 +1,88 @@
+// Package dga implements the paper's §III taxonomy of domain generation
+// algorithms: query-pool models (drain-and-replenish, sliding-window,
+// multiple-mixture) crossed with query-barrel models (uniform, sampling,
+// randomcut, permutation), plus pseudo-random domain generation and named
+// presets for the malware families the paper discusses (Table I and §III
+// text).
+//
+// All generation is deterministic given a (seed, epoch) pair: the botmaster
+// and every bot share the same DGA, so the pool for an epoch is a pure
+// function of those inputs, exactly as in real DGA malware where the seed is
+// the current date.
+package dga
+
+// PoolClass identifies how the query pool evolves across epochs (paper
+// §III-A).
+type PoolClass int
+
+const (
+	// DrainReplenishPool replaces the entire pool every pool period.
+	DrainReplenishPool PoolClass = iota + 1
+	// SlidingWindowPool retires a day's block and admits a new one daily.
+	SlidingWindowPool
+	// MultipleMixturePool interleaves one useful generator with noisy ones.
+	MultipleMixturePool
+)
+
+// String returns the paper's name for the pool class.
+func (c PoolClass) String() string {
+	switch c {
+	case DrainReplenishPool:
+		return "drain-and-replenish"
+	case SlidingWindowPool:
+		return "sliding-window"
+	case MultipleMixturePool:
+		return "multiple-mixture"
+	default:
+		return "unknown-pool"
+	}
+}
+
+// BarrelClass identifies how each bot selects its query barrel from the
+// pool (paper §III-B).
+type BarrelClass int
+
+const (
+	// UniformBarrel queries the pool in generation order (AU).
+	UniformBarrel BarrelClass = iota + 1
+	// SamplingBarrel queries a random θq-subset of the pool (AS).
+	SamplingBarrel
+	// RandomCutBarrel queries θq consecutive domains from a random start
+	// in the pool's global circular order (AR).
+	RandomCutBarrel
+	// PermutationBarrel queries the whole pool in a random order (AP).
+	PermutationBarrel
+)
+
+// String returns the paper's name for the barrel class.
+func (c BarrelClass) String() string {
+	switch c {
+	case UniformBarrel:
+		return "uniform"
+	case SamplingBarrel:
+		return "sampling"
+	case RandomCutBarrel:
+		return "randomcut"
+	case PermutationBarrel:
+		return "permutation"
+	default:
+		return "unknown-barrel"
+	}
+}
+
+// Model is the paper's shorthand for a drain-and-replenish DGA with a given
+// barrel class: AU, AS, AR, AP.
+func Model(b BarrelClass) string {
+	switch b {
+	case UniformBarrel:
+		return "AU"
+	case SamplingBarrel:
+		return "AS"
+	case RandomCutBarrel:
+		return "AR"
+	case PermutationBarrel:
+		return "AP"
+	default:
+		return "A?"
+	}
+}

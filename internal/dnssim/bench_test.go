@@ -1,0 +1,44 @@
+package dnssim
+
+import (
+	"fmt"
+	"testing"
+
+	"botmeter/internal/sim"
+)
+
+func BenchmarkCacheLookupHit(b *testing.B) {
+	c := NewCache(sim.Day, 2*sim.Hour)
+	for i := 0; i < 1000; i++ {
+		c.Store(0, fmt.Sprintf("d%04d.com", i), true)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(sim.Hour, fmt.Sprintf("d%04d.com", i%1000))
+	}
+}
+
+func BenchmarkCacheLookupMiss(b *testing.B) {
+	c := NewCache(sim.Day, 2*sim.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(sim.Hour, "absent.com")
+	}
+}
+
+func BenchmarkClientQueryThroughHierarchy(b *testing.B) {
+	n := NewNetwork(NetworkConfig{
+		LocalServers: 8,
+		MidTierFanIn: 4,
+		PositiveTTL:  sim.Day,
+		NegativeTTL:  2 * sim.Hour,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		client := fmt.Sprintf("10.0.0.%d", i%200)
+		domain := fmt.Sprintf("q%05d.com", i%5000)
+		if _, err := n.ClientQuery(sim.Time(i), client, domain); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package dnssim models the hierarchical DNS infrastructure of a large
+// network (paper §II, Figure 1): clients query local caching-and-forwarding
+// DNS servers; cache misses are forwarded upward (optionally through
+// mid-tier servers) to a border DNS server, which is the only point where
+// traffic is observable. Positive answers and NXDomain answers are cached
+// with independent TTLs (RFC 1912 operational guidance: positive TTLs of a
+// day, negative TTLs of minutes to hours).
+package dnssim
+
+import (
+	"botmeter/internal/sim"
+)
+
+// Answer is the outcome of a DNS resolution.
+type Answer struct {
+	// NX reports a non-existent domain (NXDomain).
+	NX bool
+	// CacheHit reports that the answer was served from the local cache
+	// without any upward forwarding (i.e. invisible at the vantage point).
+	CacheHit bool
+}
+
+// Cache is a DNS answer cache with separate positive and negative TTLs.
+// The zero value is unusable; construct with NewCache. Entries are expired
+// lazily on lookup, with an occasional sweep to bound memory.
+type Cache struct {
+	positiveTTL sim.Time
+	negativeTTL sim.Time
+	entries     map[string]cacheEntry
+
+	lookups    int
+	hits       int
+	sweepEvery int
+	opsSince   int
+	lastSweep  sim.Time
+}
+
+type cacheEntry struct {
+	expires sim.Time
+	nx      bool
+}
+
+// NewCache builds a cache with the given TTLs. Non-positive TTLs disable
+// caching for that answer class.
+func NewCache(positiveTTL, negativeTTL sim.Time) *Cache {
+	return &Cache{
+		positiveTTL: positiveTTL,
+		negativeTTL: negativeTTL,
+		entries:     make(map[string]cacheEntry),
+		sweepEvery:  1 << 14,
+	}
+}
+
+// Lookup consults the cache at virtual time now. On a hit it returns the
+// cached answer.
+func (c *Cache) Lookup(now sim.Time, domain string) (Answer, bool) {
+	c.lookups++
+	c.maybeSweep(now)
+	e, ok := c.entries[domain]
+	if !ok {
+		return Answer{}, false
+	}
+	if now >= e.expires {
+		delete(c.entries, domain)
+		return Answer{}, false
+	}
+	c.hits++
+	return Answer{NX: e.nx, CacheHit: true}, true
+}
+
+// Store records an answer at virtual time now, using the TTL matching its
+// class. Answers whose class has caching disabled are not stored.
+func (c *Cache) Store(now sim.Time, domain string, nx bool) {
+	ttl := c.positiveTTL
+	if nx {
+		ttl = c.negativeTTL
+	}
+	if ttl <= 0 {
+		return
+	}
+	c.entries[domain] = cacheEntry{expires: now + ttl, nx: nx}
+}
+
+// Len returns the number of cached entries including not-yet-swept expired
+// ones.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// HitRate returns the fraction of lookups served from cache.
+func (c *Cache) HitRate() float64 {
+	if c.lookups == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.lookups)
+}
+
+// maybeSweep drops expired entries periodically so long simulations do not
+// accumulate unbounded state.
+func (c *Cache) maybeSweep(now sim.Time) {
+	c.opsSince++
+	if c.opsSince < c.sweepEvery {
+		return
+	}
+	c.opsSince = 0
+	if now == c.lastSweep {
+		return
+	}
+	c.lastSweep = now
+	for d, e := range c.entries {
+		if now >= e.expires {
+			delete(c.entries, d)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package dnssim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"botmeter/internal/sim"
+)
+
+// referenceCache is a trivially-correct model: it stores every answer with
+// its expiry and never sweeps.
+type referenceCache struct {
+	posTTL, negTTL sim.Time
+	entries        map[string]cacheEntry
+}
+
+func newReferenceCache(pos, neg sim.Time) *referenceCache {
+	return &referenceCache{posTTL: pos, negTTL: neg, entries: make(map[string]cacheEntry)}
+}
+
+func (r *referenceCache) lookup(now sim.Time, d string) (Answer, bool) {
+	e, ok := r.entries[d]
+	if !ok || now >= e.expires {
+		return Answer{}, false
+	}
+	return Answer{NX: e.nx, CacheHit: true}, true
+}
+
+func (r *referenceCache) store(now sim.Time, d string, nx bool) {
+	ttl := r.posTTL
+	if nx {
+		ttl = r.negTTL
+	}
+	if ttl <= 0 {
+		return
+	}
+	r.entries[d] = cacheEntry{expires: now + ttl, nx: nx}
+}
+
+// TestCacheMatchesReferenceModel drives random operation sequences (with
+// monotonically advancing time, as the simulator guarantees) through both
+// implementations and requires identical answers.
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	f := func(ops []uint16, seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		c := NewCache(sim.Day, 2*sim.Hour)
+		c.sweepEvery = 8 // exercise sweeping aggressively
+		ref := newReferenceCache(sim.Day, 2*sim.Hour)
+		now := sim.Time(0)
+		for _, op := range ops {
+			now += sim.Time(op % 4096 * uint16(sim.Minute/64))
+			domain := string(rune('a'+int(op)%7)) + ".com"
+			switch {
+			case op%3 == 0:
+				nx := op%2 == 0
+				c.Store(now, domain, nx)
+				ref.store(now, domain, nx)
+			default:
+				got, gotOK := c.Lookup(now, domain)
+				want, wantOK := ref.lookup(now, domain)
+				if gotOK != wantOK || got != want {
+					return false
+				}
+			}
+			_ = rng
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNetworkObservedNeverExceedsIssuedProperty: the cache can only remove
+// visibility, never add it, regardless of query pattern.
+func TestNetworkObservedNeverExceedsIssuedProperty(t *testing.T) {
+	f := func(pattern []uint8, seed uint64) bool {
+		net := NewNetwork(NetworkConfig{
+			LocalServers: 2,
+			PositiveTTL:  sim.Day,
+			NegativeTTL:  sim.Hour,
+			RecordRaw:    true,
+		})
+		net.Registry.Register("v0.com", "v1.com")
+		now := sim.Time(0)
+		for _, p := range pattern {
+			now += sim.Time(p) * sim.Minute
+			client := string(rune('a' + p%5))
+			domain := string(rune('a'+p%9)) + ".com"
+			if p%9 < 2 {
+				domain = "v" + string(rune('0'+p%2)) + ".com"
+			}
+			if _, err := net.ClientQuery(now, client, domain); err != nil {
+				return false
+			}
+		}
+		return len(net.Border.Observed()) <= len(net.Raw())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,303 @@
+package dnssim
+
+import (
+	"testing"
+
+	"botmeter/internal/sim"
+)
+
+func TestCacheMissHitExpiry(t *testing.T) {
+	c := NewCache(sim.Day, 2*sim.Hour)
+	if _, ok := c.Lookup(0, "a.com"); ok {
+		t.Fatal("empty cache should miss")
+	}
+	c.Store(0, "a.com", true) // negative answer
+	ans, ok := c.Lookup(sim.Hour, "a.com")
+	if !ok || !ans.NX || !ans.CacheHit {
+		t.Fatalf("expected negative hit, got %+v ok=%v", ans, ok)
+	}
+	if _, ok := c.Lookup(2*sim.Hour, "a.com"); ok {
+		t.Fatal("negative entry should expire at TTL boundary")
+	}
+	c.Store(0, "b.com", false) // positive answer
+	if _, ok := c.Lookup(23*sim.Hour, "b.com"); !ok {
+		t.Fatal("positive entry should live for a day")
+	}
+	if _, ok := c.Lookup(sim.Day, "b.com"); ok {
+		t.Fatal("positive entry should expire after a day")
+	}
+}
+
+func TestCacheDisabledTTL(t *testing.T) {
+	c := NewCache(0, sim.Hour)
+	c.Store(0, "a.com", false)
+	if _, ok := c.Lookup(1, "a.com"); ok {
+		t.Error("positive caching disabled: should miss")
+	}
+	c.Store(0, "nx.com", true)
+	if _, ok := c.Lookup(1, "nx.com"); !ok {
+		t.Error("negative caching still enabled: should hit")
+	}
+}
+
+func TestCacheHitRate(t *testing.T) {
+	c := NewCache(sim.Day, sim.Day)
+	c.Store(0, "a.com", false)
+	c.Lookup(1, "a.com")
+	c.Lookup(1, "b.com")
+	if got := c.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", got)
+	}
+}
+
+func TestCacheSweep(t *testing.T) {
+	c := NewCache(sim.Second, sim.Second)
+	c.sweepEvery = 4
+	for i := 0; i < 3; i++ {
+		c.Store(0, string(rune('a'+i))+".com", true)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	// Advance past expiry and trigger the sweep with lookups.
+	for i := 0; i < 10; i++ {
+		c.Lookup(10*sim.Second, "zz.com")
+	}
+	if c.Len() != 0 {
+		t.Errorf("sweep left %d entries", c.Len())
+	}
+}
+
+func newTestNetwork(locals int) *Network {
+	return NewNetwork(NetworkConfig{
+		LocalServers: locals,
+		PositiveTTL:  sim.Day,
+		NegativeTTL:  2 * sim.Hour,
+		RecordRaw:    true,
+	})
+}
+
+func TestCachingMasksRepeatLookups(t *testing.T) {
+	n := newTestNetwork(1)
+	n.Registry.Register("valid.com")
+	if err := n.AssignClient("c1", "local-00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AssignClient("c2", "local-00"); err != nil {
+		t.Fatal(err)
+	}
+	// First lookup forwarded, second (other client, same domain) absorbed.
+	if _, err := n.ClientQuery(0, "c1", "nx.com"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.ClientQuery(sim.Minute, "c2", "nx.com"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.Border.Observed()); got != 1 {
+		t.Fatalf("border saw %d lookups, want 1 (second cached)", got)
+	}
+	// After negative TTL the domain is queried upstream again.
+	if _, err := n.ClientQuery(3*sim.Hour, "c1", "nx.com"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.Border.Observed()); got != 2 {
+		t.Fatalf("border saw %d lookups, want 2 after TTL expiry", got)
+	}
+}
+
+func TestAnswerCorrectness(t *testing.T) {
+	n := newTestNetwork(1)
+	n.Registry.Register("valid.com")
+	ans, err := n.ClientQuery(0, "c1", "valid.com")
+	if err != nil || ans.NX {
+		t.Fatalf("valid domain should resolve: %+v, %v", ans, err)
+	}
+	ans, err = n.ClientQuery(0, "c1", "invalid.com")
+	if err != nil || !ans.NX {
+		t.Fatalf("unregistered domain should be NX: %+v, %v", ans, err)
+	}
+	// Cached answers preserve the NX flag.
+	ans, _ = n.ClientQuery(1, "c1", "invalid.com")
+	if !ans.NX {
+		t.Error("cached NX answer lost its flag")
+	}
+}
+
+func TestDistinctNXDsAlwaysReachBorder(t *testing.T) {
+	// The Bernoulli estimator's cache-immunity rests on this invariant:
+	// the FIRST lookup of each distinct domain in a window is always
+	// forwarded, regardless of caching.
+	n := newTestNetwork(1)
+	for i := 0; i < 50; i++ {
+		d := string(rune('a'+i%26)) + string(rune('a'+i/26)) + ".com"
+		if _, err := n.ClientQuery(sim.Time(i)*sim.Second, "c1", d); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.ClientQuery(sim.Time(i)*sim.Second+1, "c2", d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	domains := n.Border.Observed().Domains()
+	if len(domains) != 50 {
+		t.Errorf("border saw %d distinct domains, want 50", len(domains))
+	}
+}
+
+func TestObservedIsCacheFilteredSubsetOfRaw(t *testing.T) {
+	n := newTestNetwork(2)
+	n.Registry.Register("good.com")
+	domains := []string{"good.com", "bad1.com", "bad2.com", "bad1.com", "good.com"}
+	clients := []string{"c1", "c2", "c3", "c1", "c2"}
+	for i := range domains {
+		if _, err := n.ClientQuery(sim.Time(i)*sim.Second, clients[i], domains[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw := n.Raw()
+	obs := n.Border.Observed()
+	if len(obs) > len(raw) {
+		t.Fatalf("observed (%d) cannot exceed raw (%d)", len(obs), len(raw))
+	}
+	// Every observed record corresponds to a raw record at the same time
+	// for the same domain.
+	type key struct {
+		t sim.Time
+		d string
+	}
+	rawSet := make(map[key]bool)
+	for _, r := range raw {
+		rawSet[key{r.T, r.Domain}] = true
+	}
+	for _, o := range obs {
+		if !rawSet[key{o.T, o.Domain}] {
+			t.Errorf("observed record %+v has no raw counterpart", o)
+		}
+	}
+}
+
+func TestClientHomingDeterministic(t *testing.T) {
+	n1 := newTestNetwork(4)
+	n2 := newTestNetwork(4)
+	for _, c := range []string{"10.0.0.1", "10.0.0.2", "10.9.9.9"} {
+		if _, err := n1.ClientQuery(0, c, "x.com"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n2.ClientQuery(0, c, "x.com"); err != nil {
+			t.Fatal(err)
+		}
+		h1, _ := n1.HomeOf(c)
+		h2, _ := n2.HomeOf(c)
+		if h1 != h2 {
+			t.Errorf("client %s homed differently: %s vs %s", c, h1, h2)
+		}
+	}
+}
+
+func TestAssignClientValidation(t *testing.T) {
+	n := newTestNetwork(1)
+	if err := n.AssignClient("c", "local-99"); err == nil {
+		t.Error("assigning to unknown server should error")
+	}
+	if err := n.AssignClient("c", "local-00"); err != nil {
+		t.Error(err)
+	}
+	if home, ok := n.HomeOf("c"); !ok || home != "local-00" {
+		t.Errorf("HomeOf = %q, %v", home, ok)
+	}
+}
+
+func TestSeparateLocalServerCaches(t *testing.T) {
+	n := newTestNetwork(2)
+	if err := n.AssignClient("c1", "local-00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AssignClient("c2", "local-01"); err != nil {
+		t.Fatal(err)
+	}
+	n.ClientQuery(0, "c1", "nx.com")
+	n.ClientQuery(1, "c2", "nx.com")
+	// Different local caches: both lookups reach the border.
+	if got := len(n.Border.Observed()); got != 2 {
+		t.Errorf("border saw %d lookups, want 2 (separate caches)", got)
+	}
+	byServer := n.Border.Observed().ByServer()
+	if len(byServer["local-00"]) != 1 || len(byServer["local-01"]) != 1 {
+		t.Errorf("per-server attribution wrong: %v", byServer)
+	}
+}
+
+func TestMidTierHierarchy(t *testing.T) {
+	n := NewNetwork(NetworkConfig{
+		LocalServers: 4,
+		MidTierFanIn: 2,
+		PositiveTTL:  sim.Day,
+		NegativeTTL:  2 * sim.Hour,
+	})
+	if err := n.AssignClient("c1", "local-00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AssignClient("c2", "local-01"); err != nil {
+		t.Fatal(err)
+	}
+	// local-00 and local-01 share mid-00; the second lookup of the same
+	// domain through a different local server is absorbed by the mid-tier.
+	n.ClientQuery(0, "c1", "nx.com")
+	n.ClientQuery(1, "c2", "nx.com")
+	obs := n.Border.Observed()
+	if len(obs) != 1 {
+		t.Fatalf("border saw %d lookups, want 1 (mid-tier absorbs)", len(obs))
+	}
+	// The border records the mid-tier as the forwarder.
+	if obs[0].Server != "mid-00" {
+		t.Errorf("forwarder = %q, want mid-00", obs[0].Server)
+	}
+}
+
+func TestBorderGranularity(t *testing.T) {
+	n := NewNetwork(NetworkConfig{
+		LocalServers: 1,
+		PositiveTTL:  sim.Day,
+		NegativeTTL:  sim.Hour,
+		Granularity:  sim.Second,
+	})
+	n.ClientQuery(1234, "c1", "nx.com")
+	obs := n.Border.Observed()
+	if len(obs) != 1 || obs[0].T != 1000 {
+		t.Errorf("granularity truncation failed: %+v", obs)
+	}
+}
+
+func TestRegistryUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.Register("a.com", "b.com")
+	if r.Size() != 2 || !r.Resolves("a.com") {
+		t.Fatal("register failed")
+	}
+	r.Unregister("a.com")
+	if r.Resolves("a.com") || !r.Resolves("b.com") {
+		t.Error("unregister failed")
+	}
+}
+
+func TestResetTraces(t *testing.T) {
+	n := newTestNetwork(1)
+	n.ClientQuery(0, "c1", "nx.com")
+	n.ResetTraces()
+	if len(n.Raw()) != 0 || len(n.Border.Observed()) != 0 {
+		t.Error("ResetTraces should clear both datasets")
+	}
+}
+
+func TestServerStats(t *testing.T) {
+	n := newTestNetwork(1)
+	n.ClientQuery(0, "c1", "nx.com")
+	n.ClientQuery(1, "c1", "nx.com")
+	srv, _ := n.Local("local-00")
+	q, f := srv.Stats()
+	if q != 2 || f != 1 {
+		t.Errorf("stats = %d queries, %d forwarded; want 2, 1", q, f)
+	}
+	if srv.CacheHitRate() != 0.5 {
+		t.Errorf("hit rate = %v", srv.CacheHitRate())
+	}
+}

@@ -1,0 +1,278 @@
+package dnssim
+
+import (
+	"fmt"
+	"sort"
+
+	"botmeter/internal/sim"
+	"botmeter/internal/trace"
+)
+
+// Registry is the authoritative name space: the set of domains that
+// currently resolve (registered C2 domains plus the benign zone). Everything
+// else returns NXDomain.
+type Registry struct {
+	valid map[string]struct{}
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{valid: make(map[string]struct{})}
+}
+
+// Register marks domains as resolving.
+func (r *Registry) Register(domains ...string) {
+	for _, d := range domains {
+		r.valid[d] = struct{}{}
+	}
+}
+
+// Unregister removes domains (a takedown or expiry).
+func (r *Registry) Unregister(domains ...string) {
+	for _, d := range domains {
+		delete(r.valid, d)
+	}
+}
+
+// Resolves reports whether domain currently resolves.
+func (r *Registry) Resolves(domain string) bool {
+	_, ok := r.valid[domain]
+	return ok
+}
+
+// Size returns the number of registered domains.
+func (r *Registry) Size() int { return len(r.valid) }
+
+// Upstream resolves queries forwarded by a downstream server. The forwarder
+// argument names the immediate child doing the forwarding, which is what a
+// vantage point records.
+type Upstream interface {
+	Resolve(now sim.Time, forwarder, domain string) Answer
+}
+
+// Border is the border DNS server and vantage point: it answers from the
+// registry and records every forwarded lookup it receives as the observable
+// dataset. Timestamps are coarsened to Granularity (0 = full fidelity).
+type Border struct {
+	ID          string
+	Granularity sim.Time
+
+	registry *Registry
+	observed trace.Observed
+}
+
+// NewBorder builds a border server over the given registry.
+func NewBorder(id string, registry *Registry) *Border {
+	return &Border{ID: id, registry: registry}
+}
+
+// Resolve implements Upstream: record, then answer authoritatively.
+func (b *Border) Resolve(now sim.Time, forwarder, domain string) Answer {
+	b.observed = append(b.observed, trace.ObservedRecord{
+		T:      now.Truncate(b.Granularity),
+		Server: forwarder,
+		Domain: domain,
+	})
+	return Answer{NX: !b.registry.Resolves(domain)}
+}
+
+// Observed returns the vantage-point dataset collected so far.
+func (b *Border) Observed() trace.Observed { return b.observed }
+
+// ResetObserved clears the collected dataset (between experiment trials).
+func (b *Border) ResetObserved() { b.observed = nil }
+
+// Server is a caching-and-forwarding DNS server. It serves answers from its
+// cache and forwards misses to its upstream — a Border or another Server
+// (mid-tier), enabling arbitrary-depth hierarchies.
+type Server struct {
+	ID string
+
+	cache    *Cache
+	upstream Upstream
+
+	queries   int
+	forwarded int
+}
+
+// NewServer builds a caching server with the given TTLs and upstream.
+func NewServer(id string, positiveTTL, negativeTTL sim.Time, upstream Upstream) *Server {
+	return &Server{ID: id, cache: NewCache(positiveTTL, negativeTTL), upstream: upstream}
+}
+
+// Query handles a client lookup at virtual time now and returns the answer
+// the client sees.
+func (s *Server) Query(now sim.Time, domain string) Answer {
+	s.queries++
+	if ans, ok := s.cache.Lookup(now, domain); ok {
+		return ans
+	}
+	s.forwarded++
+	ans := s.upstream.Resolve(now, s.ID, domain)
+	s.cache.Store(now, domain, ans.NX)
+	return Answer{NX: ans.NX}
+}
+
+// Resolve implements Upstream so a Server can act as a mid-tier: a miss is
+// forwarded upward under this server's own identity.
+func (s *Server) Resolve(now sim.Time, _ string, domain string) Answer {
+	ans := s.Query(now, domain)
+	ans.CacheHit = false
+	return ans
+}
+
+// Stats reports query and forward counters.
+func (s *Server) Stats() (queries, forwarded int) { return s.queries, s.forwarded }
+
+// CacheHitRate exposes the underlying cache hit rate.
+func (s *Server) CacheHitRate() float64 { return s.cache.HitRate() }
+
+// Network wires a complete two- or three-level hierarchy: a border server
+// plus a set of local servers (optionally behind mid-tier servers) and a
+// client→local-server assignment.
+type Network struct {
+	Border   *Border
+	Registry *Registry
+
+	locals      map[string]*Server
+	localOrder  []string
+	clientHome  map[string]string
+	rawRecorder trace.Raw
+	recordRaw   bool
+}
+
+// NetworkConfig sizes a simulated network.
+type NetworkConfig struct {
+	// LocalServers is the number of local DNS servers.
+	LocalServers int
+	// MidTierFanIn, when > 0, inserts one mid-tier caching server per
+	// MidTierFanIn local servers (three-level hierarchy).
+	MidTierFanIn int
+	// PositiveTTL and NegativeTTL configure every cache in the hierarchy.
+	PositiveTTL, NegativeTTL sim.Time
+	// Granularity coarsens vantage-point timestamps (0 = none).
+	Granularity sim.Time
+	// RecordRaw captures the client-level raw dataset (ground truth).
+	RecordRaw bool
+}
+
+// NewNetwork builds the hierarchy. Local servers are named "local-00",
+// "local-01", …; mid-tiers "mid-00", ….
+func NewNetwork(cfg NetworkConfig) *Network {
+	if cfg.LocalServers <= 0 {
+		cfg.LocalServers = 1
+	}
+	registry := NewRegistry()
+	border := NewBorder("border", registry)
+	border.Granularity = cfg.Granularity
+	n := &Network{
+		Border:     border,
+		Registry:   registry,
+		locals:     make(map[string]*Server, cfg.LocalServers),
+		clientHome: make(map[string]string),
+		recordRaw:  cfg.RecordRaw,
+	}
+	var mids []*Server
+	if cfg.MidTierFanIn > 0 {
+		numMid := (cfg.LocalServers + cfg.MidTierFanIn - 1) / cfg.MidTierFanIn
+		for i := 0; i < numMid; i++ {
+			mids = append(mids, NewServer(fmt.Sprintf("mid-%02d", i), cfg.PositiveTTL, cfg.NegativeTTL, border))
+		}
+	}
+	for i := 0; i < cfg.LocalServers; i++ {
+		id := fmt.Sprintf("local-%02d", i)
+		var up Upstream = border
+		if len(mids) > 0 {
+			up = mids[i/cfg.MidTierFanIn]
+		}
+		n.locals[id] = NewServer(id, cfg.PositiveTTL, cfg.NegativeTTL, up)
+		n.localOrder = append(n.localOrder, id)
+	}
+	return n
+}
+
+// LocalIDs returns the local server names in creation order.
+func (n *Network) LocalIDs() []string {
+	out := make([]string, len(n.localOrder))
+	copy(out, n.localOrder)
+	return out
+}
+
+// Local returns the named local server.
+func (n *Network) Local(id string) (*Server, bool) {
+	s, ok := n.locals[id]
+	return s, ok
+}
+
+// AssignClient homes a client on a local server; subsequent ClientQuery
+// calls for that client go through it.
+func (n *Network) AssignClient(client, localID string) error {
+	if _, ok := n.locals[localID]; !ok {
+		return fmt.Errorf("dnssim: unknown local server %q", localID)
+	}
+	n.clientHome[client] = localID
+	return nil
+}
+
+// HomeOf returns the local server a client is assigned to.
+func (n *Network) HomeOf(client string) (string, bool) {
+	id, ok := n.clientHome[client]
+	return id, ok
+}
+
+// ClientQuery issues a lookup from a client through its home local server.
+// Unassigned clients are homed deterministically by hash.
+func (n *Network) ClientQuery(now sim.Time, client, domain string) (Answer, error) {
+	home, ok := n.clientHome[client]
+	if !ok {
+		home = n.localOrder[fnv32(client)%uint32(len(n.localOrder))]
+		n.clientHome[client] = home
+	}
+	srv := n.locals[home]
+	ans := srv.Query(now, domain)
+	if n.recordRaw {
+		n.rawRecorder = append(n.rawRecorder, trace.RawRecord{
+			T: now, Client: client, Server: home, Domain: domain, NX: ans.NX,
+		})
+	}
+	return ans, nil
+}
+
+// Raw returns the recorded client-level dataset (empty unless RecordRaw).
+func (n *Network) Raw() trace.Raw { return n.rawRecorder }
+
+// ResetTraces clears both raw and observed datasets.
+func (n *Network) ResetTraces() {
+	n.rawRecorder = nil
+	n.Border.ResetObserved()
+}
+
+// SortedClientHomes returns clients sorted by name with their home servers,
+// for deterministic reporting.
+func (n *Network) SortedClientHomes() []ClientHome {
+	out := make([]ClientHome, 0, len(n.clientHome))
+	for c, h := range n.clientHome {
+		out = append(out, ClientHome{Client: c, Server: h})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Client < out[j].Client })
+	return out
+}
+
+// ClientHome pairs a client with its home local server.
+type ClientHome struct {
+	Client, Server string
+}
+
+// fnv32 is a small deterministic hash for default client homing.
+func fnv32(s string) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}

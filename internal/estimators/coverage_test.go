@@ -1,0 +1,168 @@
+package estimators
+
+import (
+	"math"
+	"testing"
+
+	"botmeter/internal/dga"
+	"botmeter/internal/sim"
+	"botmeter/internal/stats"
+	"botmeter/internal/trace"
+)
+
+func asSpec(nx, c2, thetaQ int) dga.Spec {
+	return dga.Spec{
+		Name:          "test-AS",
+		Pool:          dga.DrainReplenish{NX: nx, C2: c2, Gen: dga.DefaultGenerator},
+		Barrel:        dga.Sampling{},
+		ThetaQ:        thetaQ,
+		QueryInterval: sim.Second,
+	}
+}
+
+// simulateAS draws the sampling generative model: n bots each sample a θq
+// barrel and query until the first registered domain.
+func simulateAS(pool *dga.Pool, n, thetaQ int, rng *sim.RNG) []string {
+	seen := make(map[string]struct{})
+	for b := 0; b < n; b++ {
+		barrel := (dga.Sampling{}).Barrel(pool, thetaQ, rng)
+		for _, pos := range dga.ExecuteBarrel(pool, barrel) {
+			if !pool.ValidAt(pos) {
+				seen[pool.Domains[pos]] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	return out
+}
+
+func TestSamplingCoverProbability(t *testing.T) {
+	// With no registered domains the bot always queries θq distinct NXDs:
+	// p = θq/θ∅.
+	if got, want := samplingCoverProbability(100, 0, 20), 0.2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("no-C2 probability = %v, want %v", got, want)
+	}
+	// Full-permutation barrel: E[#NXDs before first valid] = θ∅/(θ∃+1).
+	if got, want := samplingCoverProbability(99, 1, 99), 0.5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("permutation probability = %v, want %v", got, want)
+	}
+	if samplingCoverProbability(0, 5, 10) != 0 {
+		t.Error("zero NXDs should give 0")
+	}
+	// θq larger than pool clamps.
+	if got := samplingCoverProbability(10, 0, 100); math.Abs(got-1) > 1e-12 {
+		t.Errorf("clamped probability = %v, want 1", got)
+	}
+}
+
+func TestCoverageRecoversSamplingPopulation(t *testing.T) {
+	spec := asSpec(1995, 5, 100)
+	cfg := defaultCfg(spec)
+	pool := spec.Pool.PoolFor(cfg.Seed, 0)
+	ce := NewCoverage()
+	const trueN = 32
+	var errs []float64
+	for trial := 0; trial < 15; trial++ {
+		rng := sim.NewRNG(uint64(3000 + trial))
+		domains := simulateAS(pool, trueN, spec.ThetaQ, rng)
+		obs := make(trace.Observed, 0, len(domains))
+		for i, d := range domains {
+			obs = append(obs, trace.ObservedRecord{T: sim.Time(i), Domain: d})
+		}
+		got, err := ce.EstimateEpoch(obs, 0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs = append(errs, stats.ARE(got, trueN))
+	}
+	if med := stats.Median(errs); med > 0.35 {
+		t.Errorf("MB-C median ARE on AS = %v, want ≤ 0.35", med)
+	}
+}
+
+func TestCoverageRecoversPermutationPopulation(t *testing.T) {
+	// Beyond the paper's pairing (AP → MT): the coverage model treats a
+	// permutation barrel as sampling with θq = pool size.
+	spec := dga.Spec{
+		Name:          "test-AP",
+		Pool:          dga.DrainReplenish{NX: 1022, C2: 2, Gen: dga.DefaultGenerator},
+		Barrel:        dga.Permutation{},
+		ThetaQ:        1024,
+		QueryInterval: sim.Second,
+	}
+	cfg := defaultCfg(spec)
+	pool := spec.Pool.PoolFor(cfg.Seed, 0)
+	ce := NewCoverage()
+	const trueN = 12
+	var errs []float64
+	for trial := 0; trial < 15; trial++ {
+		rng := sim.NewRNG(uint64(5000 + trial))
+		seen := make(map[string]struct{})
+		for b := 0; b < trueN; b++ {
+			barrel := (dga.Permutation{}).Barrel(pool, spec.ThetaQ, rng)
+			for _, pos := range dga.ExecuteBarrel(pool, barrel) {
+				if !pool.ValidAt(pos) {
+					seen[pool.Domains[pos]] = struct{}{}
+				}
+			}
+		}
+		obs := make(trace.Observed, 0, len(seen))
+		i := 0
+		for d := range seen {
+			obs = append(obs, trace.ObservedRecord{T: sim.Time(i), Domain: d})
+			i++
+		}
+		got, err := ce.EstimateEpoch(obs, 0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs = append(errs, stats.ARE(got, trueN))
+	}
+	if med := stats.Median(errs); med > 0.5 {
+		t.Errorf("MB-C median ARE on AP = %v, want ≤ 0.5", med)
+	}
+}
+
+func TestCoverageUnsupportedBarrel(t *testing.T) {
+	// Uniform barrels have no meaningful coverage inversion; the estimator
+	// returns 0 rather than a misleading figure.
+	cfg := defaultCfg(auSpec())
+	got, err := NewCoverage().EstimateEpoch(trace.Observed{{T: 0, Domain: "x.com"}}, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("uniform barrel coverage estimate = %v, want 0", got)
+	}
+}
+
+func TestCoverageTTLPartitionSums(t *testing.T) {
+	// Observations in two different TTL windows are estimated separately
+	// and summed: the same distinct set twice across buckets roughly
+	// doubles the estimate.
+	spec := arSpec(995, 5, 50)
+	cfg := defaultCfg(spec)
+	pool := spec.Pool.PoolFor(cfg.Seed, 0)
+	domains := simulateAR(pool, 10, spec.ThetaQ, sim.NewRNG(8))
+	var oneBucket, twoBuckets trace.Observed
+	for i, d := range domains {
+		oneBucket = append(oneBucket, trace.ObservedRecord{T: sim.Time(i), Domain: d})
+		twoBuckets = append(twoBuckets, trace.ObservedRecord{T: sim.Time(i), Domain: d})
+		twoBuckets = append(twoBuckets, trace.ObservedRecord{T: 3*sim.Hour + sim.Time(i), Domain: d})
+	}
+	ce := NewCoverage()
+	a, err := ce.EstimateEpoch(oneBucket, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ce.EstimateEpoch(twoBuckets, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < 1.8*a || b > 2.2*a {
+		t.Errorf("two-bucket estimate %v, want ≈ 2× single-bucket %v", b, a)
+	}
+}

@@ -1,0 +1,148 @@
+// Package estimators implements BotMeter's analytical model library (paper
+// §IV): the Timing estimator MT (Algorithm 1), the Poisson estimator MP
+// (Equation 1) for uniform-barrel DGAs, and the Bernoulli estimator MB
+// (Theorem 1) for randomcut-barrel DGAs, plus a coverage-inversion
+// estimator used as MB's numerical fallback and a naive cluster-count
+// baseline.
+//
+// Every estimator consumes the cache-filtered, already-matched DNS lookups
+// of ONE local server and estimates the number of bots of the target DGA
+// active behind that server.
+package estimators
+
+import (
+	"fmt"
+
+	"botmeter/internal/d3"
+	"botmeter/internal/dga"
+	"botmeter/internal/sim"
+	"botmeter/internal/trace"
+)
+
+// Config carries everything an estimator may need beyond the observations
+// themselves: the target DGA's spec (θ parameters, pacing), the seed that
+// reconstructs its pools, and the DNS infrastructure parameters the
+// analyst configures through BotMeter's interface (paper Figure 2, step 6).
+type Config struct {
+	// Spec is the target DGA family.
+	Spec dga.Spec
+	// Seed reconstructs the family's pools (position information for MB).
+	Seed uint64
+	// EpochLen is δe (default one day).
+	EpochLen sim.Time
+	// NegativeTTL is δl, the local servers' negative-cache TTL.
+	NegativeTTL sim.Time
+	// Granularity is the vantage point's timestamp granularity (0 = full
+	// fidelity); MT consults it to decide whether heuristic #3 is usable.
+	Granularity sim.Time
+	// Detection describes the D³ front end's coverage when known; the
+	// Bernoulli estimator uses it to reason on the detected sub-circle
+	// (undetectable positions must not split segments) and to scale θq by
+	// the realised coverage. Nil means the full pool is detectable.
+	Detection *d3.Window
+}
+
+// withDefaults normalises zero fields.
+func (c Config) withDefaults() Config {
+	if c.EpochLen <= 0 {
+		c.EpochLen = sim.Day
+	}
+	if c.NegativeTTL <= 0 {
+		c.NegativeTTL = 2 * sim.Hour
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Spec.Validate(); err != nil {
+		return fmt.Errorf("estimators: %w", err)
+	}
+	if c.EpochLen < 0 || c.NegativeTTL < 0 || c.Granularity < 0 {
+		return fmt.Errorf("estimators: negative duration in config")
+	}
+	return nil
+}
+
+// Estimator estimates a bot population from one epoch of observations.
+type Estimator interface {
+	// Name returns the estimator's short name (MT, MP, MB, …).
+	Name() string
+	// EstimateEpoch estimates the active bot population behind one local
+	// server during epoch (index into the epoch grid), given the matched,
+	// cache-filtered lookups observed in that epoch.
+	EstimateEpoch(obs trace.Observed, epoch int, cfg Config) (float64, error)
+}
+
+// EstimateWindow applies an estimator across a multi-epoch window and
+// averages the per-epoch estimates — the procedure behind the paper's
+// Figure 6(b) ("average the estimates over the number of epochs").
+func EstimateWindow(e Estimator, obs trace.Observed, w sim.Window, cfg Config) (float64, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if w.Len() <= 0 {
+		return 0, fmt.Errorf("estimators: empty window")
+	}
+	firstEpoch := int(w.Start / cfg.EpochLen)
+	lastEpoch := int((w.End - 1) / cfg.EpochLen)
+	var total float64
+	epochs := 0
+	for ep := firstEpoch; ep <= lastEpoch; ep++ {
+		ew := sim.Window{Start: sim.Time(ep) * cfg.EpochLen, End: sim.Time(ep+1) * cfg.EpochLen}
+		if ew.Start < w.Start {
+			ew.Start = w.Start
+		}
+		if ew.End > w.End {
+			ew.End = w.End
+		}
+		est, err := e.EstimateEpoch(obs.Window(ew), ep, cfg)
+		if err != nil {
+			return 0, fmt.Errorf("estimators: epoch %d: %w", ep, err)
+		}
+		total += est
+		epochs++
+	}
+	if epochs == 0 {
+		return 0, nil
+	}
+	return total / float64(epochs), nil
+}
+
+// ForModel returns the estimator matching a DGA's taxonomy cell. The paper
+// pairs MP with AU and MB with AR (both drain-and-replenish); the pairing
+// extends to every pool model because the premises attach to the barrel
+// alone — MP needs identical per-bot query sequences (any uniform barrel,
+// e.g. PushDo's sliding window or Pykspa's mixture) and MB needs the
+// circular-cut geometry, which PoolFor reconstructs per epoch for any pool
+// class. Everything else falls back to MT.
+func ForModel(spec dga.Spec) Estimator {
+	switch spec.Barrel.Class() {
+	case dga.UniformBarrel:
+		return NewPoisson()
+	case dga.RandomCutBarrel:
+		return NewBernoulli()
+	default:
+		return NewTiming()
+	}
+}
+
+// Naive counts visible activation clusters without correcting for caching —
+// the uncorrected baseline MP improves upon. Its name in reports is NC.
+type Naive struct {
+	clusterer clusterer
+}
+
+// NewNaive builds the baseline estimator.
+func NewNaive() *Naive { return &Naive{} }
+
+// Name implements Estimator.
+func (*Naive) Name() string { return "NC" }
+
+// EstimateEpoch implements Estimator.
+func (n *Naive) EstimateEpoch(obs trace.Observed, _ int, cfg Config) (float64, error) {
+	cfg = cfg.withDefaults()
+	clusters := n.clusterer.clusters(obs, cfg)
+	return float64(len(clusters)), nil
+}

@@ -1,0 +1,149 @@
+package estimators
+
+import (
+	"sort"
+
+	"botmeter/internal/sim"
+	"botmeter/internal/trace"
+)
+
+// Poisson is MP, the paper's §IV-C estimator for uniform-barrel DGAs (AU).
+//
+// Because every AU bot issues the identical query barrel, a bot activating
+// within the negative-cache TTL δl of a predecessor is completely absorbed
+// by the cache: only the first activation per TTL window is visible at the
+// vantage point. MP models activations as a Poisson process, measures the
+// inter-TTL gaps Δᵢ between the end of one TTL window and the next visible
+// activation, estimates the rate E(λ) = n / ΣΔᵢ, and corrects for the
+// hidden activations:
+//
+//	E(N) = E(λ)·Σ(Δᵢ + δl) = n + n²·δl / ΣΔᵢ     (Equation 1)
+//
+// where n is the number of visible activations and Δ₁ is measured from the
+// start of the observation window.
+type Poisson struct {
+	clusterer clusterer
+}
+
+// NewPoisson builds MP.
+func NewPoisson() *Poisson { return &Poisson{} }
+
+// Name implements Estimator.
+func (*Poisson) Name() string { return "MP" }
+
+// EstimateEpoch implements Estimator.
+func (mp *Poisson) EstimateEpoch(obs trace.Observed, epoch int, cfg Config) (float64, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if len(obs) == 0 {
+		return 0, nil
+	}
+	windowStart := sim.Time(epoch) * cfg.EpochLen
+	clusters := mp.clusterer.clusters(obs, cfg)
+	if len(clusters) == 0 {
+		return 0, nil
+	}
+	deltaL := cfg.NegativeTTL
+	// Equation 1's own premise: a second activation becoming visible
+	// requires the previous one's negative-cache entries to have expired,
+	// so two genuine visible activations cannot start within δl of each
+	// other. Bursts violating that are partial re-queries of the same wave
+	// (staggered per-domain expiry, detector holes) — fold them into the
+	// wave rather than letting them shrink ΣΔ towards zero and blow up the
+	// n²·δl/ΣΔ correction.
+	merged := clusters[:1]
+	for _, c := range clusters[1:] {
+		last := &merged[len(merged)-1]
+		if c.start < last.start+deltaL {
+			last.end = c.end
+			last.count += c.count
+			continue
+		}
+		merged = append(merged, c)
+	}
+	clusters = merged
+	n := len(clusters)
+
+	var sumGaps sim.Time
+	prevTTLEnd := windowStart // Δ₁ counts from the window start
+	for i, c := range clusters {
+		gap := c.start - prevTTLEnd
+		if gap < 0 {
+			gap = 0
+		}
+		sumGaps += gap
+		_ = i
+		prevTTLEnd = c.start + deltaL
+	}
+	if sumGaps <= 0 {
+		// Every visible activation was back-to-back with a TTL window: the
+		// rate is effectively unresolvable upward; report the visible
+		// count plus the maximal correction the window admits.
+		return float64(n) * (float64(cfg.EpochLen) / float64(deltaL)), nil
+	}
+	nf := float64(n)
+	return nf + nf*nf*float64(deltaL)/float64(sumGaps), nil
+}
+
+// cluster is a visible activation: a burst of forwarded lookups.
+type cluster struct {
+	start sim.Time
+	end   sim.Time
+	count int
+}
+
+// clusterer groups a forwarded-lookup stream into visible activations.
+//
+// For uniform-barrel DGAs, distinct visible activations are separated by at
+// least the negative-cache TTL (everything in between is absorbed by the
+// cache), while one activation's lookups all fall within the maximum
+// activation duration θq·δi of its first lookup. Clustering therefore
+// merges every lookup within the activation-duration window of the current
+// cluster's start — robust to internal gaps from D³ misses or partially
+// cached sweeps, which would otherwise shatter one activation into many
+// bogus clusters and blow up Equation 1's n²/ΣΔ correction. The merge
+// window is capped at half the TTL so adjacent TTL waves can never fuse.
+type clusterer struct{}
+
+func (clusterer) clusters(obs trace.Observed, cfg Config) []cluster {
+	if len(obs) == 0 {
+		return nil
+	}
+	s := make(trace.Observed, len(obs))
+	copy(s, obs)
+	sort.SliceStable(s, func(i, j int) bool { return s[i].T < s[j].T })
+
+	step := cfg.Spec.QueryInterval
+	if step == 0 {
+		step = cfg.Spec.MaxJitter
+	}
+	if step <= 0 {
+		step = sim.Second
+	}
+	mergeWindow := cfg.Spec.MaxDuration()
+	if half := cfg.NegativeTTL / 2; cfg.NegativeTTL > 0 && mergeWindow > half {
+		mergeWindow = half
+	}
+	if floor := 2 * step; mergeWindow < floor {
+		mergeWindow = floor
+	}
+	if floor := 2 * cfg.Granularity; mergeWindow < floor {
+		mergeWindow = floor
+	}
+
+	var out []cluster
+	cur := cluster{start: s[0].T, end: s[0].T, count: 1}
+	for _, rec := range s[1:] {
+		if rec.T-cur.start <= mergeWindow {
+			cur.end = rec.T
+			cur.count++
+			continue
+		}
+		out = append(out, cur)
+		cur = cluster{start: rec.T, end: rec.T, count: 1}
+	}
+	out = append(out, cur)
+	return out
+}

@@ -1,0 +1,210 @@
+package estimators
+
+import (
+	"sort"
+
+	"botmeter/internal/dga"
+)
+
+// circleView is the estimator's working geometry for a randomcut pool: the
+// circle of OBSERVABLE NXD positions, in pool order. With a perfect D³
+// front end this is every NXD position; with a detection window it is the
+// detected subset — positions the analyst can possibly see. Contracting the
+// circle this way keeps segments contiguous across detector misses (an
+// unobservable position must not split a bot's run), which is what lets MB
+// degrade gracefully rather than catastrophically as the detection window
+// shrinks (paper Figure 6(e)).
+type circleView struct {
+	orig          []int       // contracted index -> original pool position
+	index         map[int]int // original pool position -> contracted index
+	boundaryAfter []bool      // a registered domain lies between orig[i] and orig[i+1]
+}
+
+// newCircleView builds the view. detected lists the observable pool
+// positions (nil = all); valid positions are always excluded from the
+// circle and induce arc boundaries.
+func newCircleView(pool *dga.Pool, detected []int) *circleView {
+	size := pool.Size()
+	var nxd []int
+	if detected == nil {
+		nxd = make([]int, 0, size)
+		for p := 0; p < size; p++ {
+			if !pool.ValidAt(p) {
+				nxd = append(nxd, p)
+			}
+		}
+	} else {
+		nxd = make([]int, 0, len(detected))
+		for _, p := range detected {
+			if p >= 0 && p < size && !pool.ValidAt(p) {
+				nxd = append(nxd, p)
+			}
+		}
+		sort.Ints(nxd)
+	}
+	v := &circleView{
+		orig:          nxd,
+		index:         make(map[int]int, len(nxd)),
+		boundaryAfter: make([]bool, len(nxd)),
+	}
+	for i, p := range nxd {
+		v.index[p] = i
+	}
+	// boundaryAfter[i]: any valid position in the open original interval
+	// (orig[i], orig[i+1 mod n]) going clockwise.
+	n := len(nxd)
+	if n == 0 {
+		return v
+	}
+	validSorted := append([]int(nil), pool.ValidPositions...)
+	for i := 0; i < n; i++ {
+		from := nxd[i]
+		to := nxd[(i+1)%n]
+		v.boundaryAfter[i] = validInGap(validSorted, from, to, size)
+	}
+	return v
+}
+
+// validInGap reports whether any of the sorted valid positions lies in the
+// clockwise open interval (from, to) on a circle of the given size.
+func validInGap(valid []int, from, to, size int) bool {
+	if len(valid) == 0 {
+		return false
+	}
+	gap := to - from
+	if gap <= 0 {
+		gap += size
+	}
+	for off := 1; off < gap; off++ {
+		p := (from + off) % size
+		i := sort.SearchInts(valid, p)
+		if i < len(valid) && valid[i] == p {
+			return true
+		}
+	}
+	// Wide gaps: the scan above is O(gap); for very large gaps fall back to
+	// the (already-covered) result. Gap widths in practice are bounded by
+	// detector miss runs, which are geometrically short.
+	return false
+}
+
+// size returns the contracted circle length.
+func (v *circleView) size() int { return len(v.orig) }
+
+// segment is a maximal observed run on the contracted circle (paper §IV-D,
+// Figure 5). Boundary marks a b-segment: the run's clockwise end abuts a
+// registered domain.
+type segment struct {
+	start    int // contracted index of the first observed position
+	length   int // run length in contracted positions
+	boundary bool
+}
+
+// end returns the contracted index just past the run (mod circle size).
+func (s segment) end(circle int) int { return (s.start + s.length) % circle }
+
+// extractSegments decomposes a set of observed original pool positions into
+// contiguous runs on the view's contracted circle, splitting at arc
+// boundaries and merging wrap-around.
+//
+// gapTol is the number of consecutive UNOBSERVED contracted positions a
+// run may stride over without breaking: 0 demands strict adjacency (the
+// paper's model, correct when the vantage point is lossless), while small
+// positive values make segments robust to records lost at the collector —
+// a bot's sweep punched by uniform record drops leaves short in-run holes,
+// whereas true segment boundaries come with long unobserved stretches.
+// Strided-over holes count toward the run's length (the bot did cover
+// them; only the records were lost).
+func extractSegments(view *circleView, observed map[int]struct{}, gapTol int) []segment {
+	n := view.size()
+	if n == 0 || len(observed) == 0 {
+		return nil
+	}
+	if gapTol < 0 {
+		gapTol = 0
+	}
+	idxSet := make(map[int]struct{}, len(observed))
+	for p := range observed {
+		if i, ok := view.index[p]; ok {
+			idxSet[i] = struct{}{}
+		}
+	}
+	if len(idxSet) == 0 {
+		return nil
+	}
+	has := func(i int) bool {
+		_, ok := idxSet[mod(i, n)]
+		return ok
+	}
+	// boundaryBetween reports whether extending from contracted index j by
+	// k steps crosses an arc boundary.
+	boundaryBetween := func(j, k int) bool {
+		for s := 0; s < k; s++ {
+			if view.boundaryAfter[mod(j+s, n)] {
+				return true
+			}
+		}
+		return false
+	}
+	indices := make([]int, 0, len(idxSet))
+	for i := range idxSet {
+		indices = append(indices, i)
+	}
+	sort.Ints(indices)
+
+	var segs []segment
+	for _, i := range indices {
+		// A run starts where no observed position within the tolerance
+		// window precedes it on the same arc.
+		isStart := true
+		for k := 1; k <= gapTol+1 && k < n; k++ {
+			if has(i-k) && !boundaryBetween(mod(i-k, n), k) {
+				isStart = false
+				break
+			}
+		}
+		if !isStart {
+			continue
+		}
+		length := 1
+		j := i
+		for length < n {
+			if view.boundaryAfter[mod(j, n)] {
+				break // run ends at an arc boundary
+			}
+			step := 0
+			for k := 1; k <= gapTol+1 && length+k <= n; k++ {
+				if boundaryBetween(j, k) {
+					break
+				}
+				if has(j + k) {
+					step = k
+					break
+				}
+			}
+			if step == 0 {
+				break
+			}
+			length += step
+			j += step
+		}
+		segs = append(segs, segment{
+			start:    i,
+			length:   length,
+			boundary: view.boundaryAfter[mod(i+length-1, n)],
+		})
+	}
+	if len(segs) == 0 {
+		// Fully observed circle with no arc boundaries: one wrapped run.
+		segs = append(segs, segment{start: indices[0], length: len(indices)})
+	}
+	return segs
+}
+
+func mod(a, n int) int {
+	a %= n
+	if a < 0 {
+		a += n
+	}
+	return a
+}

@@ -1,0 +1,87 @@
+package estimators
+
+import (
+	"sort"
+
+	"botmeter/internal/sim"
+	"botmeter/internal/trace"
+)
+
+// Timing is MT, the paper's Algorithm 1: it partitions observed lookups
+// into per-bot groups using three temporal heuristics and reports the
+// number of groups.
+//
+//	#1 — a bot never looks up the same NXD twice in one epoch, so a lookup
+//	     for a domain already attributed to a candidate bot cannot be
+//	     absorbed by it;
+//	#2 — an activation lasts at most θq·δi, so a lookup later than that
+//	     after a candidate's first lookup belongs to someone else;
+//	#3 — lookups within one activation are spaced by exact multiples of δi,
+//	     so an offset that is not ≡ 0 (mod δi) indicates a different bot.
+//
+// Heuristic #3 is only meaningful when the family has a fixed query
+// interval AND the vantage point's timestamp granularity is at least as
+// fine as δi; otherwise it is skipped (this is exactly why MT collapses on
+// the paper's real traces, where granularity is 1 s and δi ≤ 1 s — see
+// Table II).
+type Timing struct{}
+
+// NewTiming builds MT.
+func NewTiming() *Timing { return &Timing{} }
+
+// Name implements Estimator.
+func (*Timing) Name() string { return "MT" }
+
+// timingEntry is one candidate bot: its first lookup time and the domains
+// attributed to it.
+type timingEntry struct {
+	first   sim.Time
+	domains map[string]struct{}
+}
+
+// EstimateEpoch implements Estimator (Algorithm 1).
+func (mt *Timing) EstimateEpoch(obs trace.Observed, _ int, cfg Config) (float64, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if len(obs) == 0 {
+		return 0, nil
+	}
+	s := make(trace.Observed, len(obs))
+	copy(s, obs)
+	sort.SliceStable(s, func(i, j int) bool { return s[i].T < s[j].T })
+
+	deltaI := cfg.Spec.QueryInterval
+	useModulo := deltaI > 0 && (cfg.Granularity == 0 || cfg.Granularity <= deltaI)
+	maxDuration := cfg.Spec.MaxDuration()
+
+	var list []*timingEntry
+	for _, rec := range s {
+		absorbed := false
+		for _, entry := range list {
+			// Heuristic #1: domain already attributed to this bot.
+			if _, seen := entry.domains[rec.Domain]; seen {
+				continue
+			}
+			// Heuristic #2: beyond the maximum activation duration.
+			if entry.first+maxDuration <= rec.T {
+				continue
+			}
+			// Heuristic #3: offset must be a multiple of δi.
+			if useModulo && (rec.T-entry.first)%deltaI != 0 {
+				continue
+			}
+			entry.domains[rec.Domain] = struct{}{}
+			absorbed = true
+			break
+		}
+		if !absorbed {
+			list = append(list, &timingEntry{
+				first:   rec.T,
+				domains: map[string]struct{}{rec.Domain: {}},
+			})
+		}
+	}
+	return float64(len(list)), nil
+}

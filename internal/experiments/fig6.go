@@ -1,0 +1,319 @@
+// Package experiments regenerates every table and figure of the paper's
+// §V evaluation: the five Figure 6 accuracy sweeps over synthetic traffic,
+// the Figure 7 daily-population series over the synthetic enterprise
+// trace, Table I (DGA parameters) and Table II (real-trace estimator
+// accuracy). Each artifact has a Go API (used by the benchmarks in
+// bench_test.go) and a text/CSV rendering (used by cmd/benchgen).
+package experiments
+
+import (
+	"fmt"
+
+	"botmeter/internal/botnet"
+	"botmeter/internal/core"
+	"botmeter/internal/d3"
+	"botmeter/internal/dga"
+	"botmeter/internal/dnssim"
+	"botmeter/internal/estimators"
+	"botmeter/internal/sim"
+	"botmeter/internal/stats"
+)
+
+// Fig6Config tunes the synthetic evaluation.
+type Fig6Config struct {
+	// Trials is the number of independent runs per point (default 10).
+	Trials int
+	// Population is the default bot count N when not swept (default 64).
+	Population int
+	// Seed derives all per-trial seeds.
+	Seed uint64
+	// Scale shrinks DGA pool sizes and barrel sizes for quick runs
+	// (1 = the paper's Table I parameters; tests use ≈0.1).
+	Scale float64
+	// Models restricts the evaluated DGA models (nil = AU, AS, AR, AP).
+	Models []string
+}
+
+func (c Fig6Config) withDefaults() Fig6Config {
+	if c.Trials <= 0 {
+		c.Trials = 10
+	}
+	if c.Population <= 0 {
+		c.Population = 64
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if len(c.Models) == 0 {
+		c.Models = []string{"AU", "AS", "AR", "AP"}
+	}
+	return c
+}
+
+// Fig6Point is one cell of a Figure 6 panel: the ARE quartiles of one
+// estimator on one DGA model at one swept parameter value.
+type Fig6Point struct {
+	Panel     string // "a".."e"
+	Sweep     string // human-readable sweep label
+	Model     string // AU/AS/AR/AP
+	Estimator string
+	X         float64
+	ARE       stats.Quartiles
+	Trials    int
+}
+
+// modelSpec returns the Table I prototype for a model shorthand, scaled.
+func modelSpec(model string, scale float64) (dga.Spec, error) {
+	var s dga.Spec
+	switch model {
+	case "AU":
+		s = dga.Murofet()
+	case "AS":
+		s = dga.ConfickerC()
+	case "AR":
+		s = dga.NewGoZ()
+	case "AP":
+		s = dga.Necurs()
+	default:
+		return dga.Spec{}, fmt.Errorf("experiments: unknown model %q", model)
+	}
+	return ScaledSpec(s, scale), nil
+}
+
+// ScaledSpec shrinks a drain-and-replenish spec's pool and barrel by the
+// given factor (1 = unchanged), preserving the θ∃ count and pacing. Used to
+// keep CI runtimes bounded; the benchmark harness runs Scale 1.
+func ScaledSpec(s dga.Spec, scale float64) dga.Spec {
+	if scale == 1 {
+		return s
+	}
+	dr, ok := s.Pool.(dga.DrainReplenish)
+	if !ok {
+		return s
+	}
+	nx := int(float64(dr.NX) * scale)
+	if nx < 10 {
+		nx = 10
+	}
+	tq := int(float64(s.ThetaQ) * scale)
+	if tq < 5 {
+		tq = 5
+	}
+	dr.NX = nx
+	s.Pool = dr
+	s.ThetaQ = tq
+	return s
+}
+
+// estimatorsFor returns the estimators the paper applies to a model: MT
+// for every model, plus MP for AU and MB for AR. On the detection-window
+// panel (e), AR additionally runs MB* — the paper-faithful MB variant that
+// does not exploit knowledge of the detected set — so the output shows both
+// the paper's original degradation and the detection-aware improvement.
+func estimatorsFor(model, panel string) []estimators.Estimator {
+	ests := []estimators.Estimator{estimators.NewTiming()}
+	switch model {
+	case "AU":
+		ests = append(ests, estimators.NewPoisson())
+	case "AR":
+		ests = append(ests, estimators.NewBernoulli())
+		if panel == "e" {
+			unaware := estimators.NewBernoulli()
+			unaware.DisableDetectionAwareness = true
+			ests = append(ests, unaware)
+		}
+	}
+	return ests
+}
+
+// trialParams is the full parameter set for one synthetic run.
+type trialParams struct {
+	spec         dga.Spec
+	population   int
+	windowEpochs int
+	negTTL       sim.Time
+	sigma        float64
+	missRate     float64
+	granularity  sim.Time
+	seed         uint64
+}
+
+func defaultTrialParams(spec dga.Spec, population int, seed uint64) trialParams {
+	return trialParams{
+		spec:         spec,
+		population:   population,
+		windowEpochs: 1,
+		negTTL:       2 * sim.Hour,
+		granularity:  100 * sim.Millisecond,
+		seed:         seed,
+	}
+}
+
+// runTrial simulates one configuration and returns each estimator's ARE
+// against the realised ground truth.
+func runTrial(p trialParams, ests []estimators.Estimator) (map[string]float64, error) {
+	net := dnssim.NewNetwork(dnssim.NetworkConfig{
+		LocalServers: 1,
+		PositiveTTL:  sim.Day,
+		NegativeTTL:  p.negTTL,
+		Granularity:  p.granularity,
+	})
+	runner, err := botnet.NewRunner(botnet.Config{
+		Spec:          p.spec,
+		Seed:          p.seed,
+		Activation:    sim.ActivationModel{Sigma: p.sigma},
+		BotsPerServer: map[string]int{"local-00": p.population},
+	}, net)
+	if err != nil {
+		return nil, err
+	}
+	w := sim.Window{Start: 0, End: sim.Time(p.windowEpochs) * sim.Day}
+	res, err := runner.Run(w)
+	if err != nil {
+		return nil, err
+	}
+	var truthSum float64
+	for _, n := range res.ActiveBots["local-00"] {
+		truthSum += float64(n)
+	}
+	truth := truthSum / float64(len(res.ActiveBots["local-00"]))
+
+	var detection *d3.Window
+	if p.missRate > 0 {
+		detection = &d3.Window{MissRate: p.missRate, Seed: p.seed ^ 0xd3}
+	}
+	obs := net.Border.Observed()
+	out := make(map[string]float64, len(ests))
+	for _, est := range ests {
+		bm, err := core.New(core.Config{
+			Family:      p.spec,
+			Seed:        p.seed,
+			NegativeTTL: p.negTTL,
+			Granularity: p.granularity,
+			Estimator:   est,
+			Detection:   detection,
+		})
+		if err != nil {
+			return nil, err
+		}
+		land, err := bm.Analyze(obs, w)
+		if err != nil {
+			return nil, err
+		}
+		out[est.Name()] = stats.ARE(land.Estimate("local-00"), truth)
+	}
+	return out, nil
+}
+
+// sweepPoint evaluates one (model, x) grid point across trials.
+func sweepPoint(cfg Fig6Config, panel, sweep, model string, x float64, mutate func(*trialParams)) ([]Fig6Point, error) {
+	spec, err := modelSpec(model, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	ests := estimatorsFor(model, panel)
+	errsByEst := make(map[string][]float64, len(ests))
+	for trial := 0; trial < cfg.Trials; trial++ {
+		seed := cfg.Seed ^ (uint64(trial)+1)*0x9e3779b97f4a7c15 ^ hash64(panel+model)
+		p := defaultTrialParams(spec, cfg.Population, seed)
+		mutate(&p)
+		res, err := runTrial(p, ests)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig6%s %s trial %d: %w", panel, model, trial, err)
+		}
+		for name, are := range res {
+			errsByEst[name] = append(errsByEst[name], are)
+		}
+	}
+	points := make([]Fig6Point, 0, len(ests))
+	for _, est := range ests {
+		points = append(points, Fig6Point{
+			Panel:     panel,
+			Sweep:     sweep,
+			Model:     model,
+			Estimator: est.Name(),
+			X:         x,
+			ARE:       stats.ComputeQuartiles(errsByEst[est.Name()]),
+			Trials:    cfg.Trials,
+		})
+	}
+	return points, nil
+}
+
+func runPanel(cfg Fig6Config, panel, sweep string, xs []float64, mutate func(*trialParams, float64)) ([]Fig6Point, error) {
+	cfg = cfg.withDefaults()
+	var out []Fig6Point
+	for _, model := range cfg.Models {
+		for _, x := range xs {
+			pts, err := sweepPoint(cfg, panel, sweep, model, x, func(p *trialParams) { mutate(p, x) })
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pts...)
+		}
+	}
+	return out, nil
+}
+
+// Figure6a sweeps the bot population N ∈ {16, 32, 64, 128, 256}.
+func Figure6a(cfg Fig6Config) ([]Fig6Point, error) {
+	return runPanel(cfg, "a", "DGA-bot population (N)",
+		[]float64{16, 32, 64, 128, 256},
+		func(p *trialParams, x float64) { p.population = int(x) })
+}
+
+// Figure6b sweeps the observation window length ∈ {1, 2, 4, 8, 16} epochs.
+func Figure6b(cfg Fig6Config) ([]Fig6Point, error) {
+	return runPanel(cfg, "b", "Length of observation window (# epoch)",
+		[]float64{1, 2, 4, 8, 16},
+		func(p *trialParams, x float64) { p.windowEpochs = int(x) })
+}
+
+// Figure6c sweeps the negative cache TTL ∈ {20, 40, 80, 160, 320} minutes.
+func Figure6c(cfg Fig6Config) ([]Fig6Point, error) {
+	return runPanel(cfg, "c", "Negative cache TTL (min)",
+		[]float64{20, 40, 80, 160, 320},
+		func(p *trialParams, x float64) { p.negTTL = sim.Time(x) * sim.Minute })
+}
+
+// Figure6d sweeps the activation-rate dynamics σ ∈ {0.5 … 2.5}.
+func Figure6d(cfg Fig6Config) ([]Fig6Point, error) {
+	return runPanel(cfg, "d", "Dynamics of bot activation rate (σ)",
+		[]float64{0.5, 1, 1.5, 2, 2.5},
+		func(p *trialParams, x float64) { p.sigma = x })
+}
+
+// Figure6e sweeps the D³ miss rate ∈ {10 … 50}%.
+func Figure6e(cfg Fig6Config) ([]Fig6Point, error) {
+	return runPanel(cfg, "e", "Missing rate of D3 algorithm (%)",
+		[]float64{10, 20, 30, 40, 50},
+		func(p *trialParams, x float64) { p.missRate = x / 100 })
+}
+
+// Figure6 runs all five panels.
+func Figure6(cfg Fig6Config) ([]Fig6Point, error) {
+	var out []Fig6Point
+	for _, f := range []func(Fig6Config) ([]Fig6Point, error){
+		Figure6a, Figure6b, Figure6c, Figure6d, Figure6e,
+	} {
+		pts, err := f(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pts...)
+	}
+	return out, nil
+}
+
+func hash64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

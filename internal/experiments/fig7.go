@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+
+	"botmeter/internal/core"
+	"botmeter/internal/dga"
+	"botmeter/internal/enterprise"
+	"botmeter/internal/estimators"
+	"botmeter/internal/sim"
+	"botmeter/internal/stats"
+)
+
+// Fig7Config tunes the enterprise-trace evaluation (Figure 7 + Table II).
+type Fig7Config struct {
+	// Days is the trace length (the paper spans a year; default 60 keeps
+	// regeneration minutes-scale while preserving every qualitative
+	// comparison).
+	Days int
+	// Seed drives the trace.
+	Seed uint64
+	// Scale shrinks DGA pools (1 = paper parameters).
+	Scale float64
+	// BenignClients / BenignLookupsPerClient size the background load.
+	BenignClients          int
+	BenignLookupsPerClient float64
+}
+
+func (c Fig7Config) withDefaults() Fig7Config {
+	if c.Days <= 0 {
+		c.Days = 60
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.BenignClients <= 0 {
+		c.BenignClients = 500
+	}
+	if c.BenignLookupsPerClient <= 0 {
+		c.BenignLookupsPerClient = 20
+	}
+	return c
+}
+
+// Fig7Series is one line of Figure 7: daily truth and daily estimates for
+// one (family, estimator) pair.
+type Fig7Series struct {
+	Family    string
+	Model     string
+	Estimator string
+	Truth     []int
+	Estimates []float64
+}
+
+// Errors returns the daily AREs, skipping zero-truth days (the paper's
+// charts likewise only plot days with observed activity).
+func (s Fig7Series) Errors() []float64 {
+	out := make([]float64, 0, len(s.Truth))
+	for i, n := range s.Truth {
+		if n == 0 {
+			continue
+		}
+		out = append(out, stats.ARE(s.Estimates[i], float64(n)))
+	}
+	return out
+}
+
+// fig7Infections returns the paper's three real-world families with their
+// per-family estimators: newGoZ (AR → MB), Ramnit (AU → MP), Qakbot
+// (AU → MP); MT is evaluated on each as the baseline.
+func fig7Infections(cfg Fig7Config) []enterprise.Infection {
+	return []enterprise.Infection{
+		{Spec: ScaledSpec(dga.NewGoZ(), cfg.Scale), Seed: cfg.Seed ^ 0x90, MeanActive: 60, Volatility: 0.5},
+		{Spec: ScaledSpec(dga.Ramnit(), cfg.Scale), Seed: cfg.Seed ^ 0x91, MeanActive: 40, Volatility: 0.6},
+		{Spec: ScaledSpec(dga.Qakbot(), cfg.Scale), Seed: cfg.Seed ^ 0x92, MeanActive: 15, Volatility: 0.7},
+	}
+}
+
+// Figure7 generates the enterprise trace and produces the daily series for
+// every (family, estimator) pair.
+func Figure7(cfg Fig7Config) ([]Fig7Series, error) {
+	cfg = cfg.withDefaults()
+	infections := fig7Infections(cfg)
+	tr, err := enterprise.Generate(enterprise.Config{
+		Days:                   cfg.Days,
+		Seed:                   cfg.Seed,
+		BenignClients:          cfg.BenignClients,
+		BenignLookupsPerClient: cfg.BenignLookupsPerClient,
+		Granularity:            sim.Second,
+		Infections:             infections,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig7: %w", err)
+	}
+
+	var series []Fig7Series
+	for _, inf := range infections {
+		primary := estimators.ForModel(inf.Spec)
+		for _, est := range []estimators.Estimator{primary, estimators.NewTiming()} {
+			bm, err := core.New(core.Config{
+				Family:      inf.Spec,
+				Seed:        inf.Seed,
+				Granularity: sim.Second,
+				Estimator:   est,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s := Fig7Series{
+				Family:    inf.Spec.Name,
+				Model:     inf.Spec.ModelName(),
+				Estimator: est.Name(),
+				Truth:     tr.GroundTruth[inf.Spec.Name],
+			}
+			for day := 0; day < tr.Days; day++ {
+				w := sim.Window{Start: sim.Time(day) * sim.Day, End: sim.Time(day+1) * sim.Day}
+				land, err := bm.Analyze(tr.Observed.Window(w), w)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fig7 %s/%s day %d: %w",
+						inf.Spec.Name, est.Name(), day, err)
+				}
+				s.Estimates = append(s.Estimates, land.Estimate(tr.LocalServer))
+			}
+			series = append(series, s)
+		}
+	}
+	return series, nil
+}
+
+// TableIIRow summarises one (family, estimator) pair as mean ± std ARE —
+// the paper's Table II format.
+type TableIIRow struct {
+	Family    string
+	Model     string
+	Estimator string
+	Summary   stats.Summary
+	// MeanCI is a 95% percentile-bootstrap interval on the mean ARE — a
+	// reproducibility aid the paper's Table II lacks.
+	MeanCI stats.CI
+}
+
+// TableII derives the accuracy table from Figure 7 series.
+func TableII(series []Fig7Series) []TableIIRow {
+	rows := make([]TableIIRow, 0, len(series))
+	for _, s := range series {
+		errs := s.Errors()
+		rows = append(rows, TableIIRow{
+			Family:    s.Family,
+			Model:     s.Model,
+			Estimator: s.Estimator,
+			Summary:   stats.Summarize(errs),
+			MeanCI:    stats.BootstrapMeanCI(errs, 0.95, 2000, hash64(s.Family+s.Estimator)),
+		})
+	}
+	return rows
+}

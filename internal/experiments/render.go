@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"botmeter/internal/dga"
+)
+
+// RenderTableI prints the paper's Table I: the DGA-specific parameter
+// settings of the four evaluated prototypes.
+func RenderTableI() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I. DGA-specific parameter setting.\n")
+	fmt.Fprintf(&b, "%-6s %-12s %8s %6s %6s %8s\n", "Model", "Prototype", "θ∅", "θ∃", "θq", "δi")
+	for _, row := range []struct {
+		model string
+		spec  dga.Spec
+	}{
+		{"AU", dga.Murofet()},
+		{"AS", dga.ConfickerC()},
+		{"AR", dga.NewGoZ()},
+		{"AP", dga.Necurs()},
+	} {
+		di := "none"
+		if row.spec.QueryInterval > 0 {
+			di = row.spec.QueryInterval.Duration().String()
+		}
+		fmt.Fprintf(&b, "%-6s %-12s %8d %6d %6d %8s\n",
+			row.model, row.spec.Name,
+			row.spec.Pool.NXDomains(), row.spec.Pool.C2Domains(),
+			row.spec.ThetaQ, di)
+	}
+	return b.String()
+}
+
+// RenderFig6 prints Figure 6 points as grouped fixed-width series.
+func RenderFig6(points []Fig6Point) string {
+	var b strings.Builder
+	byPanel := make(map[string][]Fig6Point)
+	var panels []string
+	for _, p := range points {
+		if _, ok := byPanel[p.Panel]; !ok {
+			panels = append(panels, p.Panel)
+		}
+		byPanel[p.Panel] = append(byPanel[p.Panel], p)
+	}
+	sort.Strings(panels)
+	for _, panel := range panels {
+		pts := byPanel[panel]
+		fmt.Fprintf(&b, "Figure 6(%s) — %s (absolute relative error, %d trials/point)\n",
+			panel, pts[0].Sweep, pts[0].Trials)
+		fmt.Fprintf(&b, "%-6s %-4s %10s %8s %8s %8s\n",
+			"model", "est", "x", "p25", "p50", "p75")
+		sort.SliceStable(pts, func(i, j int) bool {
+			if pts[i].Model != pts[j].Model {
+				return pts[i].Model < pts[j].Model
+			}
+			if pts[i].Estimator != pts[j].Estimator {
+				return pts[i].Estimator < pts[j].Estimator
+			}
+			return pts[i].X < pts[j].X
+		})
+		for _, p := range pts {
+			fmt.Fprintf(&b, "%-6s %-4s %10.4g %8.3f %8.3f %8.3f\n",
+				p.Model, p.Estimator, p.X, p.ARE.P25, p.ARE.P50, p.ARE.P75)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteFig6CSV emits Figure 6 points as CSV.
+func WriteFig6CSV(w io.Writer, points []Fig6Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"panel", "sweep", "model", "estimator", "x", "are_p25", "are_p50", "are_p75", "trials"}); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	for _, p := range points {
+		row := []string{
+			p.Panel, p.Sweep, p.Model, p.Estimator,
+			strconv.FormatFloat(p.X, 'g', -1, 64),
+			strconv.FormatFloat(p.ARE.P25, 'f', 6, 64),
+			strconv.FormatFloat(p.ARE.P50, 'f', 6, 64),
+			strconv.FormatFloat(p.ARE.P75, 'f', 6, 64),
+			strconv.Itoa(p.Trials),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderFig7 prints the daily series (truth vs estimate) per family.
+func RenderFig7(series []Fig7Series) string {
+	var b strings.Builder
+	for _, s := range series {
+		fmt.Fprintf(&b, "Figure 7 — %s (%s), estimator %s\n", s.Family, s.Model, s.Estimator)
+		fmt.Fprintf(&b, "%-5s %8s %10s %8s\n", "day", "truth", "estimate", "ARE")
+		for day, truth := range s.Truth {
+			if truth == 0 {
+				continue
+			}
+			are := fmt.Sprintf("%.3f", absRel(s.Estimates[day], float64(truth)))
+			fmt.Fprintf(&b, "%-5d %8d %10.1f %8s\n", day, truth, s.Estimates[day], are)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteFig7CSV emits the daily series as CSV.
+func WriteFig7CSV(w io.Writer, series []Fig7Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"family", "model", "estimator", "day", "truth", "estimate"}); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	for _, s := range series {
+		for day, truth := range s.Truth {
+			row := []string{
+				s.Family, s.Model, s.Estimator, strconv.Itoa(day),
+				strconv.Itoa(truth),
+				strconv.FormatFloat(s.Estimates[day], 'f', 3, 64),
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("experiments: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderTableII prints the paper's Table II: mean ± std ARE per family and
+// estimator.
+func RenderTableII(rows []TableIIRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II. Average estimation errors (mean ± std ARE, days with activity;\n")
+	fmt.Fprintf(&b, "          95%% bootstrap CI on the mean).\n")
+	fmt.Fprintf(&b, "%-10s %-6s %-4s %18s %19s %6s\n", "DGA", "model", "est", "ARE", "95% CI", "days")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-6s %-4s %8.3f ± %6.3f [%7.3f, %7.3f] %6d\n",
+			r.Family, r.Model, r.Estimator, r.Summary.Mean, r.Summary.Std,
+			r.MeanCI.Lo, r.MeanCI.Hi, r.Summary.N)
+	}
+	return b.String()
+}
+
+func absRel(est, truth float64) float64 {
+	if truth == 0 {
+		return 0
+	}
+	d := est - truth
+	if d < 0 {
+		d = -d
+	}
+	return d / truth
+}
+
+// ASCIIChart renders a small text chart of one Fig7 series (truth vs
+// estimate), the "visual analytical component" of the paper's future-work
+// list in terminal form.
+func ASCIIChart(s Fig7Series, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	maxV := 1.0
+	for i, tr := range s.Truth {
+		if float64(tr) > maxV {
+			maxV = float64(tr)
+		}
+		if s.Estimates[i] > maxV {
+			maxV = s.Estimates[i]
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s) — '#': truth, 'o': %s estimate, scale 0..%.0f\n",
+		s.Family, s.Model, s.Estimator, maxV)
+	for day, tr := range s.Truth {
+		tPos := int(float64(tr) / maxV * float64(width-1))
+		ePos := int(s.Estimates[day] / maxV * float64(width-1))
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		line[tPos] = '#'
+		if ePos == tPos {
+			line[ePos] = '*' // overlap
+		} else {
+			line[ePos] = 'o'
+		}
+		fmt.Fprintf(&b, "%3d |%s|\n", day, string(line))
+	}
+	return b.String()
+}

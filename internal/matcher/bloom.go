@@ -1,0 +1,98 @@
+package matcher
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Bloom is a Bloom-filter matcher for very large pools (Conficker.C emits
+// 50K domains per day; a year of pools is 18M entries). False positives are
+// possible at the configured rate; false negatives are not, so it never
+// misses a true DGA lookup.
+type Bloom struct {
+	name   string
+	bits   []uint64
+	nbits  uint64
+	hashes int
+	count  int
+}
+
+// NewBloom sizes a filter for the expected number of domains and target
+// false-positive rate, then inserts the given domains.
+func NewBloom(name string, domains []string, expected int, fpRate float64) (*Bloom, error) {
+	if expected <= 0 {
+		expected = len(domains)
+	}
+	if expected <= 0 {
+		expected = 1
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		return nil, fmt.Errorf("matcher: false-positive rate %v outside (0,1)", fpRate)
+	}
+	// Standard sizing: m = -n·ln(p)/(ln 2)², k = (m/n)·ln 2.
+	m := uint64(math.Ceil(-float64(expected) * math.Log(fpRate) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(expected) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	b := &Bloom{name: name, bits: make([]uint64, (m+63)/64), nbits: m, hashes: k}
+	for _, d := range domains {
+		b.Add(d)
+	}
+	return b, nil
+}
+
+// Add inserts a domain.
+func (b *Bloom) Add(domain string) {
+	h1, h2 := b.hashPair(normalize(domain))
+	for i := 0; i < b.hashes; i++ {
+		b.setBit((h1 + uint64(i)*h2) % b.nbits)
+	}
+	b.count++
+}
+
+// Match implements Matcher. It may return false positives at the configured
+// rate but never false negatives.
+func (b *Bloom) Match(domain string) bool {
+	h1, h2 := b.hashPair(normalize(domain))
+	for i := 0; i < b.hashes; i++ {
+		if !b.getBit((h1 + uint64(i)*h2) % b.nbits) {
+			return false
+		}
+	}
+	return true
+}
+
+// Name implements Matcher.
+func (b *Bloom) Name() string { return b.name }
+
+// Count returns the number of inserted domains.
+func (b *Bloom) Count() int { return b.count }
+
+// EstimatedFPRate returns the theoretical false-positive rate at the
+// current fill.
+func (b *Bloom) EstimatedFPRate() float64 {
+	k := float64(b.hashes)
+	n := float64(b.count)
+	m := float64(b.nbits)
+	return math.Pow(1-math.Exp(-k*n/m), k)
+}
+
+func (b *Bloom) setBit(i uint64) { b.bits[i/64] |= 1 << (i % 64) }
+func (b *Bloom) getBit(i uint64) bool {
+	return b.bits[i/64]&(1<<(i%64)) != 0
+}
+
+// hashPair derives two independent 64-bit hashes for double hashing.
+func (b *Bloom) hashPair(s string) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	h1 := h.Sum64()
+	h.Write([]byte{0xff})
+	h2 := h.Sum64() | 1 // odd, so strides cycle the full table
+	return h1, h2
+}

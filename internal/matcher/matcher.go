@@ -1,0 +1,168 @@
+// Package matcher implements BotMeter's DGA-domain matching stage (paper
+// Figure 2, steps 2–4): analysts supply either plain domain lists or
+// algorithmic patterns, and incoming DNS lookups are matched against them.
+// Three implementations cover the practical trade-offs: an exact set, a
+// structural pattern (charset/length/TLD) and a Bloom filter for pools too
+// large to hold exactly at line rate.
+package matcher
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Matcher decides whether a domain belongs to a target DGA.
+type Matcher interface {
+	// Match reports whether the domain is attributed to the DGA.
+	Match(domain string) bool
+	// Name identifies the matcher for reports.
+	Name() string
+}
+
+// Set matches against an exact domain list — the "plain list" input mode.
+type Set struct {
+	name    string
+	domains map[string]struct{}
+}
+
+// NewSet builds an exact matcher over the given domains.
+func NewSet(name string, domains []string) *Set {
+	m := &Set{name: name, domains: make(map[string]struct{}, len(domains))}
+	for _, d := range domains {
+		m.domains[normalize(d)] = struct{}{}
+	}
+	return m
+}
+
+// Match implements Matcher.
+func (m *Set) Match(domain string) bool {
+	_, ok := m.domains[normalize(domain)]
+	return ok
+}
+
+// Name implements Matcher.
+func (m *Set) Name() string { return m.name }
+
+// Len returns the number of domains in the set.
+func (m *Set) Len() int { return len(m.domains) }
+
+// Add extends the set (e.g. as D³ reports new detections).
+func (m *Set) Add(domains ...string) {
+	for _, d := range domains {
+		m.domains[normalize(d)] = struct{}{}
+	}
+}
+
+// Pattern matches on the structural profile of a DGA's output: permitted
+// characters, name-length range and TLDs — the "algorithmic pattern" input
+// mode. It trades exactness for zero per-domain state.
+type Pattern struct {
+	name    string
+	charset map[byte]struct{}
+	minLen  int
+	maxLen  int
+	tlds    map[string]struct{}
+}
+
+// NewPattern builds a structural matcher.
+func NewPattern(name, charset string, minLen, maxLen int, tlds []string) (*Pattern, error) {
+	if charset == "" {
+		return nil, fmt.Errorf("matcher: empty charset")
+	}
+	if minLen <= 0 || maxLen < minLen {
+		return nil, fmt.Errorf("matcher: bad length range [%d, %d]", minLen, maxLen)
+	}
+	p := &Pattern{
+		name:    name,
+		charset: make(map[byte]struct{}, len(charset)),
+		minLen:  minLen,
+		maxLen:  maxLen,
+		tlds:    make(map[string]struct{}, len(tlds)),
+	}
+	for i := 0; i < len(charset); i++ {
+		p.charset[charset[i]] = struct{}{}
+	}
+	for _, t := range tlds {
+		p.tlds[normalize(t)] = struct{}{}
+	}
+	return p, nil
+}
+
+// Match implements Matcher.
+func (p *Pattern) Match(domain string) bool {
+	domain = normalize(domain)
+	dot := strings.LastIndexByte(domain, '.')
+	if dot <= 0 {
+		return false
+	}
+	name, tld := domain[:dot], domain[dot+1:]
+	if len(p.tlds) > 0 {
+		if _, ok := p.tlds[tld]; !ok {
+			return false
+		}
+	}
+	if len(name) < p.minLen || len(name) > p.maxLen {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if _, ok := p.charset[name[i]]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Name implements Matcher.
+func (p *Pattern) Name() string { return p.name }
+
+// Multi dispatches a domain across several family matchers.
+type Multi struct {
+	order    []string
+	matchers map[string]Matcher
+}
+
+// NewMulti builds an empty multi-matcher.
+func NewMulti() *Multi {
+	return &Multi{matchers: make(map[string]Matcher)}
+}
+
+// Register adds a family matcher. Later registrations with the same name
+// replace earlier ones.
+func (m *Multi) Register(matcher Matcher) {
+	name := matcher.Name()
+	if _, exists := m.matchers[name]; !exists {
+		m.order = append(m.order, name)
+	}
+	m.matchers[name] = matcher
+}
+
+// MatchAny returns the first registered family that matches, in
+// registration order.
+func (m *Multi) MatchAny(domain string) (string, bool) {
+	for _, name := range m.order {
+		if m.matchers[name].Match(domain) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// Families returns the registered family names sorted.
+func (m *Multi) Families() []string {
+	out := make([]string, len(m.order))
+	copy(out, m.order)
+	sort.Strings(out)
+	return out
+}
+
+// Get returns a registered matcher.
+func (m *Multi) Get(name string) (Matcher, bool) {
+	match, ok := m.matchers[name]
+	return match, ok
+}
+
+func normalize(d string) string {
+	d = strings.TrimSuffix(d, ".")
+	return strings.ToLower(d)
+}

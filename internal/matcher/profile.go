@@ -1,0 +1,51 @@
+package matcher
+
+import (
+	"fmt"
+
+	"botmeter/internal/dga"
+)
+
+// FromGenerator derives a structural Pattern matcher from a family's
+// lexical profile — the "algorithmic pattern" input mode of the paper's
+// Figure 2 (step 2), usable when the analyst knows a family's output shape
+// but cannot enumerate its pools (e.g. the seed is unknown).
+func FromGenerator(name string, g dga.Generator) (*Pattern, error) {
+	charset := g.Charset
+	if charset == "" {
+		charset = dga.DefaultGenerator.Charset
+	}
+	minLen, maxLen := g.MinLen, g.MaxLen
+	if minLen <= 0 {
+		minLen = dga.DefaultGenerator.MinLen
+	}
+	if maxLen < minLen {
+		maxLen = minLen
+	}
+	tlds := g.TLDs
+	if len(tlds) == 0 {
+		tlds = dga.DefaultGenerator.TLDs
+	}
+	p, err := NewPattern(name, charset, minLen, maxLen, tlds)
+	if err != nil {
+		return nil, fmt.Errorf("matcher: profile for %s: %w", name, err)
+	}
+	return p, nil
+}
+
+// FromSpec derives the structural matcher for a family preset, when its
+// pool model exposes a generator profile.
+func FromSpec(spec dga.Spec) (*Pattern, error) {
+	var gen dga.Generator
+	switch pool := spec.Pool.(type) {
+	case dga.DrainReplenish:
+		gen = pool.Gen
+	case dga.SlidingWindow:
+		gen = pool.Gen
+	case dga.MultipleMixture:
+		gen = pool.Gen
+	default:
+		return nil, fmt.Errorf("matcher: no generator profile on pool model %T", spec.Pool)
+	}
+	return FromGenerator(spec.Name, gen)
+}

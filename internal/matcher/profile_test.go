@@ -1,0 +1,67 @@
+package matcher
+
+import (
+	"testing"
+
+	"botmeter/internal/dga"
+	"botmeter/internal/sim"
+)
+
+func TestFromSpecMatchesOwnFamilyOutput(t *testing.T) {
+	for _, name := range dga.FamilyNames() {
+		spec, err := dga.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := FromSpec(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		pool := spec.Pool.PoolFor(7, 0)
+		misses := 0
+		for _, d := range pool.Domains[:min(200, len(pool.Domains))] {
+			if !p.Match(d) {
+				misses++
+			}
+		}
+		if misses > 0 {
+			t.Errorf("%s: structural matcher missed %d of its own domains", name, misses)
+		}
+	}
+}
+
+func TestProfilesDistinguishFamilies(t *testing.T) {
+	// A Ranbyus structural matcher (fixed length 14, ccTLDs) must reject
+	// Conficker output (4–10 chars, gTLDs) entirely.
+	ranbyus, err := FromSpec(dga.Ranbyus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := dga.ConfickerC().Pool.PoolFor(1, 0)
+	for _, d := range pool.Domains[:500] {
+		if ranbyus.Match(d) {
+			t.Fatalf("Ranbyus profile matched Conficker domain %q", d)
+		}
+	}
+}
+
+func TestFromGeneratorDefaults(t *testing.T) {
+	p, err := FromGenerator("zero", dga.Generator{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zero dga.Generator
+	for i := 0; i < 50; i++ {
+		d := zero.Generate(sim.NewRNG(uint64(i)))
+		if !p.Match(d) {
+			t.Errorf("zero-value profile should match zero-value generator output %q", d)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,29 @@
+package remediation_test
+
+import (
+	"fmt"
+
+	"botmeter/internal/remediation"
+)
+
+// ExampleBuild schedules three infected sites for a team that can vet 500
+// hosts per day: the densest infection (bots per vetting effort) goes
+// first, minimising cumulative bot-exposure.
+func ExampleBuild() {
+	sites := []remediation.Site{
+		{Server: "datacenter", EstimatedBots: 100, Hosts: 10000},
+		{Server: "branch-7", EstimatedBots: 50, Hosts: 100},
+		{Server: "campus", EstimatedBots: 80, Hosts: 1000},
+	}
+	plan, _ := remediation.Build(sites, 500)
+	for i, step := range plan.Steps {
+		fmt.Printf("%d. %-10s days %4.1f–%4.1f\n",
+			i+1, step.Site.Server, step.StartDay, step.EndDay)
+	}
+	fmt.Printf("objective: %.0f bot-days\n", plan.TotalBotDays)
+	// Output:
+	// 1. branch-7   days  0.0– 0.2
+	// 2. campus     days  0.2– 2.2
+	// 3. datacenter days  2.2–22.2
+	// objective: 2406 bot-days
+}

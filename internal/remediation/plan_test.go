@@ -1,0 +1,140 @@
+package remediation
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"botmeter/internal/core"
+	"botmeter/internal/sim"
+)
+
+func TestBuildOrdersByDensity(t *testing.T) {
+	sites := []Site{
+		{Server: "big-slow", EstimatedBots: 100, Hosts: 10000}, // 0.01/host
+		{Server: "small-hot", EstimatedBots: 50, Hosts: 100},   // 0.5/host
+		{Server: "medium", EstimatedBots: 80, Hosts: 1000},     // 0.08/host
+		{Server: "clean", EstimatedBots: 0, Hosts: 500},        // dropped
+	}
+	plan, err := Build(sites, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 3 {
+		t.Fatalf("steps = %d, want 3 (clean site dropped)", len(plan.Steps))
+	}
+	wantOrder := []string{"small-hot", "medium", "big-slow"}
+	for i, w := range wantOrder {
+		if plan.Steps[i].Site.Server != w {
+			t.Errorf("step %d = %s, want %s", i, plan.Steps[i].Site.Server, w)
+		}
+	}
+	// Hand-check the objective: durations 0.2, 2, 20 days.
+	want := 50*0.2 + 80*2.2 + 100*22.2
+	if math.Abs(plan.TotalBotDays-want) > 1e-9 {
+		t.Errorf("objective = %v, want %v", plan.TotalBotDays, want)
+	}
+	// Timeline is contiguous.
+	for i := 1; i < len(plan.Steps); i++ {
+		if plan.Steps[i].StartDay != plan.Steps[i-1].EndDay {
+			t.Error("timeline has gaps")
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, 0); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := Build([]Site{{Server: "x", EstimatedBots: 1, Hosts: 0}}, 10); err == nil {
+		t.Error("zero hosts should fail")
+	}
+}
+
+// TestWSPTOptimalProperty: the density order never loses to a random
+// permutation of the same sites.
+func TestWSPTOptimalProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		n := 2 + rng.IntN(8)
+		sites := make([]Site, n)
+		for i := range sites {
+			sites[i] = Site{
+				Server:        string(rune('a' + i)),
+				EstimatedBots: 1 + float64(rng.IntN(100)),
+				Hosts:         1 + rng.IntN(5000),
+			}
+		}
+		plan, err := Build(sites, 100)
+		if err != nil {
+			return false
+		}
+		// Compare against a few random permutations.
+		for trial := 0; trial < 5; trial++ {
+			perm := make([]Site, n)
+			copy(perm, sites)
+			rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			if Evaluate(perm, 100) < plan.TotalBotDays-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateMatchesBuildForPlanOrder(t *testing.T) {
+	sites := []Site{
+		{Server: "a", EstimatedBots: 10, Hosts: 100},
+		{Server: "b", EstimatedBots: 5, Hosts: 300},
+	}
+	plan, err := Build(sites, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make([]Site, len(plan.Steps))
+	for i, st := range plan.Steps {
+		order[i] = st.Site
+	}
+	if got := Evaluate(order, 100); math.Abs(got-plan.TotalBotDays) > 1e-9 {
+		t.Errorf("Evaluate = %v, plan objective = %v", got, plan.TotalBotDays)
+	}
+}
+
+func TestFromLandscape(t *testing.T) {
+	land := &core.Landscape{
+		Servers: []core.ServerEstimate{
+			{Server: "local-00", Population: 12},
+			{Server: "local-01", Population: 3},
+		},
+	}
+	sites, err := FromLandscape(land, map[string]int{"local-00": 800}, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 2 {
+		t.Fatalf("sites = %d", len(sites))
+	}
+	if sites[0].Hosts != 800 || sites[1].Hosts != 250 {
+		t.Errorf("host counts = %d, %d", sites[0].Hosts, sites[1].Hosts)
+	}
+	if _, err := FromLandscape(nil, nil, 1); err == nil {
+		t.Error("nil landscape should fail")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	plan, err := Build([]Site{{Server: "s1", EstimatedBots: 9, Hosts: 90}}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := plan.String()
+	for _, want := range []string{"s1", "bot-days", "9.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback in the discrete-event engine.
+type Event struct {
+	At Time
+	Fn func(*Engine)
+
+	seq uint64 // tie-breaker preserving scheduling order at equal times
+}
+
+// eventHeap orders events by time, then by insertion sequence so that
+// simultaneous events fire deterministically in the order scheduled.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event simulation loop. The zero value
+// is ready to use; events scheduled in the past are executed at the current
+// virtual time.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	nextSeq uint64
+	stopped bool
+}
+
+// NewEngine returns an engine whose clock starts at 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule enqueues fn to run at virtual time at. Times before Now are
+// clamped to Now (the event still runs, immediately next).
+func (e *Engine) Schedule(at Time, fn func(*Engine)) {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &Event{At: at, Fn: fn, seq: e.nextSeq}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+}
+
+// ScheduleAfter enqueues fn to run delay units after the current time.
+func (e *Engine) ScheduleAfter(delay Time, fn func(*Engine)) {
+	e.Schedule(e.now+delay, fn)
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue empties, Stop is
+// called, or the next event is at or beyond horizon. It returns the number
+// of events executed. The clock is left at the time of the last executed
+// event (or at horizon when the run drains up to it).
+func (e *Engine) Run(horizon Time) int {
+	e.stopped = false
+	executed := 0
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.At >= horizon {
+			e.now = horizon
+			return executed
+		}
+		heap.Pop(&e.queue)
+		e.now = next.At
+		next.Fn(e)
+		executed++
+	}
+	if !e.stopped && e.now < horizon {
+		e.now = horizon
+	}
+	return executed
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }

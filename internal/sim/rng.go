@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"math/rand/v2"
+)
+
+// RNG wraps a seeded PCG generator. Every stochastic component in the
+// simulator draws from an RNG derived from a single experiment seed, making
+// whole experiment runs reproducible bit-for-bit.
+type RNG struct {
+	*rand.Rand
+
+	seed uint64
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{Rand: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)), seed: seed}
+}
+
+// splitmix64 is the SplitMix64 finaliser, used to decorrelate seeds.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Split derives an independent child stream identified by label. The child
+// depends on BOTH the parent's seed and the label: equal labels under
+// different parents give different streams, equal (parent, label) pairs are
+// reproducible, and Split does not perturb the parent stream.
+func (r *RNG) Split(label uint64) *RNG {
+	z := splitmix64(r.seed ^ splitmix64(label))
+	return &RNG{Rand: rand.New(rand.NewPCG(z, z^0xda942042e4dd58b5)), seed: z}
+}
+
+// SplitFrom derives a child stream from a parent seed plus label without
+// constructing the parent. Useful for per-bot and per-epoch streams.
+func SplitFrom(seed, label uint64) *RNG {
+	return NewRNG(seed).Split(label)
+}
+
+// Exp returns an exponentially distributed duration with the given rate
+// (events per virtual-time unit). A non-positive rate yields an effectively
+// infinite duration.
+func (r *RNG) Exp(rate float64) Time {
+	if rate <= 0 {
+		return Time(1) << 62
+	}
+	return Time(r.ExpFloat64() / rate)
+}
+
+// Normal returns a normally distributed float with the given mean and
+// standard deviation.
+func (r *RNG) Normal(mean, std float64) float64 {
+	return mean + std*r.NormFloat64()
+}

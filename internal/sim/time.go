@@ -1,0 +1,94 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// underlying every synthetic experiment in this repository: a millisecond
+// virtual clock, a binary-heap event queue, seeded random-number streams,
+// and the bot-activation point processes of the paper's §V-A (constant-rate
+// Poisson and the log-normal-modulated variant λᵢ = λ₀·e^κᵢ).
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp measured in milliseconds since the start of a
+// simulation. The paper's finest timestamp granularity is 100 ms (synthetic
+// traces) and 1 s (the enterprise trace), so millisecond resolution is
+// lossless for every experiment.
+type Time int64
+
+// Common durations expressed in virtual-clock units.
+const (
+	Millisecond Time = 1
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+	Day              = 24 * Hour
+)
+
+// FromDuration converts a wall-clock duration to virtual time.
+func FromDuration(d time.Duration) Time {
+	return Time(d.Milliseconds())
+}
+
+// Duration converts virtual time to a time.Duration.
+func (t Time) Duration() time.Duration {
+	return time.Duration(int64(t)) * time.Millisecond
+}
+
+// Truncate rounds t down to a multiple of granularity (used to model coarse
+// timestamping at vantage points). A non-positive granularity is an
+// identity.
+func (t Time) Truncate(granularity Time) Time {
+	if granularity <= 0 {
+		return t
+	}
+	return t - t%granularity
+}
+
+// String renders the virtual time as d:hh:mm:ss.mmm for logs and traces.
+func (t Time) String() string {
+	neg := ""
+	if t < 0 {
+		neg = "-"
+		t = -t
+	}
+	d := t / Day
+	t %= Day
+	h := t / Hour
+	t %= Hour
+	m := t / Minute
+	t %= Minute
+	s := t / Second
+	ms := t % Second
+	return fmt.Sprintf("%s%d:%02d:%02d:%02d.%03d", neg, d, h, m, s, ms)
+}
+
+// Window is a half-open virtual time interval [Start, End).
+type Window struct {
+	Start, End Time
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t Time) bool { return t >= w.Start && t < w.End }
+
+// Len returns the window length.
+func (w Window) Len() Time { return w.End - w.Start }
+
+// Split divides the window into n equal consecutive sub-windows (the
+// per-epoch averaging of Figure 6(b)). Remainder milliseconds accrue to the
+// final sub-window.
+func (w Window) Split(n int) []Window {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Window, 0, n)
+	step := w.Len() / Time(n)
+	for i := 0; i < n; i++ {
+		sub := Window{Start: w.Start + Time(i)*step, End: w.Start + Time(i+1)*step}
+		if i == n-1 {
+			sub.End = w.End
+		}
+		out = append(out, sub)
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 for n < 2).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Quartiles summarises a sample by its 25th, 50th and 75th percentiles —
+// the error-bar convention used throughout the paper's Figure 6.
+type Quartiles struct {
+	P25, P50, P75 float64
+}
+
+// ComputeQuartiles returns the quartile summary of xs.
+func ComputeQuartiles(xs []float64) Quartiles {
+	if len(xs) == 0 {
+		return Quartiles{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return Quartiles{
+		P25: percentileSorted(sorted, 25),
+		P50: percentileSorted(sorted, 50),
+		P75: percentileSorted(sorted, 75),
+	}
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// ARE returns the absolute relative error |estimated-actual| / actual
+// (paper Eq. 4). A zero actual population with a zero estimate is a perfect
+// answer (0); a zero actual with a non-zero estimate returns +Inf.
+func ARE(estimated, actual float64) float64 {
+	if actual == 0 {
+		if estimated == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(estimated-actual) / math.Abs(actual)
+}
+
+// Summary bundles mean and standard deviation, the format of the paper's
+// Table II ("mean ± std").
+type Summary struct {
+	Mean, Std float64
+	N         int
+}
+
+// Summarize computes a Summary of xs, ignoring non-finite values (which can
+// arise from ARE on zero ground truth).
+func Summarize(xs []float64) Summary {
+	finite := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsInf(x, 0) && !math.IsNaN(x) {
+			finite = append(finite, x)
+		}
+	}
+	return Summary{Mean: Mean(finite), Std: StdDev(finite), N: len(finite)}
+}
+
+// CI is a two-sided confidence interval.
+type CI struct {
+	Lo, Hi float64
+	// Level is the nominal coverage, e.g. 0.95.
+	Level float64
+}
+
+// BootstrapMeanCI estimates a confidence interval for the mean of xs by
+// the percentile bootstrap with the given number of resamples, driven by a
+// deterministic seed so reports are reproducible. Non-finite inputs are
+// ignored; fewer than two finite samples yield a degenerate interval at
+// the mean.
+func BootstrapMeanCI(xs []float64, level float64, resamples int, seed uint64) CI {
+	finite := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsInf(x, 0) && !math.IsNaN(x) {
+			finite = append(finite, x)
+		}
+	}
+	m := Mean(finite)
+	if len(finite) < 2 || level <= 0 || level >= 1 || resamples < 2 {
+		return CI{Lo: m, Hi: m, Level: level}
+	}
+	// A tiny deterministic PCG-free generator (splitmix64) keeps this
+	// package dependency-free.
+	state := seed
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	means := make([]float64, resamples)
+	for r := 0; r < resamples; r++ {
+		var sum float64
+		for i := 0; i < len(finite); i++ {
+			sum += finite[next()%uint64(len(finite))]
+		}
+		means[r] = sum / float64(len(finite))
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	return CI{
+		Lo:    percentileSorted(means, alpha*100),
+		Hi:    percentileSorted(means, (1-alpha)*100),
+		Level: level,
+	}
+}

@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"several", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-2, 2}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.xs); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.xs, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance of this classic set is 32/7.
+	if got, want := Variance(xs), 32.0/7.0; !almostEqual(got, want, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got, want := StdDev(xs), math.Sqrt(32.0/7.0); !almostEqual(got, want, 1e-12) {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+	if Variance([]float64{1}) != 0 {
+		t.Error("variance of single element should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+		{75, 40},
+		{-5, 15},
+		{105, 50},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("percentile of empty slice should be 0")
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{10, 20}
+	if got := Percentile(xs, 50); !almostEqual(got, 15, 1e-12) {
+		t.Errorf("interpolated median = %v, want 15", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestComputeQuartiles(t *testing.T) {
+	q := ComputeQuartiles([]float64{1, 2, 3, 4, 5})
+	if q.P25 != 2 || q.P50 != 3 || q.P75 != 4 {
+		t.Errorf("quartiles = %+v", q)
+	}
+	if q := ComputeQuartiles(nil); q != (Quartiles{}) {
+		t.Errorf("empty quartiles = %+v", q)
+	}
+}
+
+func TestQuartileOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				r = 0
+			}
+			xs = append(xs, r)
+		}
+		q := ComputeQuartiles(xs)
+		return q.P25 <= q.P50 && q.P50 <= q.P75
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileBoundsProperty(t *testing.T) {
+	f := func(raw []float64, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				r = 0
+			}
+			xs = append(xs, r)
+			lo = math.Min(lo, r)
+			hi = math.Max(hi, r)
+		}
+		p := float64(pRaw % 101)
+		v := Percentile(xs, p)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestARE(t *testing.T) {
+	tests := []struct {
+		name              string
+		estimated, actual float64
+		want              float64
+	}{
+		{"exact", 100, 100, 0},
+		{"over", 120, 100, 0.2},
+		{"under", 80, 100, 0.2},
+		{"zero actual zero est", 0, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ARE(tt.estimated, tt.actual); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("ARE = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	if !math.IsInf(ARE(5, 0), 1) {
+		t.Error("ARE with zero actual and non-zero estimate should be +Inf")
+	}
+}
+
+func TestARENonNegativeProperty(t *testing.T) {
+	f := func(e, a float64) bool {
+		if math.IsNaN(e) || math.IsNaN(a) || math.IsInf(e, 0) || math.IsInf(a, 0) {
+			return true
+		}
+		return ARE(e, a) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBootstrapMeanCI(t *testing.T) {
+	// A tight sample: the CI must bracket the mean narrowly.
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 10 + float64(i%5)*0.01
+	}
+	ci := BootstrapMeanCI(xs, 0.95, 500, 7)
+	m := Mean(xs)
+	if ci.Lo > m || ci.Hi < m {
+		t.Errorf("CI [%v, %v] does not bracket mean %v", ci.Lo, ci.Hi, m)
+	}
+	if ci.Hi-ci.Lo > 0.02 {
+		t.Errorf("CI too wide for tight data: [%v, %v]", ci.Lo, ci.Hi)
+	}
+	// Wider-spread data gives a wider interval.
+	spread := []float64{1, 5, 20, 80, 300, 2, 9, 60}
+	wide := BootstrapMeanCI(spread, 0.95, 500, 7)
+	if wide.Hi-wide.Lo <= ci.Hi-ci.Lo {
+		t.Error("spread data should give a wider CI")
+	}
+	// Determinism.
+	again := BootstrapMeanCI(spread, 0.95, 500, 7)
+	if wide != again {
+		t.Error("bootstrap not deterministic for fixed seed")
+	}
+	// Degenerate cases.
+	if ci := BootstrapMeanCI([]float64{5}, 0.95, 500, 1); ci.Lo != 5 || ci.Hi != 5 {
+		t.Errorf("single sample CI = %+v", ci)
+	}
+	if ci := BootstrapMeanCI(nil, 0.95, 500, 1); ci.Lo != 0 || ci.Hi != 0 {
+		t.Errorf("empty CI = %+v", ci)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, math.Inf(1), math.NaN()})
+	if s.N != 3 {
+		t.Errorf("N = %d, want 3 (non-finite dropped)", s.N)
+	}
+	if !almostEqual(s.Mean, 2, 1e-12) {
+		t.Errorf("Mean = %v, want 2", s.Mean)
+	}
+	if !almostEqual(s.Std, 1, 1e-12) {
+		t.Errorf("Std = %v, want 1", s.Std)
+	}
+}

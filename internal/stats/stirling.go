@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"sync"
+)
+
+// StirlingTable caches log-domain Stirling numbers of the second kind
+// S(n, m): the number of ways to partition a set of n labelled elements
+// into m non-empty unlabelled blocks. The Bernoulli estimator (paper
+// §IV-D, Theorem 1) evaluates S(n, m) for n up to the candidate bot count
+// and m up to n.
+//
+// The table grows on demand using the recurrence
+//
+//	S(n, m) = m·S(n-1, m) + S(n-1, m-1)
+//
+// computed entirely in the log domain (all terms are non-negative, so no
+// signed arithmetic is needed). A StirlingTable is safe for concurrent use.
+type StirlingTable struct {
+	mu   sync.Mutex
+	rows [][]float64 // rows[n][m] = log S(n, m), len(rows[n]) == n+1
+}
+
+// NewStirlingTable returns an empty table; rows are computed lazily.
+func NewStirlingTable() *StirlingTable {
+	return &StirlingTable{}
+}
+
+// Log returns log S(n, m). Invalid arguments (m < 0, m > n, n < 0) return
+// LogZero, matching the convention S(n, m) = 0 outside the triangle, with
+// the single exception S(0, 0) = 1.
+func (st *StirlingTable) Log(n, m int) float64 {
+	if n < 0 || m < 0 || m > n {
+		return LogZero
+	}
+	if n == 0 {
+		return 0 // S(0,0) = 1
+	}
+	if m == 0 {
+		return LogZero // S(n,0) = 0 for n > 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.extend(n)
+	return st.rows[n][m]
+}
+
+// extend grows the table to include row n. Caller holds st.mu.
+func (st *StirlingTable) extend(n int) {
+	if len(st.rows) == 0 {
+		st.rows = append(st.rows, []float64{0}) // row 0: S(0,0)=1
+	}
+	for len(st.rows) <= n {
+		k := len(st.rows)
+		prev := st.rows[k-1]
+		row := make([]float64, k+1)
+		row[0] = LogZero // S(k,0)=0 for k>0
+		for m := 1; m <= k; m++ {
+			var a float64 = LogZero // m*S(k-1,m)
+			if m < len(prev) {
+				a = logMulInt(prev[m], m)
+			}
+			b := LogZero // S(k-1,m-1)
+			if m-1 < len(prev) {
+				b = prev[m-1]
+			}
+			row[m] = LogAdd(a, b)
+		}
+		st.rows = append(st.rows, row)
+	}
+}
+
+// logMulInt returns log(k · exp(x)).
+func logMulInt(x float64, k int) float64 {
+	if k <= 0 {
+		return LogZero
+	}
+	return x + logInt(k)
+}
+
+// logInt returns log(k) for k >= 1.
+func logInt(k int) float64 {
+	return math.Log(float64(k))
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"botmeter/internal/sim"
+)
+
+// BIND query-log ingestion. Enterprises that cannot deploy a wire tap
+// usually already have resolver query logs; BIND's `querylog` category is
+// the de-facto format:
+//
+//	01-Jul-2026 12:00:01.123 client 10.0.0.1#53124 (evil.example): query: evil.example IN A +E(0)K (192.0.2.53)
+//
+// Older BIND 9 versions omit the parenthesised qname after the client
+// field; both forms are accepted. The client host becomes the forwarding-
+// server identity (at a border resolver, clients ARE the downstream
+// forwarders), and timestamps are converted to milliseconds since
+// ReferenceTime so the rest of the pipeline can treat them as virtual
+// time.
+
+// BINDLogOptions controls parsing.
+type BINDLogOptions struct {
+	// ReferenceTime is the zero point of the virtual clock. If zero, the
+	// timestamp of the first parsed record is used (so traces start near
+	// t=0 and epoch boundaries align to the reference's midnight).
+	ReferenceTime time.Time
+	// Location resolves the log's local timestamps (BIND logs have no
+	// zone); nil means UTC.
+	Location *time.Location
+	// Strict makes unparseable lines an error instead of being skipped.
+	Strict bool
+}
+
+// bindTimeLayout is BIND's default query-log timestamp layout.
+const bindTimeLayout = "02-Jan-2006 15:04:05.000"
+
+// ReadBINDLog parses a BIND query log into an observable dataset.
+func ReadBINDLog(r io.Reader, opts BINDLogOptions) (Observed, error) {
+	loc := opts.Location
+	if loc == nil {
+		loc = time.UTC
+	}
+	var out Observed
+	ref := opts.ReferenceTime
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		rec, ts, err := parseBINDLine(line, loc)
+		if err != nil {
+			if opts.Strict {
+				return nil, fmt.Errorf("trace: bind log line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if ref.IsZero() {
+			// Align the reference to the first record's midnight so epoch
+			// arithmetic (t / Day) matches calendar days.
+			ref = time.Date(ts.Year(), ts.Month(), ts.Day(), 0, 0, 0, 0, loc)
+		}
+		rec.T = simTimeSince(ref, ts)
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: bind log: %w", err)
+	}
+	return out, nil
+}
+
+// parseBINDLine extracts (server, domain, timestamp) from one query-log
+// line.
+func parseBINDLine(line string, loc *time.Location) (ObservedRecord, time.Time, error) {
+	// Timestamp: first two space-separated fields.
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return ObservedRecord{}, time.Time{}, fmt.Errorf("too few fields")
+	}
+	ts, err := time.ParseInLocation(bindTimeLayout, fields[0]+" "+fields[1], loc)
+	if err != nil {
+		return ObservedRecord{}, time.Time{}, fmt.Errorf("timestamp: %w", err)
+	}
+	// Locate "client <addr>#<port>".
+	clientIdx := -1
+	for i, f := range fields {
+		if f == "client" && i+1 < len(fields) {
+			clientIdx = i + 1
+			break
+		}
+	}
+	if clientIdx < 0 {
+		return ObservedRecord{}, time.Time{}, fmt.Errorf("no client field")
+	}
+	addr := fields[clientIdx]
+	if h := strings.IndexByte(addr, '#'); h >= 0 {
+		addr = addr[:h]
+	}
+	// Locate "query:" then the qname.
+	queryIdx := -1
+	for i, f := range fields {
+		if f == "query:" && i+1 < len(fields) {
+			queryIdx = i + 1
+			break
+		}
+	}
+	if queryIdx < 0 {
+		return ObservedRecord{}, time.Time{}, fmt.Errorf("no query field")
+	}
+	domain := strings.ToLower(strings.TrimSuffix(fields[queryIdx], "."))
+	if domain == "" {
+		return ObservedRecord{}, time.Time{}, fmt.Errorf("empty qname")
+	}
+	return ObservedRecord{Server: addr, Domain: domain}, ts, nil
+}
+
+// simTimeSince converts a wall timestamp to virtual milliseconds.
+func simTimeSince(ref, ts time.Time) sim.Time {
+	return sim.FromDuration(ts.Sub(ref))
+}

@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzReadObservedCSV hardens the CSV reader against malformed files.
+func FuzzReadObservedCSV(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteObservedCSV(&buf, Observed{{T: 1, Server: "s", Domain: "d.com"}})
+	f.Add(buf.String())
+	f.Add("t_ms,server,domain\n")
+	f.Add("")
+	f.Add("\"unclosed")
+	f.Fuzz(func(t *testing.T, data string) {
+		recs, err := ReadObservedCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must round-trip.
+		var out bytes.Buffer
+		if err := WriteObservedCSV(&out, recs); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+	})
+}
+
+// FuzzReadBINDLog hardens the query-log parser: arbitrary text must never
+// panic, and every accepted record must carry a server and a domain.
+func FuzzReadBINDLog(f *testing.F) {
+	f.Add("01-Jul-2026 00:00:01.500 client 10.0.0.1#53124: query: a.com IN A +\n")
+	f.Add("garbage\n\n\x00")
+	f.Fuzz(func(t *testing.T, data string) {
+		recs, err := ReadBINDLog(strings.NewReader(data), BINDLogOptions{Location: time.UTC})
+		if err != nil {
+			return
+		}
+		for _, r := range recs {
+			if r.Server == "" || r.Domain == "" {
+				t.Fatalf("accepted empty fields: %+v", r)
+			}
+		}
+	})
+}

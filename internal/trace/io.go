@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"botmeter/internal/sim"
+)
+
+// WriteRawCSV serialises a raw dataset as CSV with a header row.
+func WriteRawCSV(w io.Writer, recs Raw) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_ms", "client", "server", "domain", "nx"}); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, r := range recs {
+		row := []string{
+			strconv.FormatInt(int64(r.T), 10), r.Client, r.Server, r.Domain,
+			strconv.FormatBool(r.NX),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write record: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadRawCSV parses a raw dataset written by WriteRawCSV.
+func ReadRawCSV(r io.Reader) (Raw, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	out := make(Raw, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		if len(row) != 5 {
+			return nil, fmt.Errorf("trace: row %d has %d fields, want 5", i+2, len(row))
+		}
+		t, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d timestamp: %w", i+2, err)
+		}
+		nx, err := strconv.ParseBool(row[4])
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d nx flag: %w", i+2, err)
+		}
+		out = append(out, RawRecord{T: sim.Time(t), Client: row[1], Server: row[2], Domain: row[3], NX: nx})
+	}
+	return out, nil
+}
+
+// WriteObservedCSV serialises an observable dataset as CSV with a header.
+func WriteObservedCSV(w io.Writer, recs Observed) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_ms", "server", "domain"}); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, r := range recs {
+		if err := cw.Write([]string{strconv.FormatInt(int64(r.T), 10), r.Server, r.Domain}); err != nil {
+			return fmt.Errorf("trace: write record: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadObservedCSV parses an observable dataset written by WriteObservedCSV.
+func ReadObservedCSV(r io.Reader) (Observed, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	out := make(Observed, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		if len(row) != 3 {
+			return nil, fmt.Errorf("trace: row %d has %d fields, want 3", i+2, len(row))
+		}
+		t, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d timestamp: %w", i+2, err)
+		}
+		out = append(out, ObservedRecord{T: sim.Time(t), Server: row[1], Domain: row[2]})
+	}
+	return out, nil
+}
+
+// WriteObservedJSONL serialises the dataset as JSON lines.
+func WriteObservedJSONL(w io.Writer, recs Observed) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("trace: encode: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadObservedJSONL parses a JSON-lines observable dataset.
+func ReadObservedJSONL(r io.Reader) (Observed, error) {
+	var out Observed
+	dec := json.NewDecoder(r)
+	for {
+		var rec ObservedRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decode: %w", err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// WriteRawJSONL serialises the raw dataset as JSON lines.
+func WriteRawJSONL(w io.Writer, recs Raw) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("trace: encode: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRawJSONL parses a JSON-lines raw dataset.
+func ReadRawJSONL(r io.Reader) (Raw, error) {
+	var out Raw
+	dec := json.NewDecoder(r)
+	for {
+		var rec RawRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decode: %w", err)
+		}
+		out = append(out, rec)
+	}
+}

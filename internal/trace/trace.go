@@ -1,0 +1,150 @@
+// Package trace defines the two datasets of the paper's §V: the raw
+// dataset of client-level DNS lookups ⟨timestamp, client, server, domain,
+// rcode⟩ (ground truth, visible only inside the network) and the observable
+// dataset of cache-filtered lookups ⟨timestamp, forwarding server, domain⟩
+// (what the border vantage point — and hence BotMeter — sees). It also
+// provides CSV and JSON-lines serialisation so traces can be generated,
+// stored and analysed by separate tools.
+package trace
+
+import (
+	"sort"
+
+	"botmeter/internal/sim"
+)
+
+// RawRecord is one client-level DNS lookup with its resolution outcome.
+type RawRecord struct {
+	T      sim.Time `json:"t"`
+	Client string   `json:"client"`
+	Server string   `json:"server"`
+	Domain string   `json:"domain"`
+	NX     bool     `json:"nx"`
+}
+
+// ObservedRecord is one lookup forwarded by a local server to the border
+// vantage point. Client identity is invisible at this level (paper §II-B).
+type ObservedRecord struct {
+	T      sim.Time `json:"t"`
+	Server string   `json:"server"`
+	Domain string   `json:"domain"`
+}
+
+// Raw is an ordered raw dataset.
+type Raw []RawRecord
+
+// Observed is an ordered observable dataset.
+type Observed []ObservedRecord
+
+// Sort orders the dataset by timestamp (stable, preserving insertion order
+// of simultaneous records).
+func (r Raw) Sort() {
+	sort.SliceStable(r, func(i, j int) bool { return r[i].T < r[j].T })
+}
+
+// Sort orders the dataset by timestamp.
+func (o Observed) Sort() {
+	sort.SliceStable(o, func(i, j int) bool { return o[i].T < o[j].T })
+}
+
+// Window filters records to the half-open interval w.
+func (r Raw) Window(w sim.Window) Raw {
+	out := make(Raw, 0, len(r))
+	for _, rec := range r {
+		if w.Contains(rec.T) {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Window filters records to the half-open interval w.
+func (o Observed) Window(w sim.Window) Observed {
+	out := make(Observed, 0, len(o))
+	for _, rec := range o {
+		if w.Contains(rec.T) {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// ByServer groups observed records by forwarding server, preserving order.
+func (o Observed) ByServer() map[string]Observed {
+	out := make(map[string]Observed)
+	for _, rec := range o {
+		out[rec.Server] = append(out[rec.Server], rec)
+	}
+	return out
+}
+
+// Servers returns the distinct forwarding servers, sorted.
+func (o Observed) Servers() []string {
+	set := make(map[string]struct{})
+	for _, rec := range o {
+		set[rec.Server] = struct{}{}
+	}
+	names := make([]string, 0, len(set))
+	for s := range set {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Domains returns the distinct domains in the dataset, sorted.
+func (o Observed) Domains() []string {
+	set := make(map[string]struct{})
+	for _, rec := range o {
+		set[rec.Domain] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DistinctClients counts the unique clients in a raw dataset — the paper's
+// ground-truth bot count when the dataset is pre-filtered to DGA lookups.
+func (r Raw) DistinctClients() int {
+	set := make(map[string]struct{})
+	for _, rec := range r {
+		set[rec.Client] = struct{}{}
+	}
+	return len(set)
+}
+
+// FilterDomains keeps records whose domain satisfies keep.
+func (r Raw) FilterDomains(keep func(string) bool) Raw {
+	out := make(Raw, 0, len(r))
+	for _, rec := range r {
+		if keep(rec.Domain) {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// FilterDomains keeps records whose domain satisfies keep.
+func (o Observed) FilterDomains(keep func(string) bool) Observed {
+	out := make(Observed, 0, len(o))
+	for _, rec := range o {
+		if keep(rec.Domain) {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Truncate coarsens timestamps to the given granularity, modelling vantage
+// points that log at second resolution (paper §V-B).
+func (o Observed) Truncate(granularity sim.Time) Observed {
+	out := make(Observed, len(o))
+	for i, rec := range o {
+		rec.T = rec.T.Truncate(granularity)
+		out[i] = rec
+	}
+	return out
+}
