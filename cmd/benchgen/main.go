@@ -30,7 +30,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchgen", flag.ContinueOnError)
-	artifact := fs.String("artifact", "all", "artifact to regenerate: all, table1, fig6, fig6a..fig6e, fig7, table2, reactivation, taxonomy")
+	artifact := fs.String("artifact", "all", "artifact to regenerate: all, table1, fig6, fig6a..fig6e, fig7, table2, reactivation, taxonomy, missing, chaos")
 	trials := fs.Int("trials", 10, "trials per Figure 6 point")
 	population := fs.Int("population", 64, "default bot population N")
 	days := fs.Int("days", 60, "enterprise trace length for fig7/table2")
@@ -88,6 +88,15 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Print(experiments.RenderMissingObs(pts))
+		return nil
+	case "chaos":
+		pts, err := experiments.ChaosSweep(experiments.ChaosConfig{
+			Trials: *trials, Population: *population, Seed: *seed, Scale: *scale,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderChaos(pts))
 		return nil
 	case "taxonomy":
 		cells, err := experiments.TaxonomyGrid(experiments.TaxonomyGridConfig{

@@ -39,6 +39,7 @@ func run(args []string) error {
 	family := fs.String("family", "", "target DGA family preset (required)")
 	in := fs.String("in", "", "observable dataset path (default stdin)")
 	format := fs.String("format", "csv", "input format: csv, jsonl, or bind (BIND querylog)")
+	lenient := fs.Bool("lenient", false, "skip malformed input lines (torn tails, corrupt records) instead of failing")
 	seed := fs.Uint64("seed", 1, "DGA seed used to reconstruct pools")
 	estName := fs.String("estimator", "", "force estimator: MT, MP, MB, MB-C, NC (default: by taxonomy)")
 	negTTL := fs.Duration("neg-ttl", 2*60*60*1e9, "negative cache TTL δl")
@@ -57,7 +58,7 @@ func run(args []string) error {
 		return fmt.Errorf("-family is required (try: all, %s)", strings.Join(dga.FamilyNames(), ", "))
 	}
 	if strings.EqualFold(*family, "all") {
-		return runTriage(*in, *format, *seed, sim.FromDuration(*negTTL), sim.FromDuration(*granularity))
+		return runTriage(*in, *format, *lenient, *seed, sim.FromDuration(*negTTL), sim.FromDuration(*granularity))
 	}
 	spec, err := dga.Lookup(*family)
 	if err != nil {
@@ -86,7 +87,7 @@ func run(args []string) error {
 		detection = &d3.Window{MissRate: *missRate, Seed: *seed ^ 0xd3}
 	}
 
-	obs, err := readObserved(*in, *format)
+	obs, err := readObserved(*in, *format, *lenient)
 	if err != nil {
 		return err
 	}
@@ -159,7 +160,7 @@ func run(args []string) error {
 	return nil
 }
 
-func readObserved(path, format string) (trace.Observed, error) {
+func readObserved(path, format string, lenient bool) (trace.Observed, error) {
 	r := os.Stdin
 	if path != "" {
 		f, err := os.Open(path)
@@ -169,12 +170,25 @@ func readObserved(path, format string) (trace.Observed, error) {
 		defer f.Close()
 		r = f
 	}
+	opt := trace.ReadOptions{Lenient: lenient}
+	var (
+		obs trace.Observed
+		res trace.ReadResult
+		err error
+	)
 	switch format {
 	case "jsonl":
-		return trace.ReadObservedJSONL(r)
+		obs, res, err = trace.ReadObservedJSONLOpts(r, opt)
 	case "bind":
-		return trace.ReadBINDLog(r, trace.BINDLogOptions{})
+		obs, err = trace.ReadBINDLog(r, trace.BINDLogOptions{})
 	default:
-		return trace.ReadObservedCSV(r)
+		obs, res, err = trace.ReadObservedCSVOpts(r, opt)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if res.Skipped > 0 {
+		fmt.Fprintf(os.Stderr, "botmeter: skipped %d malformed line(s) in %s input\n", res.Skipped, format)
+	}
+	return obs, nil
 }

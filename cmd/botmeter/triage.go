@@ -12,8 +12,8 @@ import (
 // runTriage analyses one trace against EVERY family preset — the first
 // question an analyst actually has is "which botnets are in here at all?".
 // Families with matched traffic are ranked by estimated total population.
-func runTriage(in, format string, seed uint64, negTTL, granularity sim.Time) error {
-	obs, err := readObserved(in, format)
+func runTriage(in, format string, lenient bool, seed uint64, negTTL, granularity sim.Time) error {
+	obs, err := readObserved(in, format, lenient)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"botmeter/internal/dnswire"
+	"botmeter/internal/faults"
+	"botmeter/internal/sim"
+)
+
+// startChaoticUpstream runs a vantage-like authoritative sink whose socket
+// is wrapped with the fault injector: registered domains resolve,
+// everything else is NXDOMAIN, and every datagram in either direction may
+// be dropped/duplicated per the injector's seeded decision stream.
+func startChaoticUpstream(t *testing.T, inj *faults.Injector, registered map[string]bool) net.PacketConn {
+	t.Helper()
+	raw, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	conn := faults.WrapPacketConn(raw, inj)
+	go func() {
+		buf := make([]byte, 65535)
+		for {
+			n, addr, err := conn.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			msg, err := dnswire.Decode(buf[:n])
+			if err != nil || msg.Header.QR || len(msg.Questions) == 0 {
+				continue
+			}
+			var ip net.IP
+			if registered[msg.Questions[0].Name] {
+				ip = net.ParseIP("192.0.2.50")
+			}
+			wire, err := dnswire.NewResponse(msg, ip, 60).Encode()
+			if err == nil {
+				conn.WriteTo(wire, addr)
+			}
+		}
+	}()
+	t.Cleanup(func() { raw.Close() })
+	return raw
+}
+
+// chaosScenario drives nDomains sequential lookups through a forwarder
+// whose upstream sits behind 20% injected per-direction loss, and returns
+// the rcode sequence plus final counters — the replayable outcome.
+func chaosScenario(t *testing.T, seed uint64, retries int, serveStale sim.Time) (string, forwarderCounters, faults.Counters) {
+	t.Helper()
+	inj := faults.New(seed, faults.Rates{Loss: 0.2})
+	up := startChaoticUpstream(t, inj, map[string]bool{"c2.chaos.example": true})
+	f := newForwarder(forwarderConfig{
+		upstream:   up.LocalAddr().String(),
+		timeout:    120 * time.Millisecond,
+		deadline:   2 * time.Second,
+		retries:    retries,
+		backoff:    2 * time.Millisecond,
+		serveStale: serveStale,
+		posTTL:     sim.Day,
+		negTTL:     2 * sim.Hour,
+		seed:       seed,
+	})
+	rcodes := ""
+	for i := 0; i < 12; i++ {
+		domain := fmt.Sprintf("dga-%02d.chaos.example", i)
+		if i == 6 {
+			domain = "c2.chaos.example"
+		}
+		m := query(t, f, uint16(100+i), domain)
+		rcodes += fmt.Sprintf("%d", m.Header.Rcode)
+	}
+	return rcodes, f.counters(), inj.Counters()
+}
+
+// TestChaosLoopbackRetriesAbsorbLoss is the live-pipeline chaos
+// integration test: resolver↔vantage-style loopback under 20% injected
+// loss. With retries the client sees zero SERVFAILs; without them it
+// doesn't; and a fixed seed replays byte-identically.
+func TestChaosLoopbackRetriesAbsorbLoss(t *testing.T) {
+	const seed = 3
+
+	// (a) Retries on: the loss is absorbed, no client-visible SERVFAIL.
+	rcodes, fc, ic := chaosScenario(t, seed, 6, sim.Hour)
+	if fc.servfails != 0 {
+		t.Errorf("with retries: %d client-visible SERVFAILs (counters %s, chaos %s)", fc.servfails, fc, ic)
+	}
+	if fc.retried == 0 {
+		t.Errorf("with retries: no retransmissions despite %s", ic)
+	}
+	if ic.Lost == 0 {
+		t.Fatalf("injector never fired: %s", ic)
+	}
+
+	// (b) Retries and serve-stale off: the same fault rate leaks SERVFAILs.
+	_, fc0, _ := chaosScenario(t, seed, 0, 0)
+	if fc0.servfails == 0 {
+		t.Errorf("without retries: zero SERVFAILs under 20%% loss (counters %s)", fc0)
+	}
+
+	// (c) Deterministic replay: identical seed, byte-identical outcome.
+	rcodes2, fc2, ic2 := chaosScenario(t, seed, 6, sim.Hour)
+	if rcodes2 != rcodes {
+		t.Errorf("rcode sequence diverged across runs: %q vs %q", rcodes, rcodes2)
+	}
+	if fc2 != fc {
+		t.Errorf("forwarder counters diverged: %+v vs %+v", fc, fc2)
+	}
+	if ic2 != ic {
+		t.Errorf("injector counters diverged: %s vs %s", ic, ic2)
+	}
+}
+
+// TestChaosBlackoutServeStale primes the resolver's cache, then drops the
+// upstream into a blackout window; serve-stale keeps answering, and
+// disabling it surfaces the outage as SERVFAIL.
+func TestChaosBlackoutServeStale(t *testing.T) {
+	const seed = 11
+	// Blackout from the injector's birth for 10 minutes: every datagram to
+	// or from the upstream is swallowed for the whole test.
+	dark := faults.Rates{Blackouts: []sim.Window{{Start: 0, End: 10 * sim.Minute}}}
+
+	prime := func(staleTTL sim.Time) *forwarder {
+		clear := startChaoticUpstream(t, faults.New(seed, faults.Rates{}), map[string]bool{"c2.dark.example": true})
+		f := newForwarder(forwarderConfig{
+			upstream:   clear.LocalAddr().String(),
+			timeout:    100 * time.Millisecond,
+			deadline:   300 * time.Millisecond,
+			retries:    1,
+			backoff:    2 * time.Millisecond,
+			serveStale: staleTTL,
+			posTTL:     sim.FromDuration(50 * time.Millisecond),
+			negTTL:     sim.FromDuration(50 * time.Millisecond),
+			seed:       seed,
+		})
+		if m := query(t, f, 21, "c2.dark.example"); m.Header.Rcode != dnswire.RcodeNoError {
+			t.Fatalf("priming failed: %+v", m)
+		}
+		// Re-point the forwarder at a blacked-out upstream and let the
+		// cached entry expire.
+		darkUp := startChaoticUpstream(t, faults.New(seed, dark), map[string]bool{"c2.dark.example": true})
+		f.cfg.upstream = darkUp.LocalAddr().String()
+		time.Sleep(80 * time.Millisecond)
+		return f
+	}
+
+	f := prime(sim.Hour)
+	m := query(t, f, 22, "c2.dark.example")
+	if m.Header.Rcode != dnswire.RcodeNoError || len(m.Answers) != 1 {
+		t.Fatalf("blackout + serve-stale: %+v (counters %s)", m, f.counters())
+	}
+	if c := f.counters(); c.staleServed != 1 || c.servfails != 0 {
+		t.Errorf("blackout counters = %s, want staleServed=1 servfails=0", c)
+	}
+
+	f2 := prime(0)
+	if m := query(t, f2, 23, "c2.dark.example"); m.Header.Rcode != dnswire.RcodeServFail {
+		t.Errorf("blackout without serve-stale: rcode = %d, want SERVFAIL", m.Header.Rcode)
+	}
+}

@@ -9,6 +9,14 @@
 //	resolver -listen 127.0.0.1:5301 -upstream 127.0.0.1:5300 &
 //	# point clients (or dgasim -live) at 127.0.0.1:5301, then:
 //	botmeter -family newgoz -in obs.jsonl -format jsonl
+//
+// The forwarder degrades gracefully when the upstream misbehaves: failed
+// attempts are retried with exponential backoff and jitter under a
+// per-query deadline, responses are validated against the outstanding
+// query (header ID and question) before being cached or relayed, and when
+// every attempt fails the resolver answers from expired cache entries
+// (RFC 8767 serve-stale) before resorting to SERVFAIL. The -chaos flag
+// injects deterministic faults on the client-facing socket for testing.
 package main
 
 import (
@@ -25,8 +33,13 @@ import (
 
 	"botmeter/internal/dnssim"
 	"botmeter/internal/dnswire"
+	"botmeter/internal/faults"
 	"botmeter/internal/sim"
 )
+
+// staleAnswerTTL is the TTL advertised on answers served past their
+// expiry, per RFC 8767 §5's recommendation to keep stale TTLs short.
+const staleAnswerTTL = 30
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -43,8 +56,18 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	upstream := fs.String("upstream", "127.0.0.1:5300", "upstream DNS server (border/vantage)")
 	posTTL := fs.Duration("positive-ttl", 24*time.Hour, "positive cache TTL")
 	negTTL := fs.Duration("negative-ttl", 2*time.Hour, "negative cache TTL")
-	timeout := fs.Duration("timeout", 2*time.Second, "upstream query timeout")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-attempt upstream query timeout")
+	retries := fs.Int("retries", 2, "upstream retransmissions after a failed attempt")
+	backoff := fs.Duration("backoff", 50*time.Millisecond, "initial retry backoff (doubles per attempt, jittered)")
+	deadline := fs.Duration("deadline", 5*time.Second, "overall per-query deadline across all attempts")
+	serveStale := fs.Duration("serve-stale", time.Hour, "how long past expiry cached answers may be served when the upstream is unreachable (0 disables)")
+	chaosSpec := fs.String("chaos", "", "inject faults on the client socket, e.g. loss=0.2,dup=0.01,delay=5ms,blackout=10s+2s")
+	chaosSeed := fs.Uint64("chaos-seed", 1, "seed for deterministic fault injection")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rates, err := faults.ParseSpec(*chaosSpec)
+	if err != nil {
 		return err
 	}
 	conn, err := net.ListenPacket("udp", *listen)
@@ -52,17 +75,35 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		return err
 	}
 	defer conn.Close()
-	fmt.Fprintf(logw, "resolver: serving on %s, forwarding misses to %s\n",
-		conn.LocalAddr(), *upstream)
-
-	fwd := &forwarder{
-		upstream: *upstream,
-		timeout:  *timeout,
-		cache:    dnssim.NewCache(sim.FromDuration(*posTTL), sim.FromDuration(*negTTL)),
-		started:  time.Now(),
+	var inj *faults.Injector
+	if rates.Enabled() {
+		inj = faults.New(*chaosSeed, rates)
+		conn = faults.WrapPacketConn(conn, inj)
+		fmt.Fprintf(logw, "resolver: CHAOS enabled on client socket: %s (seed %d)\n", rates, *chaosSeed)
 	}
+	fmt.Fprintf(logw, "resolver: serving on %s, forwarding misses to %s (retries=%d, serve-stale=%s)\n",
+		conn.LocalAddr(), *upstream, *retries, *serveStale)
+
+	fwd := newForwarder(forwarderConfig{
+		upstream:   *upstream,
+		timeout:    *timeout,
+		retries:    *retries,
+		backoff:    *backoff,
+		deadline:   *deadline,
+		serveStale: sim.FromDuration(*serveStale),
+		posTTL:     sim.FromDuration(*posTTL),
+		negTTL:     sim.FromDuration(*negTTL),
+		seed:       *chaosSeed ^ 0xf0f0,
+	})
 	done := make(chan error, 1)
 	go func() { done <- fwd.serve(conn) }()
+	defer func() {
+		c := fwd.counters()
+		fmt.Fprintf(logw, "resolver: %s\n", c)
+		if inj != nil {
+			fmt.Fprintf(logw, "resolver: chaos %s\n", inj.Counters())
+		}
+	}()
 	select {
 	case <-ctx.Done():
 		conn.Close()
@@ -76,17 +117,77 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	}
 }
 
-// forwarder answers from cache and forwards misses upstream.
-type forwarder struct {
+// forwarderConfig bundles the forwarder's resilience policy.
+type forwarderConfig struct {
 	upstream string
+	// timeout bounds one upstream attempt; deadline bounds the whole
+	// query including retries and backoff sleeps.
 	timeout  time.Duration
-	started  time.Time
+	deadline time.Duration
+	// retries is how many retransmissions follow a failed first attempt.
+	retries int
+	// backoff is the initial inter-attempt backoff; each retry doubles it
+	// and draws a jittered sleep from [backoff/2, backoff).
+	backoff time.Duration
+	// serveStale, when positive, answers from cache entries up to this
+	// long past expiry when every upstream attempt fails.
+	serveStale sim.Time
+	posTTL     sim.Time
+	negTTL     sim.Time
+	seed       uint64
+}
+
+func (c forwarderConfig) withDefaults() forwarderConfig {
+	if c.timeout <= 0 {
+		c.timeout = 2 * time.Second
+	}
+	if c.deadline <= 0 {
+		c.deadline = 5 * time.Second
+	}
+	if c.backoff <= 0 {
+		c.backoff = 50 * time.Millisecond
+	}
+	return c
+}
+
+// forwarder answers from cache and forwards misses upstream with
+// retry/backoff and serve-stale degradation.
+type forwarder struct {
+	cfg     forwarderConfig
+	started time.Time
 
 	mu    sync.Mutex
 	cache *dnssim.Cache
+	rng   *sim.RNG // jitter source (seeded: backoff schedules replay deterministically)
 
-	queries   int
-	forwarded int
+	forwarderCounters
+}
+
+// forwarderCounters tallies the forwarder's traffic and degradation events.
+type forwarderCounters struct {
+	queries     int // client datagrams parsed as queries
+	forwarded   int // queries answered via the upstream
+	retried     int // upstream retransmissions
+	mismatched  int // upstream datagrams rejected by ID/question validation
+	staleServed int // answers served past their TTL (RFC 8767)
+	servfails   int // client-visible SERVFAILs
+}
+
+func (c forwarderCounters) String() string {
+	return fmt.Sprintf("queries=%d forwarded=%d retried=%d mismatched=%d stale-served=%d servfails=%d",
+		c.queries, c.forwarded, c.retried, c.mismatched, c.staleServed, c.servfails)
+}
+
+func newForwarder(cfg forwarderConfig) *forwarder {
+	cfg = cfg.withDefaults()
+	cache := dnssim.NewCache(cfg.posTTL, cfg.negTTL)
+	cache.StaleTTL = cfg.serveStale
+	return &forwarder{
+		cfg:     cfg,
+		cache:   cache,
+		rng:     sim.NewRNG(cfg.seed),
+		started: time.Now(),
+	}
 }
 
 // now maps wall time onto the cache's virtual clock.
@@ -114,7 +215,8 @@ func (f *forwarder) serve(conn net.PacketConn) error {
 	}
 }
 
-// handle serves one client datagram: cache first, upstream on miss.
+// handle serves one client datagram: cache first, upstream on miss, stale
+// cache as the last resort before SERVFAIL.
 func (f *forwarder) handle(pkt []byte) []byte {
 	msg, err := dnswire.Decode(pkt)
 	if err != nil || msg.Header.QR || len(msg.Questions) == 0 {
@@ -128,23 +230,24 @@ func (f *forwarder) handle(pkt []byte) []byte {
 	ans, hit := f.cache.Lookup(now, domain)
 	f.mu.Unlock()
 	if hit {
-		var resp *dnswire.Message
-		if ans.NX {
-			resp = dnswire.NewResponse(msg, nil, 0)
-		} else {
-			// Cached positives return the sinkhole address; a production
-			// resolver would cache the full RRset.
-			resp = dnswire.NewResponse(msg, net.ParseIP("192.0.2.1"), 60)
-		}
-		wire, err := resp.Encode()
-		if err != nil {
-			return nil
-		}
-		return wire
+		return encodeAnswer(msg, ans.NX, 60)
 	}
 
-	upstreamResp, err := f.forward(pkt)
+	upstreamResp, parsed, err := f.forward(pkt, msg)
 	if err != nil {
+		// Graceful degradation: an expired answer beats no answer while
+		// the upstream is dark (RFC 8767).
+		f.mu.Lock()
+		stale, ok := f.cache.LookupStale(now, domain)
+		if ok {
+			f.staleServed++
+		} else {
+			f.servfails++
+		}
+		f.mu.Unlock()
+		if ok {
+			return encodeAnswer(msg, stale.NX, staleAnswerTTL)
+		}
 		servfail := &dnswire.Message{
 			Header:    dnswire.Header{ID: msg.Header.ID, QR: true, RD: msg.Header.RD, Rcode: dnswire.RcodeServFail},
 			Questions: msg.Questions,
@@ -155,39 +258,129 @@ func (f *forwarder) handle(pkt []byte) []byte {
 		}
 		return wire
 	}
-	if parsed, err := dnswire.Decode(upstreamResp); err == nil {
-		f.mu.Lock()
-		f.forwarded++
-		f.cache.Store(now, domain, parsed.Header.Rcode == dnswire.RcodeNXDomain)
-		f.mu.Unlock()
-	}
+	f.mu.Lock()
+	f.forwarded++
+	f.cache.Store(now, domain, parsed.Header.Rcode == dnswire.RcodeNXDomain)
+	f.mu.Unlock()
 	return upstreamResp
 }
 
-// forward relays the raw query upstream and returns the raw response.
-func (f *forwarder) forward(pkt []byte) ([]byte, error) {
-	c, err := net.Dial("udp", f.upstream)
+// encodeAnswer builds a cached/stale response. Cached positives return the
+// sinkhole address; a production resolver would cache the full RRset.
+func encodeAnswer(q *dnswire.Message, nx bool, ttl uint32) []byte {
+	var resp *dnswire.Message
+	if nx {
+		resp = dnswire.NewResponse(q, nil, 0)
+	} else {
+		resp = dnswire.NewResponse(q, net.ParseIP("192.0.2.1"), ttl)
+	}
+	wire, err := resp.Encode()
 	if err != nil {
-		return nil, err
+		return nil
 	}
-	defer c.Close()
-	if err := c.SetDeadline(time.Now().Add(f.timeout)); err != nil {
-		return nil, err
-	}
-	if _, err := c.Write(pkt); err != nil {
-		return nil, err
-	}
-	buf := make([]byte, 65535)
-	n, err := c.Read(buf)
-	if err != nil {
-		return nil, err
-	}
-	return append([]byte(nil), buf[:n]...), nil
+	return wire
 }
 
-// stats reports counters (for tests).
+// forward relays the raw query upstream with retries, exponential backoff
+// with jitter, and a per-query deadline. Only responses whose header ID and
+// question match the query are accepted (off-path datagrams, late answers
+// to earlier queries and chaos-duplicated packets are counted and
+// dropped); upstream SERVFAILs count as failed attempts so they are
+// retried rather than cached.
+func (f *forwarder) forward(pkt []byte, q *dnswire.Message) ([]byte, *dnswire.Message, error) {
+	overall := time.Now().Add(f.cfg.deadline)
+	backoff := f.cfg.backoff
+	var lastErr error
+	for attempt := 0; attempt <= f.cfg.retries; attempt++ {
+		if attempt > 0 {
+			f.mu.Lock()
+			f.retried++
+			// Full-ish jitter: uniform in [backoff/2, backoff).
+			sleep := backoff/2 + time.Duration(f.rng.Int64N(int64(backoff/2)+1))
+			f.mu.Unlock()
+			if remaining := time.Until(overall); sleep > remaining {
+				sleep = remaining
+			}
+			if sleep > 0 {
+				time.Sleep(sleep)
+			}
+			backoff *= 2
+		}
+		if time.Now().After(overall) {
+			break
+		}
+		wire, parsed, err := f.attempt(pkt, q, overall)
+		if err == nil {
+			return wire, parsed, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("query deadline %s exhausted", f.cfg.deadline)
+	}
+	return nil, nil, lastErr
+}
+
+// attempt performs one upstream exchange, reading until a validated
+// response arrives or the attempt deadline passes.
+func (f *forwarder) attempt(pkt []byte, q *dnswire.Message, overall time.Time) ([]byte, *dnswire.Message, error) {
+	c, err := net.Dial("udp", f.cfg.upstream)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer c.Close()
+	deadline := time.Now().Add(f.cfg.timeout)
+	if deadline.After(overall) {
+		deadline = overall
+	}
+	if err := c.SetDeadline(deadline); err != nil {
+		return nil, nil, err
+	}
+	if _, err := c.Write(pkt); err != nil {
+		return nil, nil, err
+	}
+	buf := make([]byte, 65535)
+	for {
+		n, err := c.Read(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		parsed, err := dnswire.Decode(buf[:n])
+		if err != nil || !f.matches(parsed, q) {
+			// Not the answer to our question: keep listening until the
+			// attempt deadline rather than poisoning the cache.
+			f.mu.Lock()
+			f.mismatched++
+			f.mu.Unlock()
+			continue
+		}
+		if parsed.Header.Rcode == dnswire.RcodeServFail {
+			return nil, nil, fmt.Errorf("upstream answered SERVFAIL")
+		}
+		return append([]byte(nil), buf[:n]...), parsed, nil
+	}
+}
+
+// matches validates an upstream datagram against the outstanding query:
+// it must be a response carrying the same header ID and the same question
+// name (case-insensitively, per RFC 1035 §2.3.3).
+func (f *forwarder) matches(resp, q *dnswire.Message) bool {
+	if !resp.Header.QR || resp.Header.ID != q.Header.ID || len(resp.Questions) == 0 {
+		return false
+	}
+	return strings.EqualFold(resp.Questions[0].Name, q.Questions[0].Name)
+}
+
+// stats reports the basic counters (for tests).
 func (f *forwarder) stats() (queries, forwarded int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.queries, f.forwarded
+}
+
+// counters snapshots all counters.
+func (f *forwarder) counters() forwarderCounters {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.forwarderCounters
 }

@@ -5,7 +5,6 @@ import (
 	"testing"
 	"time"
 
-	"botmeter/internal/dnssim"
 	"botmeter/internal/dnswire"
 	"botmeter/internal/sim"
 )
@@ -61,12 +60,15 @@ func startFakeUpstream(t *testing.T, registered ...string) *fakeUpstream {
 
 func newTestForwarder(t *testing.T, upstream string) *forwarder {
 	t.Helper()
-	return &forwarder{
+	return newForwarder(forwarderConfig{
 		upstream: upstream,
 		timeout:  time.Second,
-		cache:    dnssim.NewCache(sim.Day, 2*sim.Hour),
-		started:  time.Now(),
-	}
+		deadline: 2 * time.Second,
+		retries:  0,
+		posTTL:   sim.Day,
+		negTTL:   2 * sim.Hour,
+		seed:     1,
+	})
 }
 
 func query(t *testing.T, f *forwarder, id uint16, domain string) *dnswire.Message {
@@ -142,11 +144,20 @@ func TestForwarderNegativeCaching(t *testing.T) {
 }
 
 func TestForwarderServfailOnDeadUpstream(t *testing.T) {
-	f := newTestForwarder(t, "127.0.0.1:1") // nothing listens there
-	f.timeout = 200 * time.Millisecond
+	f := newForwarder(forwarderConfig{
+		upstream: "127.0.0.1:1", // nothing listens there
+		timeout:  200 * time.Millisecond,
+		deadline: 400 * time.Millisecond,
+		posTTL:   sim.Day,
+		negTTL:   2 * sim.Hour,
+		seed:     1,
+	})
 	m := query(t, f, 5, "any.example.com")
 	if m.Header.Rcode != dnswire.RcodeServFail {
 		t.Errorf("want SERVFAIL, got rcode %d", m.Header.Rcode)
+	}
+	if c := f.counters(); c.servfails != 1 {
+		t.Errorf("servfail counter = %d, want 1", c.servfails)
 	}
 }
 

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"botmeter/internal/dnswire"
+	"botmeter/internal/sim"
+)
+
+// scriptedUpstream answers each query according to a script keyed by the
+// 1-based arrival count, letting tests simulate drops, mismatched
+// datagrams and SERVFAIL bursts precisely.
+type scriptedUpstream struct {
+	conn     net.PacketConn
+	received atomic.Int64
+}
+
+// startScriptedUpstream serves UDP; for every query it calls script with
+// the arrival count and sends back each returned datagram (none = drop).
+func startScriptedUpstream(t *testing.T, script func(q *dnswire.Message, count int) [][]byte) *scriptedUpstream {
+	t.Helper()
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	u := &scriptedUpstream{conn: conn}
+	go func() {
+		buf := make([]byte, 65535)
+		for {
+			n, addr, err := conn.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			msg, err := dnswire.Decode(buf[:n])
+			if err != nil || len(msg.Questions) == 0 {
+				continue
+			}
+			count := int(u.received.Add(1))
+			for _, resp := range script(msg, count) {
+				conn.WriteTo(resp, addr)
+			}
+		}
+	}()
+	t.Cleanup(func() { conn.Close() })
+	return u
+}
+
+func positiveResponse(t *testing.T, q *dnswire.Message) []byte {
+	t.Helper()
+	wire, err := dnswire.NewResponse(q, net.ParseIP("192.0.2.77"), 60).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+// TestForwarderRetriesRecover drops the first attempt; the retransmission
+// must succeed without any client-visible failure.
+func TestForwarderRetriesRecover(t *testing.T) {
+	up := startScriptedUpstream(t, func(q *dnswire.Message, count int) [][]byte {
+		if count == 1 {
+			return nil // first attempt lost
+		}
+		return [][]byte{positiveResponse(t, q)}
+	})
+	f := newForwarder(forwarderConfig{
+		upstream: up.conn.LocalAddr().String(),
+		timeout:  150 * time.Millisecond,
+		deadline: 2 * time.Second,
+		retries:  2,
+		backoff:  5 * time.Millisecond,
+		posTTL:   sim.Day,
+		negTTL:   2 * sim.Hour,
+		seed:     1,
+	})
+	m := query(t, f, 7, "retry.example.com")
+	if m.Header.Rcode != dnswire.RcodeNoError || len(m.Answers) != 1 {
+		t.Fatalf("recovered answer = %+v", m)
+	}
+	c := f.counters()
+	if c.retried < 1 {
+		t.Errorf("retried = %d, want >= 1", c.retried)
+	}
+	if c.servfails != 0 {
+		t.Errorf("servfails = %d, want 0", c.servfails)
+	}
+}
+
+// TestForwarderValidatesResponses sends a wrong-ID datagram and a
+// wrong-question datagram ahead of the real answer; both must be rejected
+// (counted, not cached, not relayed) and the true answer must win within
+// the same attempt.
+func TestForwarderValidatesResponses(t *testing.T) {
+	up := startScriptedUpstream(t, func(q *dnswire.Message, count int) [][]byte {
+		spoofedID := dnswire.NewResponse(dnswire.NewQuery(q.Header.ID+1, q.Questions[0].Name), net.ParseIP("203.0.113.66"), 60)
+		spoofWire, err := spoofedID.Encode()
+		if err != nil {
+			t.Error(err)
+		}
+		wrongQ := dnswire.NewResponse(dnswire.NewQuery(q.Header.ID, "not-what-you-asked.example"), net.ParseIP("203.0.113.66"), 60)
+		wrongQWire, err := wrongQ.Encode()
+		if err != nil {
+			t.Error(err)
+		}
+		return [][]byte{spoofWire, wrongQWire, positiveResponse(t, q)}
+	})
+	f := newTestForwarder(t, up.conn.LocalAddr().String())
+	m := query(t, f, 42, "target.example.com")
+	if m.Header.ID != 42 || m.Header.Rcode != dnswire.RcodeNoError || len(m.Answers) != 1 {
+		t.Fatalf("validated answer = %+v", m)
+	}
+	if !net.IP(m.Answers[0].Data).Equal(net.ParseIP("192.0.2.77")) {
+		t.Errorf("answer IP = %v (cache poisoned by spoof?)", net.IP(m.Answers[0].Data))
+	}
+	if c := f.counters(); c.mismatched != 2 {
+		t.Errorf("mismatched = %d, want 2", c.mismatched)
+	}
+}
+
+// TestForwarderRetriesUpstreamServfail treats an upstream SERVFAIL as a
+// failed attempt: it must be retried, never cached, and the eventual
+// positive answer relayed.
+func TestForwarderRetriesUpstreamServfail(t *testing.T) {
+	up := startScriptedUpstream(t, func(q *dnswire.Message, count int) [][]byte {
+		if count == 1 {
+			servfail := &dnswire.Message{
+				Header:    dnswire.Header{ID: q.Header.ID, QR: true, Rcode: dnswire.RcodeServFail},
+				Questions: q.Questions,
+			}
+			wire, err := servfail.Encode()
+			if err != nil {
+				t.Error(err)
+			}
+			return [][]byte{wire}
+		}
+		return [][]byte{positiveResponse(t, q)}
+	})
+	f := newForwarder(forwarderConfig{
+		upstream: up.conn.LocalAddr().String(),
+		timeout:  time.Second,
+		deadline: 2 * time.Second,
+		retries:  1,
+		backoff:  5 * time.Millisecond,
+		posTTL:   sim.Day,
+		negTTL:   2 * sim.Hour,
+		seed:     1,
+	})
+	m := query(t, f, 9, "burst.example.com")
+	if m.Header.Rcode != dnswire.RcodeNoError || len(m.Answers) != 1 {
+		t.Fatalf("post-SERVFAIL answer = %+v", m)
+	}
+	// A fresh query must hit the cache (the SERVFAIL was not cached, the
+	// positive was).
+	before := up.received.Load()
+	m = query(t, f, 10, "burst.example.com")
+	if m.Header.Rcode != dnswire.RcodeNoError {
+		t.Fatalf("cached answer = %+v", m)
+	}
+	if up.received.Load() != before {
+		t.Error("cached positive leaked upstream (SERVFAIL cached instead?)")
+	}
+}
+
+// TestForwarderServeStale primes the cache, lets the entry expire, kills
+// the upstream, and expects the expired answer served with the stale TTL
+// instead of SERVFAIL — RFC 8767 graceful degradation.
+func TestForwarderServeStale(t *testing.T) {
+	up := startScriptedUpstream(t, func(q *dnswire.Message, count int) [][]byte {
+		return [][]byte{positiveResponse(t, q)}
+	})
+	f := newForwarder(forwarderConfig{
+		upstream:   up.conn.LocalAddr().String(),
+		timeout:    100 * time.Millisecond,
+		deadline:   200 * time.Millisecond,
+		posTTL:     sim.FromDuration(50 * time.Millisecond),
+		negTTL:     sim.FromDuration(50 * time.Millisecond),
+		serveStale: sim.Hour,
+		seed:       1,
+	})
+	if m := query(t, f, 11, "c2.example.net"); m.Header.Rcode != dnswire.RcodeNoError {
+		t.Fatalf("priming answer = %+v", m)
+	}
+	up.conn.Close()                   // upstream goes dark
+	time.Sleep(80 * time.Millisecond) // let the cache entry expire
+	m := query(t, f, 12, "c2.example.net")
+	if m.Header.Rcode != dnswire.RcodeNoError || len(m.Answers) != 1 {
+		t.Fatalf("stale answer = %+v", m)
+	}
+	if ttl := m.Answers[0].TTL; ttl != staleAnswerTTL {
+		t.Errorf("stale TTL = %d, want %d", ttl, staleAnswerTTL)
+	}
+	c := f.counters()
+	if c.staleServed != 1 || c.servfails != 0 {
+		t.Errorf("counters = %+v, want staleServed=1 servfails=0", c)
+	}
+
+	// With serve-stale disabled the same situation must SERVFAIL.
+	f2 := newForwarder(forwarderConfig{
+		upstream: up.conn.LocalAddr().String(),
+		timeout:  100 * time.Millisecond,
+		deadline: 200 * time.Millisecond,
+		posTTL:   sim.Day,
+		negTTL:   2 * sim.Hour,
+		seed:     1,
+	})
+	if m := query(t, f2, 13, "gone.example.net"); m.Header.Rcode != dnswire.RcodeServFail {
+		t.Errorf("without serve-stale: rcode = %d, want SERVFAIL", m.Header.Rcode)
+	}
+}

@@ -5,6 +5,15 @@
 // query to an observable dataset (JSON lines) that cmd/botmeter can analyse
 // — the live-deployment counterpart of the simulator's Border server.
 //
+// The observable dataset is written crash-safely: records are flushed on an
+// interval (default 1s) and every N records so a tailing consumer
+// (botmeter -lenient -in obs.jsonl) sees a live capture, each underlying
+// write is a whole number of JSONL lines, write errors surface immediately
+// rather than at shutdown, and on startup any torn final line left by a
+// previous crash is truncated away so appends resume on a clean boundary.
+// The -chaos flag injects deterministic faults (loss, duplication, latency,
+// SERVFAIL bursts, blackouts) for resilience testing of downstreams.
+//
 // Usage:
 //
 //	vantage -listen 127.0.0.1:5353 -zone registered.txt -observed obs.jsonl
@@ -26,6 +35,7 @@ import (
 	"time"
 
 	"botmeter/internal/dnswire"
+	"botmeter/internal/faults"
 	"botmeter/internal/sim"
 	"botmeter/internal/trace"
 )
@@ -45,13 +55,29 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	zonePath := fs.String("zone", "", "file of registered domains (one per line, optional 'domain ip')")
 	observedPath := fs.String("observed", "observed.jsonl", "observable dataset output (JSON lines)")
 	ttl := fs.Uint("ttl", 3600, "TTL for positive answers (seconds)")
+	flushInterval := fs.Duration("flush-interval", time.Second, "flush buffered observations this often (negative disables)")
+	flushEvery := fs.Int("flush-every", 64, "flush after this many buffered observations")
+	fsyncInterval := fs.Duration("fsync-interval", 0, "fsync the observed dataset at most this often (0 disables)")
+	chaosSpec := fs.String("chaos", "", "inject faults, e.g. loss=0.2,dup=0.01,servfail=0.05,delay=5ms,blackout=10s+2s")
+	chaosSeed := fs.Uint64("chaos-seed", 1, "seed for deterministic fault injection")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rates, err := faults.ParseSpec(*chaosSpec)
+	if err != nil {
 		return err
 	}
 
 	zone, err := loadZone(*zonePath)
 	if err != nil {
 		return err
+	}
+	// Crash recovery: drop a torn final line from a previous unclean
+	// shutdown so this run appends on a line boundary.
+	if removed, err := trace.TruncateTornTail(*observedPath); err != nil {
+		return fmt.Errorf("recovering %s: %w", *observedPath, err)
+	} else if removed > 0 {
+		fmt.Fprintf(logw, "vantage: recovered %s: truncated %d-byte torn final line\n", *observedPath, removed)
 	}
 	out, err := os.OpenFile(*observedPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -64,6 +90,12 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		return err
 	}
 	defer conn.Close()
+	var inj *faults.Injector
+	if rates.Enabled() {
+		inj = faults.New(*chaosSeed, rates)
+		conn = faults.WrapPacketConn(conn, inj)
+		fmt.Fprintf(logw, "vantage: CHAOS enabled: %s (seed %d)\n", rates, *chaosSeed)
+	}
 	fmt.Fprintf(logw, "vantage: serving DNS on %s (%d registered domains), observing to %s\n",
 		conn.LocalAddr(), len(zone), *observedPath)
 
@@ -71,7 +103,13 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		zone:    zone,
 		ttl:     uint32(*ttl),
 		started: time.Now(),
-		enc:     bufio.NewWriter(out),
+		inj:     inj,
+		logw:    logw,
+		out: trace.NewSafeWriter(out, trace.SafeWriterConfig{
+			FlushInterval: *flushInterval,
+			FlushEvery:    *flushEvery,
+			FsyncInterval: *fsyncInterval,
+		}),
 	}
 	done := make(chan error, 1)
 	go func() { done <- srv.serve(conn) }()
@@ -81,12 +119,14 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		<-done
 	case err := <-done:
 		if err != nil && ctx.Err() == nil {
+			srv.out.Close()
 			return err
 		}
 	}
-	srv.mu.Lock()
-	defer srv.mu.Unlock()
-	return srv.enc.Flush()
+	if inj != nil {
+		fmt.Fprintf(logw, "vantage: chaos %s\n", inj.Counters())
+	}
+	return srv.out.Close()
 }
 
 // sink answers queries and records observations.
@@ -94,9 +134,12 @@ type sink struct {
 	zone    map[string]net.IP
 	ttl     uint32
 	started time.Time
+	out     *trace.SafeWriter
+	inj     *faults.Injector
+	logw    *os.File
 
-	mu  sync.Mutex
-	enc *bufio.Writer
+	mu        sync.Mutex
+	writeErrs int
 }
 
 func (s *sink) serve(conn net.PacketConn) error {
@@ -127,6 +170,21 @@ func (s *sink) handle(pkt []byte, from net.Addr) []byte {
 	}
 	domain := strings.ToLower(msg.Questions[0].Name)
 
+	// Application-level chaos: a SERVFAIL burst means the query was
+	// received but resolution failed — nothing is recorded, mirroring a
+	// border server whose recursion is broken.
+	if s.inj != nil && s.inj.ServFail() {
+		servfail := &dnswire.Message{
+			Header:    dnswire.Header{ID: msg.Header.ID, QR: true, RD: msg.Header.RD, Rcode: dnswire.RcodeServFail},
+			Questions: msg.Questions,
+		}
+		wire, err := servfail.Encode()
+		if err != nil {
+			return nil
+		}
+		return wire
+	}
+
 	// The forwarding server's identity is its source address (ports vary
 	// per query; the host is the stable identity).
 	server := from.String()
@@ -138,9 +196,17 @@ func (s *sink) handle(pkt []byte, from net.Addr) []byte {
 		Server: server,
 		Domain: domain,
 	}
-	s.mu.Lock()
-	writeJSONL(s.enc, rec)
-	s.mu.Unlock()
+	if err := s.out.Append(rec); err != nil {
+		// A failing disk must not take the DNS plane down, but it must be
+		// loud: log the first few occurrences and keep counting.
+		s.mu.Lock()
+		s.writeErrs++
+		n := s.writeErrs
+		s.mu.Unlock()
+		if n <= 3 && s.logw != nil {
+			fmt.Fprintf(s.logw, "vantage: observation write error (%d so far): %v\n", n, err)
+		}
+	}
 
 	ip := s.zone[domain]
 	resp := dnswire.NewResponse(msg, ip, s.ttl)
@@ -151,9 +217,11 @@ func (s *sink) handle(pkt []byte, from net.Addr) []byte {
 	return wire
 }
 
-// writeJSONL appends one record; errors surface at final Flush.
-func writeJSONL(w *bufio.Writer, rec trace.ObservedRecord) {
-	fmt.Fprintf(w, `{"t":%d,"server":%q,"domain":%q}`+"\n", int64(rec.T), rec.Server, rec.Domain)
+// writeErrors reports how many observations failed to persist.
+func (s *sink) writeErrors() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeErrs
 }
 
 // loadZone reads "domain [ip]" lines; a missing IP defaults to 192.0.2.1

@@ -1,8 +1,8 @@
 package main
 
 import (
-	"bufio"
 	"bytes"
+	"errors"
 	"net"
 	"os"
 	"path/filepath"
@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"botmeter/internal/dnswire"
+	"botmeter/internal/trace"
 )
 
 type fakeAddr string
@@ -29,7 +30,11 @@ func newTestSink(t *testing.T, zoneLines string) (*sink, *bytes.Buffer) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	return &sink{zone: zone, ttl: 60, enc: bufio.NewWriter(&buf)}, &buf
+	// FlushEvery=1 and no background flusher: every observation is visible
+	// in buf immediately and tests stay race-free.
+	out := trace.NewSafeWriter(&buf, trace.SafeWriterConfig{FlushInterval: -1, FlushEvery: 1})
+	t.Cleanup(func() { out.Close() })
+	return &sink{zone: zone, ttl: 60, out: out}, &buf
 }
 
 func TestSinkAnswersRegistered(t *testing.T) {
@@ -53,7 +58,6 @@ func TestSinkAnswersRegistered(t *testing.T) {
 	if !net.IP(m.Answers[0].Data).Equal(net.ParseIP("192.0.2.99")) {
 		t.Errorf("answer IP = %v", net.IP(m.Answers[0].Data))
 	}
-	s.enc.Flush()
 	line := obs.String()
 	if !strings.Contains(line, `"server":"10.0.0.5"`) || !strings.Contains(line, `"domain":"c2.evil.com"`) {
 		t.Errorf("observation = %q", line)
@@ -91,7 +95,6 @@ func TestSinkIgnoresGarbageAndResponses(t *testing.T) {
 	if resp := s.handle(wire, fakeAddr("x")); resp != nil {
 		t.Error("responses should be dropped")
 	}
-	s.enc.Flush()
 	if obs.Len() != 0 {
 		t.Errorf("garbage produced observations: %q", obs.String())
 	}
@@ -128,6 +131,65 @@ func TestLoadZone(t *testing.T) {
 	}
 	if zone, err := loadZone(""); err != nil || len(zone) != 0 {
 		t.Error("empty path should give empty zone")
+	}
+}
+
+// brokenWriter fails every write.
+type brokenWriter struct{}
+
+func (brokenWriter) Write([]byte) (int, error) { return 0, errors.New("disk gone") }
+
+// TestSinkSurvivesWriteErrors: a failing observation disk must not take the
+// DNS plane down — queries keep getting answered while the errors are
+// counted.
+func TestSinkSurvivesWriteErrors(t *testing.T) {
+	out := trace.NewSafeWriter(brokenWriter{}, trace.SafeWriterConfig{FlushInterval: -1, FlushEvery: 1})
+	t.Cleanup(func() { out.Close() })
+	s := &sink{zone: map[string]net.IP{"up.example": net.ParseIP("192.0.2.9")}, ttl: 60, out: out}
+	for i := 0; i < 5; i++ {
+		q := dnswire.NewQuery(uint16(50+i), "up.example")
+		wire, err := q.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp := s.handle(wire, fakeAddr("10.0.0.7:999"))
+		if resp == nil {
+			t.Fatal("DNS answer lost to a disk failure")
+		}
+		m, err := dnswire.Decode(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Header.Rcode != dnswire.RcodeNoError {
+			t.Fatalf("rcode = %d under disk failure", m.Header.Rcode)
+		}
+	}
+	// The SafeWriter's first Append buffers cleanly and fails on flush; the
+	// sticky error surfaces on every subsequent Append.
+	if n := s.writeErrors(); n < 4 {
+		t.Errorf("writeErrors = %d, want >= 4", n)
+	}
+}
+
+// TestRunRecoversTornObserved: run() must truncate a torn final line before
+// appending, so a crash-interrupted capture stays strictly readable.
+func TestRunRecoversTornObserved(t *testing.T) {
+	dir := t.TempDir()
+	obsPath := filepath.Join(dir, "obs.jsonl")
+	torn := `{"t":1,"server":"10.0.0.5","domain":"old.example"}` + "\n" + `{"t":2,"server":"10.0`
+	if err := os.WriteFile(obsPath, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if removed, err := trace.TruncateTornTail(obsPath); err != nil || removed == 0 {
+		t.Fatalf("recovery: %d, %v", removed, err)
+	}
+	data, err := os.ReadFile(obsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := trace.ReadObservedJSONL(bytes.NewReader(data))
+	if err != nil || len(obs) != 1 || obs[0].Domain != "old.example" {
+		t.Errorf("recovered capture = %+v, %v", obs, err)
 	}
 }
 
@@ -170,9 +232,6 @@ func TestServeLoopback(t *testing.T) {
 	if err := <-done; err != nil {
 		t.Errorf("serve returned %v", err)
 	}
-	s.mu.Lock()
-	s.enc.Flush()
-	s.mu.Unlock()
 	if !strings.Contains(obs.String(), "live.example.com") {
 		t.Errorf("observation missing: %q", obs.String())
 	}

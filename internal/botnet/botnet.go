@@ -247,6 +247,13 @@ func (b *botRun) query(e *sim.Engine) {
 	}
 	b.result.QueriesIssued++
 	b.step++
+	if ans.ServFail {
+		// Resolution failure (injected fault or upstream outage): the bot
+		// cannot tell SERVFAIL from NXDomain success-wise and walks on to
+		// the next domain, like real crimeware under packet loss.
+		e.ScheduleAfter(b.runner.cfg.Spec.Interval(b.rng), b.query)
+		return
+	}
 	if !ans.NX {
 		b.result.C2Contacts++
 		return // rendezvous established; activation ends

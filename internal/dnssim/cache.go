@@ -18,6 +18,14 @@ type Answer struct {
 	// CacheHit reports that the answer was served from the local cache
 	// without any upward forwarding (i.e. invisible at the vantage point).
 	CacheHit bool
+	// ServFail reports a resolution failure (lost datagram, upstream
+	// blackout, or an upstream SERVFAIL) after any configured retries.
+	// ServFail answers are never cached.
+	ServFail bool
+	// Stale reports the answer was served from an expired cache entry
+	// under RFC 8767-style graceful degradation while the upstream was
+	// unreachable. Implies CacheHit.
+	Stale bool
 }
 
 // Cache is a DNS answer cache with separate positive and negative TTLs.
@@ -28,8 +36,14 @@ type Cache struct {
 	negativeTTL sim.Time
 	entries     map[string]cacheEntry
 
+	// StaleTTL, when positive, keeps expired entries around for that long
+	// past their expiry so LookupStale can serve them while the upstream
+	// is unreachable (RFC 8767 serve-stale). Zero disables retention.
+	StaleTTL sim.Time
+
 	lookups    int
 	hits       int
+	staleHits  int
 	sweepEvery int
 	opsSince   int
 	lastSweep  sim.Time
@@ -52,7 +66,8 @@ func NewCache(positiveTTL, negativeTTL sim.Time) *Cache {
 }
 
 // Lookup consults the cache at virtual time now. On a hit it returns the
-// cached answer.
+// cached answer. Expired entries miss; when StaleTTL is positive they are
+// retained (for LookupStale) until the stale horizon passes.
 func (c *Cache) Lookup(now sim.Time, domain string) (Answer, bool) {
 	c.lookups++
 	c.maybeSweep(now)
@@ -61,12 +76,33 @@ func (c *Cache) Lookup(now sim.Time, domain string) (Answer, bool) {
 		return Answer{}, false
 	}
 	if now >= e.expires {
-		delete(c.entries, domain)
+		if c.StaleTTL <= 0 || now >= e.expires+c.StaleTTL {
+			delete(c.entries, domain)
+		}
 		return Answer{}, false
 	}
 	c.hits++
 	return Answer{NX: e.nx, CacheHit: true}, true
 }
+
+// LookupStale serves an expired-but-retained entry — the graceful
+// degradation path taken when the upstream is unreachable (RFC 8767). It
+// returns ok only for entries past their TTL but within StaleTTL of it;
+// fresh entries are Lookup's job.
+func (c *Cache) LookupStale(now sim.Time, domain string) (Answer, bool) {
+	if c.StaleTTL <= 0 {
+		return Answer{}, false
+	}
+	e, ok := c.entries[domain]
+	if !ok || now < e.expires || now >= e.expires+c.StaleTTL {
+		return Answer{}, false
+	}
+	c.staleHits++
+	return Answer{NX: e.nx, CacheHit: true, Stale: true}, true
+}
+
+// StaleHits returns the number of answers served past their TTL.
+func (c *Cache) StaleHits() int { return c.staleHits }
 
 // Store records an answer at virtual time now, using the TTL matching its
 // class. Answers whose class has caching disabled are not stored.
@@ -106,7 +142,7 @@ func (c *Cache) maybeSweep(now sim.Time) {
 	}
 	c.lastSweep = now
 	for d, e := range c.entries {
-		if now >= e.expires {
+		if now >= e.expires+c.StaleTTL {
 			delete(c.entries, d)
 		}
 	}

@@ -84,21 +84,37 @@ func (b *Border) ResetObserved() { b.observed = nil }
 
 // Server is a caching-and-forwarding DNS server. It serves answers from its
 // cache and forwards misses to its upstream — a Border or another Server
-// (mid-tier), enabling arbitrary-depth hierarchies.
+// (mid-tier), enabling arbitrary-depth hierarchies. Resilience knobs
+// (MaxRetries, ServeStale) govern how it degrades when the upstream fails;
+// by default a failed resolve is surfaced as a ServFail answer, uncached.
 type Server struct {
 	ID string
+
+	// MaxRetries is how many times a ServFail resolve is re-attempted
+	// before giving up (0 = single attempt, the pre-hardening behaviour).
+	MaxRetries int
+	// ServeStale answers from expired cache entries (within the cache's
+	// StaleTTL) when every attempt fails — RFC 8767 graceful degradation.
+	ServeStale bool
 
 	cache    *Cache
 	upstream Upstream
 
-	queries   int
-	forwarded int
+	queries     int
+	forwarded   int
+	retried     int
+	servfails   int
+	staleServed int
 }
 
 // NewServer builds a caching server with the given TTLs and upstream.
 func NewServer(id string, positiveTTL, negativeTTL sim.Time, upstream Upstream) *Server {
 	return &Server{ID: id, cache: NewCache(positiveTTL, negativeTTL), upstream: upstream}
 }
+
+// Cache exposes the server's cache (to configure StaleTTL, inspect hit
+// rates, …).
+func (s *Server) Cache() *Cache { return s.cache }
 
 // Query handles a client lookup at virtual time now and returns the answer
 // the client sees.
@@ -109,6 +125,20 @@ func (s *Server) Query(now sim.Time, domain string) Answer {
 	}
 	s.forwarded++
 	ans := s.upstream.Resolve(now, s.ID, domain)
+	for attempt := 0; ans.ServFail && attempt < s.MaxRetries; attempt++ {
+		s.retried++
+		ans = s.upstream.Resolve(now, s.ID, domain)
+	}
+	if ans.ServFail {
+		if s.ServeStale {
+			if stale, ok := s.cache.LookupStale(now, domain); ok {
+				s.staleServed++
+				return stale
+			}
+		}
+		s.servfails++
+		return Answer{ServFail: true}
+	}
 	s.cache.Store(now, domain, ans.NX)
 	return Answer{NX: ans.NX}
 }
@@ -123,6 +153,12 @@ func (s *Server) Resolve(now sim.Time, _ string, domain string) Answer {
 
 // Stats reports query and forward counters.
 func (s *Server) Stats() (queries, forwarded int) { return s.queries, s.forwarded }
+
+// ResilienceStats reports the degradation counters: upstream retries,
+// client-visible SERVFAILs and stale answers served.
+func (s *Server) ResilienceStats() (retried, servfails, staleServed int) {
+	return s.retried, s.servfails, s.staleServed
+}
 
 // CacheHitRate exposes the underlying cache hit rate.
 func (s *Server) CacheHitRate() float64 { return s.cache.HitRate() }
@@ -154,6 +190,16 @@ type NetworkConfig struct {
 	Granularity sim.Time
 	// RecordRaw captures the client-level raw dataset (ground truth).
 	RecordRaw bool
+	// WrapUpstream, when set, decorates the border before wiring it to the
+	// downstream tiers — the hook through which faults.NewFaultyUpstream
+	// injects a degraded local→border link without dnssim depending on the
+	// faults package.
+	WrapUpstream func(Upstream) Upstream
+	// MaxRetries / ServeStale / StaleTTL configure every caching server's
+	// resilience policy (see Server and Cache.StaleTTL).
+	MaxRetries int
+	ServeStale bool
+	StaleTTL   sim.Time
 }
 
 // NewNetwork builds the hierarchy. Local servers are named "local-00",
@@ -172,20 +218,30 @@ func NewNetwork(cfg NetworkConfig) *Network {
 		clientHome: make(map[string]string),
 		recordRaw:  cfg.RecordRaw,
 	}
+	var upstreamBorder Upstream = border
+	if cfg.WrapUpstream != nil {
+		upstreamBorder = cfg.WrapUpstream(border)
+	}
+	harden := func(s *Server) *Server {
+		s.MaxRetries = cfg.MaxRetries
+		s.ServeStale = cfg.ServeStale
+		s.cache.StaleTTL = cfg.StaleTTL
+		return s
+	}
 	var mids []*Server
 	if cfg.MidTierFanIn > 0 {
 		numMid := (cfg.LocalServers + cfg.MidTierFanIn - 1) / cfg.MidTierFanIn
 		for i := 0; i < numMid; i++ {
-			mids = append(mids, NewServer(fmt.Sprintf("mid-%02d", i), cfg.PositiveTTL, cfg.NegativeTTL, border))
+			mids = append(mids, harden(NewServer(fmt.Sprintf("mid-%02d", i), cfg.PositiveTTL, cfg.NegativeTTL, upstreamBorder)))
 		}
 	}
 	for i := 0; i < cfg.LocalServers; i++ {
 		id := fmt.Sprintf("local-%02d", i)
-		var up Upstream = border
+		up := upstreamBorder
 		if len(mids) > 0 {
 			up = mids[i/cfg.MidTierFanIn]
 		}
-		n.locals[id] = NewServer(id, cfg.PositiveTTL, cfg.NegativeTTL, up)
+		n.locals[id] = harden(NewServer(id, cfg.PositiveTTL, cfg.NegativeTTL, up))
 		n.localOrder = append(n.localOrder, id)
 	}
 	return n

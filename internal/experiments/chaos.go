@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"botmeter/internal/botnet"
+	"botmeter/internal/core"
+	"botmeter/internal/dga"
+	"botmeter/internal/dnssim"
+	"botmeter/internal/estimators"
+	"botmeter/internal/faults"
+	"botmeter/internal/sim"
+	"botmeter/internal/stats"
+)
+
+// ChaosConfig tunes the chaos sweep — the in-process counterpart of the
+// live -chaos pipeline. Where the missing-observations experiment deletes
+// records after a clean simulation, this one degrades the local→border link
+// itself (faults.FaultyUpstream wrapped around the simulated border via
+// dnssim.NetworkConfig.WrapUpstream), so losses, SERVFAIL bursts and
+// duplicated datagrams distort both what the bots experience and what the
+// vantage point records. Every point is measured twice: with the hierarchy
+// hardened (retries + serve-stale) and bare, quantifying how much of the
+// paper's accuracy survives an unreliable network and how much the
+// resilience machinery buys back.
+type ChaosConfig struct {
+	// Trials per point (default 5).
+	Trials int
+	// Population per trial (default 64).
+	Population int
+	// Seed drives the runs; fault decisions derive from it, so a fixed
+	// Seed replays the sweep bit-for-bit.
+	Seed uint64
+	// Scale shrinks pools (1 = Table I).
+	Scale float64
+	// Retries is the hardened hierarchy's MaxRetries (default 3).
+	Retries int
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Trials <= 0 {
+		c.Trials = 5
+	}
+	if c.Population <= 0 {
+		c.Population = 64
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Retries <= 0 {
+		c.Retries = 3
+	}
+	return c
+}
+
+// ChaosPoint is one (model, estimator, fault-rate, hardened?) cell.
+type ChaosPoint struct {
+	Model     string
+	Estimator string
+	// FaultRate is the per-datagram loss probability; SERVFAIL bursts and
+	// duplication ride along at FaultRate/4 each.
+	FaultRate float64
+	// Hardened reports whether the hierarchy ran with retries and
+	// serve-stale enabled.
+	Hardened bool
+	ARE      stats.Quartiles
+	// Faults aggregates the injector counters across trials.
+	Faults faults.Counters
+}
+
+// chaosRates maps a scalar fault rate onto a Rates mix: loss dominates,
+// with SERVFAIL bursts and duplication at a quarter of the rate each.
+func chaosRates(rate float64) faults.Rates {
+	return faults.Rates{Loss: rate, ServFail: rate / 4, Duplicate: rate / 4}
+}
+
+// ChaosSweep sweeps the fault rate ∈ {0, 10, 20, 30}% on AU (MT, MP) and
+// AR (MT, MB), hardened and bare.
+func ChaosSweep(cfg ChaosConfig) ([]ChaosPoint, error) {
+	cfg = cfg.withDefaults()
+	var out []ChaosPoint
+	for _, model := range []string{"AU", "AR"} {
+		spec, err := modelSpec(model, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		ests := estimatorsFor(model, "")
+		for _, rate := range []float64{0, 0.1, 0.2, 0.3} {
+			for _, hardened := range []bool{false, true} {
+				errsByEst := make(map[string][]float64)
+				var tally faults.Counters
+				for trial := 0; trial < cfg.Trials; trial++ {
+					seed := cfg.Seed ^ hash64("chaos"+model) ^ (uint64(trial)+1)*0x9e3779b97f4a7c15
+					res, c, err := chaosTrial(cfg, spec, ests, rate, hardened, seed)
+					if err != nil {
+						return nil, fmt.Errorf("experiments: chaos %s rate %v hardened=%v: %w", model, rate, hardened, err)
+					}
+					for name, are := range res {
+						errsByEst[name] = append(errsByEst[name], are)
+					}
+					tally.Passed += c.Passed
+					tally.Lost += c.Lost
+					tally.Duplicated += c.Duplicated
+					tally.ServFails += c.ServFails
+					tally.Delayed += c.Delayed
+					tally.Blackholed += c.Blackholed
+				}
+				for _, est := range ests {
+					out = append(out, ChaosPoint{
+						Model:     model,
+						Estimator: est.Name(),
+						FaultRate: rate,
+						Hardened:  hardened,
+						ARE:       stats.ComputeQuartiles(errsByEst[est.Name()]),
+						Faults:    tally,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// chaosTrial runs one simulation behind a faulty local→border link and
+// returns each estimator's ARE against the realised ground truth plus the
+// injector's final counters.
+func chaosTrial(cfg ChaosConfig, spec dga.Spec, ests []estimators.Estimator, rate float64, hardened bool, seed uint64) (map[string]float64, faults.Counters, error) {
+	inj := faults.New(seed^0xfa01, chaosRates(rate))
+	netCfg := dnssim.NetworkConfig{
+		LocalServers: 1,
+		PositiveTTL:  sim.Day,
+		NegativeTTL:  2 * sim.Hour,
+		Granularity:  100 * sim.Millisecond,
+		WrapUpstream: func(u dnssim.Upstream) dnssim.Upstream {
+			return faults.NewFaultyUpstream(u, inj)
+		},
+	}
+	if hardened {
+		netCfg.MaxRetries = cfg.Retries
+		netCfg.ServeStale = true
+		netCfg.StaleTTL = sim.Day
+	}
+	net := dnssim.NewNetwork(netCfg)
+	runner, err := botnet.NewRunner(botnet.Config{
+		Spec:          spec,
+		Seed:          seed,
+		BotsPerServer: map[string]int{"local-00": cfg.Population},
+	}, net)
+	if err != nil {
+		return nil, faults.Counters{}, err
+	}
+	w := sim.Window{Start: 0, End: sim.Day}
+	res, err := runner.Run(w)
+	if err != nil {
+		return nil, faults.Counters{}, err
+	}
+	truth := float64(res.ActiveBots["local-00"][0])
+
+	obs := net.Border.Observed()
+	out := make(map[string]float64, len(ests))
+	for _, est := range ests {
+		bm, err := core.New(core.Config{
+			Family:      spec,
+			Seed:        seed,
+			Granularity: 100 * sim.Millisecond,
+			Estimator:   est,
+		})
+		if err != nil {
+			return nil, faults.Counters{}, err
+		}
+		land, err := bm.Analyze(obs, w)
+		if err != nil {
+			return nil, faults.Counters{}, err
+		}
+		out[est.Name()] = stats.ARE(land.Estimate("local-00"), truth)
+	}
+	return out, inj.Counters(), nil
+}
+
+// RenderChaos prints the sweep.
+func RenderChaos(points []ChaosPoint) string {
+	var b strings.Builder
+	b.WriteString("Extension — estimator accuracy under injected network faults (loss + servfail/4 + dup/4)\n")
+	fmt.Fprintf(&b, "%-6s %-5s %6s %-8s %8s %8s %8s   %s\n",
+		"model", "est", "fault", "mode", "p25", "p50", "p75", "injected")
+	for _, p := range points {
+		mode := "bare"
+		if p.Hardened {
+			mode = "hardened"
+		}
+		fmt.Fprintf(&b, "%-6s %-5s %5.0f%% %-8s %8.3f %8.3f %8.3f   lost=%d servfail=%d dup=%d\n",
+			p.Model, p.Estimator, p.FaultRate*100, mode,
+			p.ARE.P25, p.ARE.P50, p.ARE.P75,
+			p.Faults.Lost, p.Faults.ServFails, p.Faults.Duplicated)
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package faults
+
+import (
+	"net"
+	"time"
+
+	"botmeter/internal/sim"
+)
+
+// PacketConn wraps a net.PacketConn with injected faults on the live UDP
+// path — the wire-level counterpart of FaultyUpstream, shared by
+// cmd/resolver and cmd/vantage behind their -chaos flags. Rates apply per
+// datagram per direction:
+//
+//   - Blackout (relative to Injector creation): both directions swallowed.
+//   - Loss: inbound datagrams are silently re-read; outbound datagrams are
+//     reported written but never sent.
+//   - Duplicate: outbound datagrams are sent twice.
+//   - Delay: outbound datagrams sleep before sending (serialised on the
+//     caller, which also reorders relative to other sockets).
+//
+// SERVFAIL injection is an application-layer fault and is handled by the
+// daemons themselves (they consult the same Injector), not by the socket.
+type PacketConn struct {
+	net.PacketConn
+	inj *Injector
+}
+
+// WrapPacketConn decorates c with the injector's faults. A nil injector or
+// all-zero rates returns c unchanged.
+func WrapPacketConn(c net.PacketConn, inj *Injector) net.PacketConn {
+	if inj == nil || !inj.rates.Enabled() {
+		return c
+	}
+	return &PacketConn{PacketConn: c, inj: inj}
+}
+
+// Injector exposes the wrapped injector (for counters).
+func (p *PacketConn) Injector() *Injector { return p.inj }
+
+// ReadFrom reads the next surviving datagram.
+func (p *PacketConn) ReadFrom(b []byte) (int, net.Addr, error) {
+	for {
+		n, addr, err := p.PacketConn.ReadFrom(b)
+		if err != nil {
+			return n, addr, err
+		}
+		if p.inj.BlackoutNow() || p.inj.Drop() {
+			continue // swallowed in transit
+		}
+		p.inj.countPassed()
+		return n, addr, nil
+	}
+}
+
+// WriteTo sends b unless the injector swallows it; duplication sends it
+// twice and delay sleeps first.
+func (p *PacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
+	if p.inj.BlackoutNow() || p.inj.Drop() {
+		return len(b), nil // lost in transit, invisible to the sender
+	}
+	if d := p.inj.Delay(); d > 0 {
+		sleep(d)
+	}
+	n, err := p.PacketConn.WriteTo(b, addr)
+	if err != nil {
+		return n, err
+	}
+	if p.inj.Duplicate() {
+		if _, err := p.PacketConn.WriteTo(b, addr); err != nil {
+			return n, err
+		}
+	}
+	p.inj.countPassed()
+	return n, err
+}
+
+// sleep is a test seam for the injected latency.
+var sleep = func(d sim.Time) { time.Sleep(d.Duration()) }

@@ -7,9 +7,35 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 
 	"botmeter/internal/sim"
 )
+
+// ReadOptions selects how readers treat malformed input. The zero value is
+// strict: the first malformed line aborts the read with a positional error,
+// the safe default for curated experiment artifacts. Lenient mode is for
+// operational data — live captures with torn final lines after a crash,
+// log rotation glue, or the odd corrupt record — where losing one line must
+// not poison the other millions.
+type ReadOptions struct {
+	// Lenient skips malformed lines instead of failing, counting them in
+	// ReadResult.Skipped.
+	Lenient bool
+}
+
+// ReadResult reports what a reader consumed.
+type ReadResult struct {
+	// Records is the number of well-formed records returned.
+	Records int
+	// Skipped is the number of malformed lines dropped (always 0 in
+	// strict mode, which errors instead).
+	Skipped int
+}
+
+// maxLineBytes bounds a single JSONL/CSV line; DNS names are ≤255 bytes so
+// even generous framing stays far below this.
+const maxLineBytes = 1 << 20
 
 // WriteRawCSV serialises a raw dataset as CSV with a header row.
 func WriteRawCSV(w io.Writer, recs Raw) error {
@@ -30,32 +56,40 @@ func WriteRawCSV(w io.Writer, recs Raw) error {
 	return cw.Error()
 }
 
-// ReadRawCSV parses a raw dataset written by WriteRawCSV.
+// ReadRawCSV parses a raw dataset written by WriteRawCSV (strict).
 func ReadRawCSV(r io.Reader) (Raw, error) {
-	cr := csv.NewReader(r)
-	rows, err := cr.ReadAll()
+	out, _, err := ReadRawCSVOpts(r, ReadOptions{})
+	return out, err
+}
+
+// ReadRawCSVOpts parses a raw dataset with the given malformed-line policy.
+func ReadRawCSVOpts(r io.Reader, opt ReadOptions) (Raw, ReadResult, error) {
+	var out Raw
+	res, err := readCSV(r, 5, opt, func(row []string, line int) error {
+		rec, err := parseRawRow(row, line)
+		if err != nil {
+			return err
+		}
+		out = append(out, rec)
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("trace: read csv: %w", err)
+		return nil, res, err
 	}
-	if len(rows) == 0 {
-		return nil, nil
+	res.Records = len(out)
+	return out, res, nil
+}
+
+func parseRawRow(row []string, line int) (RawRecord, error) {
+	t, err := strconv.ParseInt(row[0], 10, 64)
+	if err != nil {
+		return RawRecord{}, fmt.Errorf("trace: row %d timestamp: %w", line, err)
 	}
-	out := make(Raw, 0, len(rows)-1)
-	for i, row := range rows[1:] {
-		if len(row) != 5 {
-			return nil, fmt.Errorf("trace: row %d has %d fields, want 5", i+2, len(row))
-		}
-		t, err := strconv.ParseInt(row[0], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: row %d timestamp: %w", i+2, err)
-		}
-		nx, err := strconv.ParseBool(row[4])
-		if err != nil {
-			return nil, fmt.Errorf("trace: row %d nx flag: %w", i+2, err)
-		}
-		out = append(out, RawRecord{T: sim.Time(t), Client: row[1], Server: row[2], Domain: row[3], NX: nx})
+	nx, err := strconv.ParseBool(row[4])
+	if err != nil {
+		return RawRecord{}, fmt.Errorf("trace: row %d nx flag: %w", line, err)
 	}
-	return out, nil
+	return RawRecord{T: sim.Time(t), Client: row[1], Server: row[2], Domain: row[3], NX: nx}, nil
 }
 
 // WriteObservedCSV serialises an observable dataset as CSV with a header.
@@ -73,28 +107,72 @@ func WriteObservedCSV(w io.Writer, recs Observed) error {
 	return cw.Error()
 }
 
-// ReadObservedCSV parses an observable dataset written by WriteObservedCSV.
+// ReadObservedCSV parses an observable dataset written by WriteObservedCSV
+// (strict).
 func ReadObservedCSV(r io.Reader) (Observed, error) {
-	cr := csv.NewReader(r)
-	rows, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("trace: read csv: %w", err)
-	}
-	if len(rows) == 0 {
-		return nil, nil
-	}
-	out := make(Observed, 0, len(rows)-1)
-	for i, row := range rows[1:] {
-		if len(row) != 3 {
-			return nil, fmt.Errorf("trace: row %d has %d fields, want 3", i+2, len(row))
-		}
+	out, _, err := ReadObservedCSVOpts(r, ReadOptions{})
+	return out, err
+}
+
+// ReadObservedCSVOpts parses an observable dataset with the given
+// malformed-line policy.
+func ReadObservedCSVOpts(r io.Reader, opt ReadOptions) (Observed, ReadResult, error) {
+	var out Observed
+	res, err := readCSV(r, 3, opt, func(row []string, line int) error {
 		t, err := strconv.ParseInt(row[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: row %d timestamp: %w", i+2, err)
+			return fmt.Errorf("trace: row %d timestamp: %w", line, err)
 		}
 		out = append(out, ObservedRecord{T: sim.Time(t), Server: row[1], Domain: row[2]})
+		return nil
+	})
+	if err != nil {
+		return nil, res, err
 	}
-	return out, nil
+	res.Records = len(out)
+	return out, res, nil
+}
+
+// readCSV drives per-row parsing with shared strict/lenient handling. The
+// header row is consumed (and not validated — files written by older
+// versions keep working); each subsequent row must have wantFields fields
+// and satisfy parse.
+func readCSV(r io.Reader, wantFields int, opt ReadOptions, parse func(row []string, line int) error) (ReadResult, error) {
+	var res ReadResult
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // field-count errors are ours to classify
+	line := 0
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return res, nil
+		}
+		line++
+		if err != nil {
+			if opt.Lenient {
+				res.Skipped++
+				continue
+			}
+			return res, fmt.Errorf("trace: read csv: %w", err)
+		}
+		if line == 1 {
+			continue // header
+		}
+		if len(row) != wantFields {
+			if opt.Lenient {
+				res.Skipped++
+				continue
+			}
+			return res, fmt.Errorf("trace: row %d has %d fields, want %d", line, len(row), wantFields)
+		}
+		if err := parse(row, line); err != nil {
+			if opt.Lenient {
+				res.Skipped++
+				continue
+			}
+			return res, err
+		}
+	}
 }
 
 // WriteObservedJSONL serialises the dataset as JSON lines.
@@ -109,19 +187,35 @@ func WriteObservedJSONL(w io.Writer, recs Observed) error {
 	return bw.Flush()
 }
 
-// ReadObservedJSONL parses a JSON-lines observable dataset.
+// ReadObservedJSONL parses a JSON-lines observable dataset (strict).
 func ReadObservedJSONL(r io.Reader) (Observed, error) {
+	out, _, err := ReadObservedJSONLOpts(r, ReadOptions{})
+	return out, err
+}
+
+// ReadObservedJSONLOpts parses a JSON-lines observable dataset with the
+// given malformed-line policy. In lenient mode a torn final line (crash
+// mid-append, no trailing newline, invalid JSON) and garbage lines are
+// skipped and counted; records lacking a domain are treated as malformed
+// too, since truncation can leave syntactically valid but incomplete JSON.
+func ReadObservedJSONLOpts(r io.Reader, opt ReadOptions) (Observed, ReadResult, error) {
 	var out Observed
-	dec := json.NewDecoder(r)
-	for {
+	res, err := readJSONL(r, opt, func(data []byte, line int) error {
 		var rec ObservedRecord
-		if err := dec.Decode(&rec); err == io.EOF {
-			return out, nil
-		} else if err != nil {
-			return nil, fmt.Errorf("trace: decode: %w", err)
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if rec.Domain == "" {
+			return fmt.Errorf("trace: line %d: record has no domain", line)
 		}
 		out = append(out, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, res, err
 	}
+	res.Records = len(out)
+	return out, res, nil
 }
 
 // WriteRawJSONL serialises the raw dataset as JSON lines.
@@ -136,17 +230,58 @@ func WriteRawJSONL(w io.Writer, recs Raw) error {
 	return bw.Flush()
 }
 
-// ReadRawJSONL parses a JSON-lines raw dataset.
+// ReadRawJSONL parses a JSON-lines raw dataset (strict).
 func ReadRawJSONL(r io.Reader) (Raw, error) {
+	out, _, err := ReadRawJSONLOpts(r, ReadOptions{})
+	return out, err
+}
+
+// ReadRawJSONLOpts parses a JSON-lines raw dataset with the given
+// malformed-line policy.
+func ReadRawJSONLOpts(r io.Reader, opt ReadOptions) (Raw, ReadResult, error) {
 	var out Raw
-	dec := json.NewDecoder(r)
-	for {
+	res, err := readJSONL(r, opt, func(data []byte, line int) error {
 		var rec RawRecord
-		if err := dec.Decode(&rec); err == io.EOF {
-			return out, nil
-		} else if err != nil {
-			return nil, fmt.Errorf("trace: decode: %w", err)
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if rec.Domain == "" {
+			return fmt.Errorf("trace: line %d: record has no domain", line)
 		}
 		out = append(out, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, res, err
 	}
+	res.Records = len(out)
+	return out, res, nil
+}
+
+// readJSONL scans line by line (so lenient mode can resynchronise after
+// garbage, which json.Decoder cannot) and applies the strict/lenient
+// policy around parse. Blank lines are ignored without counting.
+func readJSONL(r io.Reader, opt ReadOptions, parse func(data []byte, line int) error) (ReadResult, error) {
+	var res ReadResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	line := 0
+	for sc.Scan() {
+		line++
+		data := sc.Bytes()
+		if len(strings.TrimSpace(string(data))) == 0 {
+			continue
+		}
+		if err := parse(data, line); err != nil {
+			if opt.Lenient {
+				res.Skipped++
+				continue
+			}
+			return res, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return res, fmt.Errorf("trace: scan: %w", err)
+	}
+	return res, nil
 }

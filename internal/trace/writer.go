@@ -1,0 +1,263 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// SafeWriterConfig tunes the crash-safety/throughput trade-off of a
+// SafeWriter.
+type SafeWriterConfig struct {
+	// FlushInterval is how often the background flusher pushes buffered
+	// records to the underlying writer so a crash loses at most an
+	// interval's worth (default 1s; negative disables the background
+	// flusher entirely — callers then control flushing).
+	FlushInterval time.Duration
+	// FlushEvery flushes after this many buffered records regardless of
+	// the interval (default 64; negative disables count-based flushing).
+	FlushEvery int
+	// FsyncInterval, when positive, fsyncs the underlying file at most
+	// this often (piggybacked on flushes) for durability across machine
+	// crashes, not just process crashes. Ignored when the writer has no
+	// Sync method.
+	FsyncInterval time.Duration
+	// BufferSize is the in-memory buffer capacity (default 64 KiB).
+	BufferSize int
+}
+
+func (c SafeWriterConfig) withDefaults() SafeWriterConfig {
+	if c.FlushInterval == 0 {
+		c.FlushInterval = time.Second
+	}
+	if c.FlushEvery == 0 {
+		c.FlushEvery = 64
+	}
+	if c.BufferSize <= 0 {
+		c.BufferSize = 64 * 1024
+	}
+	return c
+}
+
+// SafeWriter appends ObservedRecords as JSON lines with atomic line
+// framing: every write to the underlying writer is a whole number of
+// complete lines, so a crash can tear at most the line the kernel was
+// mid-way through persisting — which startup recovery (TruncateTornTail)
+// then drops — and never interleaves partial lines. Records are flushed on
+// a configurable interval and record count, so a tailing consumer
+// (botmeter -lenient on a live capture) sees data promptly; write errors
+// are sticky and surface on the next Append rather than only at Close.
+// All methods are safe for concurrent use.
+type SafeWriter struct {
+	cfg SafeWriterConfig
+
+	mu       sync.Mutex
+	w        io.Writer
+	buf      []byte
+	pending  int // records buffered since the last flush
+	lastSync time.Time
+	err      error // first write error, sticky
+
+	records uint64
+	flushes uint64
+	syncs   uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// syncer is the optional fsync capability of the underlying writer
+// (satisfied by *os.File).
+type syncer interface{ Sync() error }
+
+// NewSafeWriter wraps w. If cfg.FlushInterval is positive (or defaulted) a
+// background goroutine flushes on that cadence until Close.
+func NewSafeWriter(w io.Writer, cfg SafeWriterConfig) *SafeWriter {
+	cfg = cfg.withDefaults()
+	sw := &SafeWriter{
+		cfg:      cfg,
+		w:        w,
+		buf:      make([]byte, 0, cfg.BufferSize),
+		lastSync: time.Now(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if cfg.FlushInterval > 0 {
+		go sw.flushLoop()
+	} else {
+		close(sw.done)
+	}
+	return sw
+}
+
+func (s *SafeWriter) flushLoop() {
+	defer close(s.done)
+	t := time.NewTicker(s.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.Flush() // best-effort; errors stick and surface on Append
+		}
+	}
+}
+
+// Append buffers one record. It returns the writer's sticky error, so a
+// failing disk is noticed at the next observation, not at shutdown.
+func (s *SafeWriter) Append(rec ObservedRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("trace: encode observed record: %w", err)
+	}
+	line = append(line, '\n')
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if len(s.buf)+len(line) > cap(s.buf) && len(s.buf) > 0 {
+		s.flushLocked()
+	}
+	s.buf = append(s.buf, line...)
+	s.pending++
+	s.records++
+	if s.cfg.FlushEvery > 0 && s.pending >= s.cfg.FlushEvery {
+		s.flushLocked()
+	}
+	return s.err
+}
+
+// Flush pushes buffered complete lines to the underlying writer.
+func (s *SafeWriter) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	return s.err
+}
+
+// flushLocked writes the buffer (always whole lines) in one call and
+// applies the fsync policy. Caller holds s.mu.
+func (s *SafeWriter) flushLocked() {
+	if s.err != nil || len(s.buf) == 0 {
+		return
+	}
+	if _, err := s.w.Write(s.buf); err != nil {
+		s.err = fmt.Errorf("trace: write observed dataset: %w", err)
+		return
+	}
+	s.buf = s.buf[:0]
+	s.pending = 0
+	s.flushes++
+	if s.cfg.FsyncInterval > 0 && time.Since(s.lastSync) >= s.cfg.FsyncInterval {
+		s.syncLocked()
+	}
+}
+
+// syncLocked fsyncs if the underlying writer supports it. Caller holds s.mu.
+func (s *SafeWriter) syncLocked() {
+	f, ok := s.w.(syncer)
+	if !ok {
+		return
+	}
+	if err := f.Sync(); err != nil {
+		s.err = fmt.Errorf("trace: fsync observed dataset: %w", err)
+		return
+	}
+	s.syncs++
+	s.lastSync = time.Now()
+}
+
+// Err returns the sticky write error, if any.
+func (s *SafeWriter) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Stats reports records appended, flushes and fsyncs performed.
+func (s *SafeWriter) Stats() (records, flushes, syncs uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.records, s.flushes, s.syncs
+}
+
+// Close stops the background flusher, flushes remaining records and, when
+// fsync is configured, syncs one final time. Safe to call once.
+func (s *SafeWriter) Close() error {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	if s.err == nil && s.cfg.FsyncInterval > 0 {
+		s.syncLocked()
+	}
+	return s.err
+}
+
+// TruncateTornTail repairs a JSONL file whose final line was torn by a
+// crash mid-append: if the file does not end in a newline, everything after
+// the last newline is truncated away (the whole file, if it contains no
+// newline at all). It returns the number of bytes removed. Complete lines
+// are never touched — corrupt *interior* lines are the lenient reader's
+// problem, torn *tails* are repaired here so appending resumes on a clean
+// line boundary.
+func TruncateTornTail(path string) (int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return 0, nil
+	}
+	// Scan backwards in chunks for the last newline.
+	const chunk = 32 * 1024
+	buf := make([]byte, chunk)
+	end := size // one past the last byte examined
+	for end > 0 {
+		n := int64(chunk)
+		if n > end {
+			n = end
+		}
+		if _, err := f.ReadAt(buf[:n], end-n); err != nil {
+			return 0, err
+		}
+		for i := n - 1; i >= 0; i-- {
+			if buf[i] == '\n' {
+				keep := end - n + i + 1
+				if keep == size {
+					return 0, nil // file already ends on a line boundary
+				}
+				if err := f.Truncate(keep); err != nil {
+					return 0, err
+				}
+				return size - keep, f.Sync()
+			}
+		}
+		end -= n
+	}
+	// No newline anywhere: the single torn line is the whole file.
+	if err := f.Truncate(0); err != nil {
+		return 0, err
+	}
+	return size, f.Sync()
+}

@@ -1,0 +1,384 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"botmeter/internal/sim"
+)
+
+func rec(i int) ObservedRecord {
+	return ObservedRecord{T: sim.Time(i), Server: "local0", Domain: fmt.Sprintf("d%03d.example", i)}
+}
+
+// manual returns a SafeWriter with every automatic flush disabled, so tests
+// control exactly when bytes reach the underlying writer.
+func manual(w *bytes.Buffer) *SafeWriter {
+	return NewSafeWriter(w, SafeWriterConfig{FlushInterval: -1, FlushEvery: -1})
+}
+
+func TestSafeWriterFlushEvery(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewSafeWriter(&buf, SafeWriterConfig{FlushInterval: -1, FlushEvery: 3})
+	defer sw.Close()
+	for i := 0; i < 2; i++ {
+		if err := sw.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("flushed before the threshold: %q", buf.String())
+	}
+	if err := sw.Append(rec(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Errorf("after threshold: %d lines flushed, want 3", got)
+	}
+	if records, flushes, _ := sw.Stats(); records != 3 || flushes != 1 {
+		t.Errorf("stats = %d records, %d flushes; want 3, 1", records, flushes)
+	}
+}
+
+func TestSafeWriterFlushInterval(t *testing.T) {
+	var buf safeBuffer
+	sw := NewSafeWriter(&buf, SafeWriterConfig{FlushInterval: 10 * time.Millisecond, FlushEvery: -1})
+	defer sw.Close()
+	if err := sw.Append(rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for buf.Len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background flusher never fired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(buf.String(), "d001.example") {
+		t.Errorf("flushed bytes = %q", buf.String())
+	}
+}
+
+// safeBuffer is a mutex-guarded bytes.Buffer: the background flusher writes
+// from its own goroutine, so the test must not race it.
+type safeBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *safeBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+func (b *safeBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Len()
+}
+func (b *safeBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// failingWriter fails every write after the first n bytes worth of calls.
+type failingWriter struct{ calls, failAfter int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.calls++
+	if w.calls > w.failAfter {
+		return 0, errors.New("disk on fire")
+	}
+	return len(p), nil
+}
+
+// TestSafeWriterStickyError: the first failing flush poisons the writer —
+// every subsequent Append surfaces the error immediately rather than
+// deferring to Close.
+func TestSafeWriterStickyError(t *testing.T) {
+	w := &failingWriter{failAfter: 1}
+	sw := NewSafeWriter(w, SafeWriterConfig{FlushInterval: -1, FlushEvery: 1})
+	if err := sw.Append(rec(0)); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	err := sw.Append(rec(1))
+	if err == nil || !strings.Contains(err.Error(), "disk on fire") {
+		t.Fatalf("second append err = %v, want the write error", err)
+	}
+	if err2 := sw.Append(rec(2)); err2 == nil {
+		t.Error("sticky error cleared itself")
+	}
+	if sw.Err() == nil {
+		t.Error("Err() lost the sticky error")
+	}
+	if cerr := sw.Close(); cerr == nil {
+		t.Error("Close() lost the sticky error")
+	}
+}
+
+// TestSafeWriterAtomicFraming: every underlying Write call must be a whole
+// number of complete JSONL lines, even when the buffer fills mid-record.
+func TestSafeWriterAtomicFraming(t *testing.T) {
+	var writes [][]byte
+	w := writeFunc(func(p []byte) (int, error) {
+		writes = append(writes, append([]byte(nil), p...))
+		return len(p), nil
+	})
+	// Tiny buffer forces pre-flushes when the next line would not fit.
+	sw := NewSafeWriter(w, SafeWriterConfig{FlushInterval: -1, FlushEvery: -1, BufferSize: 128})
+	for i := 0; i < 50; i++ {
+		if err := sw.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(writes) < 2 {
+		t.Fatalf("buffer never pre-flushed (%d writes)", len(writes))
+	}
+	total := 0
+	for i, p := range writes {
+		if len(p) == 0 || p[len(p)-1] != '\n' {
+			t.Errorf("write %d does not end on a line boundary: %q", i, p)
+		}
+		total += strings.Count(string(p), "\n")
+	}
+	if total != 50 {
+		t.Errorf("lines written = %d, want 50", total)
+	}
+}
+
+type writeFunc func(p []byte) (int, error)
+
+func (f writeFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestSafeWriterFsync(t *testing.T) {
+	dir := t.TempDir()
+	f, err := os.Create(filepath.Join(dir, "obs.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sw := NewSafeWriter(f, SafeWriterConfig{FlushInterval: -1, FlushEvery: 1, FsyncInterval: time.Nanosecond})
+	if err := sw.Append(rec(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, syncs := sw.Stats(); syncs == 0 {
+		t.Error("fsync interval elapsed but no sync happened")
+	}
+}
+
+func TestTruncateTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "obs.jsonl")
+
+	// Missing file: nothing to repair.
+	if n, err := TruncateTornTail(path); err != nil || n != 0 {
+		t.Fatalf("missing file: %d, %v", n, err)
+	}
+
+	intact := `{"t":1,"server":"s0","domain":"a.example"}` + "\n" +
+		`{"t":2,"server":"s0","domain":"b.example"}` + "\n"
+	torn := intact + `{"t":3,"server":"s0","doma`
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := TruncateTornTail(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(len(torn) - len(intact)); n != want {
+		t.Errorf("removed %d bytes, want %d", n, want)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != intact {
+		t.Errorf("repaired file = %q", got)
+	}
+
+	// Already clean: idempotent.
+	if n, err := TruncateTornTail(path); err != nil || n != 0 {
+		t.Errorf("clean file: %d, %v", n, err)
+	}
+
+	// A file that is one giant torn line (no newline at all) empties out.
+	if err := os.WriteFile(path, []byte(strings.Repeat("x", 100_000)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := TruncateTornTail(path); err != nil || n != 100_000 {
+		t.Errorf("newline-free file: %d, %v", n, err)
+	}
+	if st, _ := os.Stat(path); st.Size() != 0 {
+		t.Errorf("file not emptied: %d bytes", st.Size())
+	}
+
+	// Empty file: no-op.
+	if n, err := TruncateTornTail(path); err != nil || n != 0 {
+		t.Errorf("empty file: %d, %v", n, err)
+	}
+}
+
+// TestTornWriteRecovery is the end-to-end crash story: a capture whose
+// final line is truncated mid-record and that contains one interior garbage
+// line. The lenient reader returns every intact record and counts exactly
+// the two bad lines; the strict reader refuses the file.
+func TestTornWriteRecovery(t *testing.T) {
+	var buf bytes.Buffer
+	sw := manual(&buf)
+	for i := 0; i < 5; i++ {
+		if err := sw.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("capture = %d lines", len(lines))
+	}
+	// Corrupt line 3 and tear the final line mid-JSON.
+	lines[2] = "!!corrupt log-rotation glue!!\n"
+	last := lines[4]
+	capture := strings.Join(lines[:4], "") + last[:len(last)/2]
+
+	obs, res, err := ReadObservedJSONLOpts(strings.NewReader(capture), ReadOptions{Lenient: true})
+	if err != nil {
+		t.Fatalf("lenient read: %v", err)
+	}
+	if res.Skipped != 2 {
+		t.Errorf("skipped = %d, want 2 (garbage line + torn tail)", res.Skipped)
+	}
+	if len(obs) != 3 || res.Records != 3 {
+		t.Fatalf("records = %d/%d, want 3", len(obs), res.Records)
+	}
+	for i, want := range []int{0, 1, 3} {
+		if obs[i].Domain != rec(want).Domain {
+			t.Errorf("record %d = %+v, want domain %s", i, obs[i], rec(want).Domain)
+		}
+	}
+
+	// Strict mode must refuse the same file.
+	if _, _, err := ReadObservedJSONLOpts(strings.NewReader(capture), ReadOptions{}); err == nil {
+		t.Error("strict reader accepted a corrupt capture")
+	}
+}
+
+// TestLenientCSV mirrors the JSONL story for the CSV reader.
+func TestLenientCSV(t *testing.T) {
+	var buf bytes.Buffer
+	recs := Observed{rec(1), rec(2), rec(3)}
+	if err := WriteObservedCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(buf.String(), "\n") // final element is ""
+	lines[2] = "not-a-timestamp,local0,bad.example\n"
+	corrupt := strings.Join(lines, "") + "torn,tr" // extra torn tail
+
+	obs, res, err := ReadObservedCSVOpts(strings.NewReader(corrupt), ReadOptions{Lenient: true})
+	if err != nil {
+		t.Fatalf("lenient read: %v", err)
+	}
+	if res.Skipped != 2 || len(obs) != 2 {
+		t.Errorf("records=%d skipped=%d, want 2/2", len(obs), res.Skipped)
+	}
+	if _, err := ReadObservedCSV(strings.NewReader(corrupt)); err == nil {
+		t.Error("strict reader accepted a corrupt capture")
+	}
+}
+
+// TestLenientRawJSONL covers the raw-dataset variant.
+func TestLenientRawJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	raws := Raw{{T: 1, Client: "c1", Server: "s0", Domain: "a.example"}, {T: 2, Client: "c2", Server: "s0", Domain: "b.example"}}
+	if err := WriteRawJSONL(&buf, raws); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := buf.String() + "\n{\"t\":9}\ngarbage\n"
+	out, res, err := ReadRawJSONLOpts(strings.NewReader(corrupt), ReadOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blank line uncounted; domain-less record and garbage each skipped.
+	if len(out) != 2 || res.Skipped != 2 {
+		t.Errorf("records=%d skipped=%d, want 2/2", len(out), res.Skipped)
+	}
+	if _, err := ReadRawJSONL(strings.NewReader(corrupt)); err == nil {
+		t.Error("strict reader accepted a corrupt capture")
+	}
+}
+
+// TestSafeWriterTruncateRoundTrip: write through a SafeWriter to a real
+// file, simulate a crash by appending half a record, recover, and confirm
+// appends resume on a clean boundary.
+func TestSafeWriterTruncateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "obs.jsonl")
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := NewSafeWriter(f, SafeWriterConfig{FlushInterval: -1, FlushEvery: 1})
+	for i := 0; i < 3; i++ {
+		if err := sw.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// Crash mid-append.
+	g, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write([]byte(`{"t":99,"ser`)); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+
+	if n, err := TruncateTornTail(path); err != nil || n == 0 {
+		t.Fatalf("recovery: %d, %v", n, err)
+	}
+	// Resume appending.
+	h, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw2 := NewSafeWriter(h, SafeWriterConfig{FlushInterval: -1, FlushEvery: 1})
+	if err := sw2.Append(rec(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := ReadObservedJSONL(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("strict read after recovery: %v\n%q", err, data)
+	}
+	if len(obs) != 4 {
+		t.Errorf("records = %d, want 4", len(obs))
+	}
+}
