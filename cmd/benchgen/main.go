@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"botmeter/internal/experiments"
+	"botmeter/internal/obs"
 )
 
 func main() {
@@ -39,8 +40,19 @@ func run(args []string) error {
 	outdir := fs.String("outdir", "", "directory for CSV outputs (optional)")
 	chart := fs.Bool("chart", false, "render ASCII charts for fig7 series")
 	models := fs.String("models", "", "comma-separated DGA models for fig6 (default all)")
+	timings := fs.Bool("timings", false, "print a per-stage wall/alloc timing table to stderr after the artifact")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var stages *obs.StageSet
+	if *timings {
+		stages = obs.NewStageSet()
+		defer func() {
+			if stats := stages.SortedStats(); len(stats) > 0 {
+				fmt.Fprint(os.Stderr, "\npipeline timings\n"+stages.Table())
+			}
+		}()
 	}
 
 	f6 := experiments.Fig6Config{
@@ -48,11 +60,12 @@ func run(args []string) error {
 		Population: *population,
 		Seed:       *seed,
 		Scale:      *scale,
+		Stages:     stages,
 	}
 	if *models != "" {
 		f6.Models = strings.Split(*models, ",")
 	}
-	f7 := experiments.Fig7Config{Days: *days, Seed: *seed, Scale: *scale}
+	f7 := experiments.Fig7Config{Days: *days, Seed: *seed, Scale: *scale, Stages: stages}
 
 	panels := map[string]func(experiments.Fig6Config) ([]experiments.Fig6Point, error){
 		"fig6a": experiments.Figure6a,
@@ -92,6 +105,7 @@ func run(args []string) error {
 	case "chaos":
 		pts, err := experiments.ChaosSweep(experiments.ChaosConfig{
 			Trials: *trials, Population: *population, Seed: *seed, Scale: *scale,
+			Stages: stages,
 		})
 		if err != nil {
 			return err

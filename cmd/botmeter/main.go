@@ -22,6 +22,7 @@ import (
 	"botmeter/internal/d3"
 	"botmeter/internal/dga"
 	"botmeter/internal/estimators"
+	"botmeter/internal/obs"
 	"botmeter/internal/remediation"
 	"botmeter/internal/sim"
 	"botmeter/internal/trace"
@@ -51,14 +52,24 @@ func run(args []string) error {
 	jsonOut := fs.Bool("json", false, "print the landscape as JSON instead of text")
 	planCapacity := fs.Float64("plan-capacity", 0, "hosts the response team can vet per day; > 0 prints a remediation schedule")
 	planHosts := fs.Int("plan-hosts", 1000, "assumed hosts behind each local server for the schedule")
+	verbose := fs.Bool("verbose", false, "print a per-stage timing summary (trace read, matching, estimation) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *family == "" {
 		return fmt.Errorf("-family is required (try: all, %s)", strings.Join(dga.FamilyNames(), ", "))
 	}
+	var stages *obs.StageSet
+	if *verbose {
+		stages = obs.NewStageSet()
+		defer func() {
+			if table := stages.Table(); table != "" {
+				fmt.Fprint(os.Stderr, "\ntimings\n"+table)
+			}
+		}()
+	}
 	if strings.EqualFold(*family, "all") {
-		return runTriage(*in, *format, *lenient, *seed, sim.FromDuration(*negTTL), sim.FromDuration(*granularity))
+		return runTriage(*in, *format, *lenient, *seed, sim.FromDuration(*negTTL), sim.FromDuration(*granularity), stages)
 	}
 	spec, err := dga.Lookup(*family)
 	if err != nil {
@@ -87,15 +98,18 @@ func run(args []string) error {
 		detection = &d3.Window{MissRate: *missRate, Seed: *seed ^ 0xd3}
 	}
 
-	obs, err := readObserved(*in, *format, *lenient)
+	readStage := stages.Start("read-trace")
+	observed, err := readObserved(*in, *format, *lenient)
+	readStage.End()
 	if err != nil {
 		return err
 	}
-	if len(obs) == 0 {
+	if len(observed) == 0 {
 		return fmt.Errorf("no observations in input")
 	}
-	obs.Sort()
+	observed.Sort()
 
+	selectStage := stages.Start("select-model")
 	bm, err := core.New(core.Config{
 		Family:        spec,
 		Seed:          *seed,
@@ -104,14 +118,20 @@ func run(args []string) error {
 		Estimator:     est,
 		Detection:     detection,
 		SecondOpinion: *second,
+		Stages:        stages,
 	})
+	selectStage.End()
 	if err != nil {
 		return err
 	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "botmeter: family %s (%s), estimator %s, %d observation(s)\n",
+			spec.Name, spec.ModelName(), bm.EstimatorName(), len(observed))
+	}
 	// Analysis window: epoch-aligned around the data.
-	start := (obs[0].T / sim.Day) * sim.Day
-	end := (obs[len(obs)-1].T/sim.Day + 1) * sim.Day
-	land, err := bm.Analyze(obs, sim.Window{Start: start, End: end})
+	start := (observed[0].T / sim.Day) * sim.Day
+	end := (observed[len(observed)-1].T/sim.Day + 1) * sim.Day
+	land, err := bm.Analyze(observed, sim.Window{Start: start, End: end})
 	if err != nil {
 		return err
 	}

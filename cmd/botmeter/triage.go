@@ -6,23 +6,28 @@ import (
 
 	"botmeter/internal/core"
 	"botmeter/internal/dga"
+	"botmeter/internal/obs"
 	"botmeter/internal/sim"
 )
 
 // runTriage analyses one trace against EVERY family preset — the first
 // question an analyst actually has is "which botnets are in here at all?".
 // Families with matched traffic are ranked by estimated total population.
-func runTriage(in, format string, lenient bool, seed uint64, negTTL, granularity sim.Time) error {
-	obs, err := readObserved(in, format, lenient)
+// A non-nil stage set (botmeter -verbose) records the trace read plus one
+// "triage:<family>" stage per preset.
+func runTriage(in, format string, lenient bool, seed uint64, negTTL, granularity sim.Time, stages *obs.StageSet) error {
+	readStage := stages.Start("read-trace")
+	observed, err := readObserved(in, format, lenient)
+	readStage.End()
 	if err != nil {
 		return err
 	}
-	if len(obs) == 0 {
+	if len(observed) == 0 {
 		return fmt.Errorf("no observations in input")
 	}
-	obs.Sort()
-	start := (obs[0].T / sim.Day) * sim.Day
-	end := (obs[len(obs)-1].T/sim.Day + 1) * sim.Day
+	observed.Sort()
+	start := (observed[0].T / sim.Day) * sim.Day
+	end := (observed[len(observed)-1].T/sim.Day + 1) * sim.Day
 	w := sim.Window{Start: start, End: end}
 
 	type hit struct {
@@ -35,8 +40,10 @@ func runTriage(in, format string, lenient bool, seed uint64, negTTL, granularity
 	}
 	var hits []hit
 	for _, name := range dga.FamilyNames() {
+		famStage := stages.Start("triage:" + name)
 		spec, err := dga.Lookup(name)
 		if err != nil {
+			famStage.End()
 			return err
 		}
 		bm, err := core.New(core.Config{
@@ -46,9 +53,11 @@ func runTriage(in, format string, lenient bool, seed uint64, negTTL, granularity
 			Granularity: granularity,
 		})
 		if err != nil {
+			famStage.End()
 			return err
 		}
-		land, err := bm.Analyze(obs, w)
+		land, err := bm.Analyze(observed, w)
+		famStage.End()
 		if err != nil {
 			return fmt.Errorf("triage %s: %w", name, err)
 		}

@@ -34,12 +34,19 @@ import (
 	"botmeter/internal/dnssim"
 	"botmeter/internal/dnswire"
 	"botmeter/internal/faults"
+	"botmeter/internal/obs"
 	"botmeter/internal/sim"
 )
 
 // staleAnswerTTL is the TTL advertised on answers served past their
 // expiry, per RFC 8767 §5's recommendation to keep stale TTLs short.
 const staleAnswerTTL = 30
+
+// unhealthyFailStreak is the number of consecutive upstream retry
+// exhaustions after which /healthz reports the resolver degraded: one
+// failed query is routine packet loss, a streak means the upstream is dark
+// and clients are living off stale answers and SERVFAILs.
+const unhealthyFailStreak = 3
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -63,13 +70,38 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	serveStale := fs.Duration("serve-stale", time.Hour, "how long past expiry cached answers may be served when the upstream is unreachable (0 disables)")
 	chaosSpec := fs.String("chaos", "", "inject faults on the client socket, e.g. loss=0.2,dup=0.01,delay=5ms,blackout=10s+2s")
 	chaosSeed := fs.Uint64("chaos-seed", 1, "seed for deterministic fault injection")
+	obsAddr := fs.String("obs-addr", "", "HTTP diagnostics address serving /metrics, /healthz, /debug/vars, /debug/spans and /debug/pprof (empty disables)")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	logFormat := fs.String("log-format", "logfmt", "log encoding: logfmt or json")
+	traceSample := fs.Int("trace-sample", 16, "trace 1 in N queries as lifecycle spans (requires -obs-addr; 0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	format, err := obs.ParseFormat(*logFormat)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(logw, obs.LogConfig{Level: level, Format: format, Component: "resolver"})
 	rates, err := faults.ParseSpec(*chaosSpec)
 	if err != nil {
 		return err
 	}
+
+	// Observability is opt-in: without -obs-addr the registry and tracer
+	// stay nil and every instrument call in the hot path is a no-op branch.
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *obsAddr != "" {
+		reg = obs.NewRegistry()
+		if *traceSample > 0 {
+			tracer = obs.NewTracer(obs.TracerConfig{SampleEvery: *traceSample})
+		}
+	}
+
 	conn, err := net.ListenPacket("udp", *listen)
 	if err != nil {
 		return err
@@ -78,11 +110,15 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	var inj *faults.Injector
 	if rates.Enabled() {
 		inj = faults.New(*chaosSeed, rates)
+		inj.Instrument(reg)
 		conn = faults.WrapPacketConn(conn, inj)
-		fmt.Fprintf(logw, "resolver: CHAOS enabled on client socket: %s (seed %d)\n", rates, *chaosSeed)
+		logger.Warn("chaos enabled on client socket", "rates", rates.String(), "seed", *chaosSeed)
 	}
-	fmt.Fprintf(logw, "resolver: serving on %s, forwarding misses to %s (retries=%d, serve-stale=%s)\n",
-		conn.LocalAddr(), *upstream, *retries, *serveStale)
+	logger.Info("serving",
+		"listen", conn.LocalAddr().String(),
+		"upstream", *upstream,
+		"retries", *retries,
+		"serve_stale", serveStale.String())
 
 	fwd := newForwarder(forwarderConfig{
 		upstream:   *upstream,
@@ -94,14 +130,30 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		posTTL:     sim.FromDuration(*posTTL),
 		negTTL:     sim.FromDuration(*negTTL),
 		seed:       *chaosSeed ^ 0xf0f0,
+		reg:        reg,
+		tracer:     tracer,
 	})
+	if *obsAddr != "" {
+		diag, err := obs.StartHTTP(*obsAddr, obs.NewMux(obs.MuxConfig{
+			Registry: reg,
+			Tracer:   tracer,
+			Health:   fwd.health,
+		}))
+		if err != nil {
+			return err
+		}
+		defer diag.Close()
+		logger.Info("diagnostics listening", "obs_addr", diag.Addr())
+	}
 	done := make(chan error, 1)
 	go func() { done <- fwd.serve(conn) }()
 	defer func() {
 		c := fwd.counters()
-		fmt.Fprintf(logw, "resolver: %s\n", c)
+		logger.Info("final counters",
+			"queries", c.queries, "forwarded", c.forwarded, "retried", c.retried,
+			"mismatched", c.mismatched, "stale_served", c.staleServed, "servfails", c.servfails)
 		if inj != nil {
-			fmt.Fprintf(logw, "resolver: chaos %s\n", inj.Counters())
+			logger.Info("chaos counters", "counters", inj.Counters().String())
 		}
 	}()
 	select {
@@ -135,6 +187,10 @@ type forwarderConfig struct {
 	posTTL     sim.Time
 	negTTL     sim.Time
 	seed       uint64
+	// reg and tracer enable metrics and query-lifecycle spans; both may be
+	// nil (the default in tests), which disables instrumentation.
+	reg    *obs.Registry
+	tracer *obs.Tracer
 }
 
 func (c forwarderConfig) withDefaults() forwarderConfig {
@@ -155,12 +211,68 @@ func (c forwarderConfig) withDefaults() forwarderConfig {
 type forwarder struct {
 	cfg     forwarderConfig
 	started time.Time
+	tracer  *obs.Tracer
 
 	mu    sync.Mutex
 	cache *dnssim.Cache
 	rng   *sim.RNG // jitter source (seeded: backoff schedules replay deterministically)
 
+	// failStreak counts consecutive queries whose upstream attempts all
+	// failed; /healthz degrades at unhealthyFailStreak. Guarded by mu.
+	failStreak int
+
 	forwarderCounters
+	m resolverMetrics
+}
+
+// Metric families exported by the resolver daemon.
+const (
+	metricQueries     = "resolver_queries_total"
+	metricForwarded   = "resolver_forwarded_total"
+	metricRetries     = "resolver_retries_total"
+	metricMismatched  = "resolver_mismatched_total"
+	metricStaleServed = "resolver_stale_served_total"
+	metricServFails   = "resolver_servfails_total"
+	metricQuerySecs   = "resolver_query_seconds"
+	metricAttemptSecs = "resolver_upstream_attempt_seconds"
+	metricFailStreak  = "resolver_upstream_consecutive_failures"
+)
+
+// resolverMetrics carries the forwarder's pre-resolved instruments; zero
+// value = disabled (obs instruments are nil-safe).
+type resolverMetrics struct {
+	queries     *obs.Counter
+	forwarded   *obs.Counter
+	retried     *obs.Counter
+	mismatched  *obs.Counter
+	staleServed *obs.Counter
+	servfails   *obs.Counter
+	querySecs   *obs.Histogram
+	attemptSecs *obs.Histogram
+	failStreak  *obs.Gauge
+}
+
+func newResolverMetrics(reg *obs.Registry) resolverMetrics {
+	reg.Help(metricQueries, "Client datagrams parsed as queries.")
+	reg.Help(metricForwarded, "Queries answered via the upstream.")
+	reg.Help(metricRetries, "Upstream retransmissions.")
+	reg.Help(metricMismatched, "Upstream datagrams rejected by ID/question validation.")
+	reg.Help(metricStaleServed, "Answers served past their TTL (RFC 8767 serve-stale).")
+	reg.Help(metricServFails, "Client-visible SERVFAILs after retry exhaustion.")
+	reg.Help(metricQuerySecs, "Wall-clock seconds handling one client query.")
+	reg.Help(metricAttemptSecs, "Wall-clock seconds per upstream exchange attempt.")
+	reg.Help(metricFailStreak, "Consecutive queries whose upstream attempts all failed (0 = healthy).")
+	return resolverMetrics{
+		queries:     reg.Counter(metricQueries),
+		forwarded:   reg.Counter(metricForwarded),
+		retried:     reg.Counter(metricRetries),
+		mismatched:  reg.Counter(metricMismatched),
+		staleServed: reg.Counter(metricStaleServed),
+		servfails:   reg.Counter(metricServFails),
+		querySecs:   reg.Histogram(metricQuerySecs, obs.LatencyBuckets),
+		attemptSecs: reg.Histogram(metricAttemptSecs, obs.LatencyBuckets),
+		failStreak:  reg.Gauge(metricFailStreak),
+	}
 }
 
 // forwarderCounters tallies the forwarder's traffic and degradation events.
@@ -182,12 +294,30 @@ func newForwarder(cfg forwarderConfig) *forwarder {
 	cfg = cfg.withDefaults()
 	cache := dnssim.NewCache(cfg.posTTL, cfg.negTTL)
 	cache.StaleTTL = cfg.serveStale
-	return &forwarder{
+	f := &forwarder{
 		cfg:     cfg,
 		cache:   cache,
 		rng:     sim.NewRNG(cfg.seed),
 		started: time.Now(),
+		tracer:  cfg.tracer,
 	}
+	if cfg.reg != nil {
+		f.m = newResolverMetrics(cfg.reg)
+		cache.Instrument(cfg.reg, "level", "resolver")
+	}
+	return f
+}
+
+// health implements the /healthz probe: unhealthy while a streak of
+// queries has exhausted upstream retries (the upstream is dark).
+func (f *forwarder) health() error {
+	f.mu.Lock()
+	streak := f.failStreak
+	f.mu.Unlock()
+	if streak >= unhealthyFailStreak {
+		return fmt.Errorf("upstream %s unreachable: %d consecutive queries exhausted retries", f.cfg.upstream, streak)
+	}
+	return nil
 }
 
 // now maps wall time onto the cache's virtual clock.
@@ -216,7 +346,9 @@ func (f *forwarder) serve(conn net.PacketConn) error {
 }
 
 // handle serves one client datagram: cache first, upstream on miss, stale
-// cache as the last resort before SERVFAIL.
+// cache as the last resort before SERVFAIL. A sampled query carries a
+// lifecycle span from client arrival through cache, upstream attempts and
+// degradation to the final answer.
 func (f *forwarder) handle(pkt []byte) []byte {
 	msg, err := dnswire.Decode(pkt)
 	if err != nil || msg.Header.QR || len(msg.Questions) == 0 {
@@ -224,17 +356,29 @@ func (f *forwarder) handle(pkt []byte) []byte {
 	}
 	domain := strings.ToLower(msg.Questions[0].Name)
 	now := f.now()
+	var t0 time.Time
+	if f.m.querySecs != nil {
+		t0 = time.Now()
+	}
+	span := f.tracer.Start("resolver.query", "domain", domain)
+	defer span.End()
 
 	f.mu.Lock()
 	f.queries++
 	ans, hit := f.cache.Lookup(now, domain)
 	f.mu.Unlock()
+	f.m.queries.Inc()
 	if hit {
+		span.Event("cache_hit", "nx", fmt.Sprint(ans.NX))
+		span.SetAttr("outcome", "cache_hit")
+		f.observeQuery(t0)
 		return encodeAnswer(msg, ans.NX, 60)
 	}
+	span.Event("cache_miss")
 
-	upstreamResp, parsed, err := f.forward(pkt, msg)
+	upstreamResp, parsed, err := f.forward(pkt, msg, span)
 	if err != nil {
+		span.Event("upstream_failed", "err", err.Error())
 		// Graceful degradation: an expired answer beats no answer while
 		// the upstream is dark (RFC 8767).
 		f.mu.Lock()
@@ -244,10 +388,19 @@ func (f *forwarder) handle(pkt []byte) []byte {
 		} else {
 			f.servfails++
 		}
+		f.failStreak++
+		streak := f.failStreak
 		f.mu.Unlock()
+		f.m.failStreak.Set(float64(streak))
 		if ok {
+			f.m.staleServed.Inc()
+			span.SetAttr("outcome", "stale")
+			f.observeQuery(t0)
 			return encodeAnswer(msg, stale.NX, staleAnswerTTL)
 		}
+		f.m.servfails.Inc()
+		span.SetAttr("outcome", "servfail")
+		f.observeQuery(t0)
 		servfail := &dnswire.Message{
 			Header:    dnswire.Header{ID: msg.Header.ID, QR: true, RD: msg.Header.RD, Rcode: dnswire.RcodeServFail},
 			Questions: msg.Questions,
@@ -260,9 +413,23 @@ func (f *forwarder) handle(pkt []byte) []byte {
 	}
 	f.mu.Lock()
 	f.forwarded++
+	f.failStreak = 0
 	f.cache.Store(now, domain, parsed.Header.Rcode == dnswire.RcodeNXDomain)
 	f.mu.Unlock()
+	f.m.forwarded.Inc()
+	f.m.failStreak.Set(0)
+	span.Event("upstream_ok", "rcode", fmt.Sprint(parsed.Header.Rcode))
+	span.SetAttr("outcome", "forwarded")
+	f.observeQuery(t0)
 	return upstreamResp
+}
+
+// observeQuery records the wall latency of one handled query when metrics
+// are enabled (t0 is zero otherwise).
+func (f *forwarder) observeQuery(t0 time.Time) {
+	if f.m.querySecs != nil && !t0.IsZero() {
+		f.m.querySecs.Observe(time.Since(t0).Seconds())
+	}
 }
 
 // encodeAnswer builds a cached/stale response. Cached positives return the
@@ -287,7 +454,7 @@ func encodeAnswer(q *dnswire.Message, nx bool, ttl uint32) []byte {
 // to earlier queries and chaos-duplicated packets are counted and
 // dropped); upstream SERVFAILs count as failed attempts so they are
 // retried rather than cached.
-func (f *forwarder) forward(pkt []byte, q *dnswire.Message) ([]byte, *dnswire.Message, error) {
+func (f *forwarder) forward(pkt []byte, q *dnswire.Message, span *obs.Span) ([]byte, *dnswire.Message, error) {
 	overall := time.Now().Add(f.cfg.deadline)
 	backoff := f.cfg.backoff
 	var lastErr error
@@ -298,6 +465,8 @@ func (f *forwarder) forward(pkt []byte, q *dnswire.Message) ([]byte, *dnswire.Me
 			// Full-ish jitter: uniform in [backoff/2, backoff).
 			sleep := backoff/2 + time.Duration(f.rng.Int64N(int64(backoff/2)+1))
 			f.mu.Unlock()
+			f.m.retried.Inc()
+			span.Event("retry", "attempt", fmt.Sprint(attempt), "backoff", sleep.String())
 			if remaining := time.Until(overall); sleep > remaining {
 				sleep = remaining
 			}
@@ -309,10 +478,12 @@ func (f *forwarder) forward(pkt []byte, q *dnswire.Message) ([]byte, *dnswire.Me
 		if time.Now().After(overall) {
 			break
 		}
+		span.Event("upstream_attempt", "attempt", fmt.Sprint(attempt))
 		wire, parsed, err := f.attempt(pkt, q, overall)
 		if err == nil {
 			return wire, parsed, nil
 		}
+		span.Event("attempt_failed", "attempt", fmt.Sprint(attempt), "err", err.Error())
 		lastErr = err
 	}
 	if lastErr == nil {
@@ -324,6 +495,9 @@ func (f *forwarder) forward(pkt []byte, q *dnswire.Message) ([]byte, *dnswire.Me
 // attempt performs one upstream exchange, reading until a validated
 // response arrives or the attempt deadline passes.
 func (f *forwarder) attempt(pkt []byte, q *dnswire.Message, overall time.Time) ([]byte, *dnswire.Message, error) {
+	if f.m.attemptSecs != nil {
+		defer func(t0 time.Time) { f.m.attemptSecs.Observe(time.Since(t0).Seconds()) }(time.Now())
+	}
 	c, err := net.Dial("udp", f.cfg.upstream)
 	if err != nil {
 		return nil, nil, err
@@ -352,6 +526,7 @@ func (f *forwarder) attempt(pkt []byte, q *dnswire.Message, overall time.Time) (
 			f.mu.Lock()
 			f.mismatched++
 			f.mu.Unlock()
+			f.m.mismatched.Inc()
 			continue
 		}
 		if parsed.Header.Rcode == dnswire.RcodeServFail {

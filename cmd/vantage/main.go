@@ -36,9 +36,42 @@ import (
 
 	"botmeter/internal/dnswire"
 	"botmeter/internal/faults"
+	"botmeter/internal/obs"
 	"botmeter/internal/sim"
 	"botmeter/internal/trace"
 )
+
+// Metric families exported by the vantage daemon.
+const (
+	metricQueries     = "vantage_queries_total"
+	metricObserved    = "vantage_observed_records_total"
+	metricWriteErrors = "vantage_observed_write_errors_total"
+	metricStickyError = "vantage_observed_sticky_error"
+	metricZoneSize    = "vantage_zone_domains"
+)
+
+// sinkMetrics carries the vantage point's pre-resolved instruments; zero
+// value = disabled (obs instruments are nil-safe).
+type sinkMetrics struct {
+	queries     *obs.Counter
+	observed    *obs.Counter
+	writeErrors *obs.Counter
+	stickyError *obs.Gauge
+}
+
+func newSinkMetrics(reg *obs.Registry) sinkMetrics {
+	reg.Help(metricQueries, "Datagrams parsed as DNS queries.")
+	reg.Help(metricObserved, "Observations appended to the observable dataset.")
+	reg.Help(metricWriteErrors, "Observation appends that failed to persist.")
+	reg.Help(metricStickyError, "1 while the observed-dataset writer holds a sticky error (healthz degrades).")
+	reg.Help(metricZoneSize, "Registered domains loaded from the zone file.")
+	return sinkMetrics{
+		queries:     reg.Counter(metricQueries),
+		observed:    reg.Counter(metricObserved),
+		writeErrors: reg.Counter(metricWriteErrors),
+		stickyError: reg.Gauge(metricStickyError),
+	}
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -60,24 +93,41 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	fsyncInterval := fs.Duration("fsync-interval", 0, "fsync the observed dataset at most this often (0 disables)")
 	chaosSpec := fs.String("chaos", "", "inject faults, e.g. loss=0.2,dup=0.01,servfail=0.05,delay=5ms,blackout=10s+2s")
 	chaosSeed := fs.Uint64("chaos-seed", 1, "seed for deterministic fault injection")
+	obsAddr := fs.String("obs-addr", "", "HTTP diagnostics address serving /metrics, /healthz, /debug/vars and /debug/pprof (empty disables)")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	logFormat := fs.String("log-format", "logfmt", "log encoding: logfmt or json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	format, err := obs.ParseFormat(*logFormat)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(logw, obs.LogConfig{Level: level, Format: format, Component: "vantage"})
 	rates, err := faults.ParseSpec(*chaosSpec)
 	if err != nil {
 		return err
+	}
+	var reg *obs.Registry
+	if *obsAddr != "" {
+		reg = obs.NewRegistry()
 	}
 
 	zone, err := loadZone(*zonePath)
 	if err != nil {
 		return err
 	}
+	reg.Gauge(metricZoneSize).Set(float64(len(zone)))
 	// Crash recovery: drop a torn final line from a previous unclean
 	// shutdown so this run appends on a line boundary.
 	if removed, err := trace.TruncateTornTail(*observedPath); err != nil {
 		return fmt.Errorf("recovering %s: %w", *observedPath, err)
 	} else if removed > 0 {
-		fmt.Fprintf(logw, "vantage: recovered %s: truncated %d-byte torn final line\n", *observedPath, removed)
+		logger.Warn("recovered torn observed dataset", "path", *observedPath, "truncated_bytes", removed)
 	}
 	out, err := os.OpenFile(*observedPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -93,23 +143,40 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	var inj *faults.Injector
 	if rates.Enabled() {
 		inj = faults.New(*chaosSeed, rates)
+		inj.Instrument(reg)
 		conn = faults.WrapPacketConn(conn, inj)
-		fmt.Fprintf(logw, "vantage: CHAOS enabled: %s (seed %d)\n", rates, *chaosSeed)
+		logger.Warn("chaos enabled", "rates", rates.String(), "seed", *chaosSeed)
 	}
-	fmt.Fprintf(logw, "vantage: serving DNS on %s (%d registered domains), observing to %s\n",
-		conn.LocalAddr(), len(zone), *observedPath)
+	logger.Info("serving",
+		"listen", conn.LocalAddr().String(),
+		"zone_domains", len(zone),
+		"observed", *observedPath)
 
 	srv := &sink{
 		zone:    zone,
 		ttl:     uint32(*ttl),
 		started: time.Now(),
 		inj:     inj,
-		logw:    logw,
+		log:     logger,
 		out: trace.NewSafeWriter(out, trace.SafeWriterConfig{
 			FlushInterval: *flushInterval,
 			FlushEvery:    *flushEvery,
 			FsyncInterval: *fsyncInterval,
 		}),
+	}
+	if reg != nil {
+		srv.m = newSinkMetrics(reg)
+	}
+	if *obsAddr != "" {
+		diag, err := obs.StartHTTP(*obsAddr, obs.NewMux(obs.MuxConfig{
+			Registry: reg,
+			Health:   srv.health,
+		}))
+		if err != nil {
+			return err
+		}
+		defer diag.Close()
+		logger.Info("diagnostics listening", "obs_addr", diag.Addr())
 	}
 	done := make(chan error, 1)
 	go func() { done <- srv.serve(conn) }()
@@ -124,7 +191,7 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		}
 	}
 	if inj != nil {
-		fmt.Fprintf(logw, "vantage: chaos %s\n", inj.Counters())
+		logger.Info("chaos counters", "counters", inj.Counters().String())
 	}
 	return srv.out.Close()
 }
@@ -136,10 +203,21 @@ type sink struct {
 	started time.Time
 	out     *trace.SafeWriter
 	inj     *faults.Injector
-	logw    *os.File
+	log     *obs.Logger
+	m       sinkMetrics
 
 	mu        sync.Mutex
 	writeErrs int
+}
+
+// health implements the /healthz probe: unhealthy while the observed-
+// dataset writer holds a sticky error — the DNS plane still answers, but
+// the vantage point is no longer recording, which is this daemon's job.
+func (s *sink) health() error {
+	if err := s.out.Err(); err != nil {
+		return fmt.Errorf("observed dataset writer: %w", err)
+	}
+	return nil
 }
 
 func (s *sink) serve(conn net.PacketConn) error {
@@ -169,6 +247,7 @@ func (s *sink) handle(pkt []byte, from net.Addr) []byte {
 		return nil
 	}
 	domain := strings.ToLower(msg.Questions[0].Name)
+	s.m.queries.Inc()
 
 	// Application-level chaos: a SERVFAIL burst means the query was
 	// received but resolution failed — nothing is recorded, mirroring a
@@ -198,14 +277,20 @@ func (s *sink) handle(pkt []byte, from net.Addr) []byte {
 	}
 	if err := s.out.Append(rec); err != nil {
 		// A failing disk must not take the DNS plane down, but it must be
-		// loud: log the first few occurrences and keep counting.
+		// loud: log the first few occurrences, keep counting, and flip the
+		// sticky-error gauge so /metrics and /healthz surface the outage
+		// instead of it only appearing at process exit.
 		s.mu.Lock()
 		s.writeErrs++
 		n := s.writeErrs
 		s.mu.Unlock()
-		if n <= 3 && s.logw != nil {
-			fmt.Fprintf(s.logw, "vantage: observation write error (%d so far): %v\n", n, err)
+		s.m.writeErrors.Inc()
+		s.m.stickyError.Set(1)
+		if n <= 3 {
+			s.log.Error("observation write error", "count", n, "err", err)
 		}
+	} else {
+		s.m.observed.Inc()
 	}
 
 	ip := s.zone[domain]

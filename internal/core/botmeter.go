@@ -18,6 +18,7 @@ import (
 	"botmeter/internal/dga"
 	"botmeter/internal/estimators"
 	"botmeter/internal/matcher"
+	"botmeter/internal/obs"
 	"botmeter/internal/sim"
 	"botmeter/internal/trace"
 )
@@ -43,6 +44,10 @@ type Config struct {
 	// SecondOpinion additionally runs the Timing estimator on every server
 	// (the paper evaluates MT alongside the model-specific estimator).
 	SecondOpinion bool
+	// Stages, when non-nil, records per-stage wall/alloc timings of every
+	// Analyze call ("match", "estimate", plus per-estimator wall times) —
+	// the source of `botmeter -verbose` and `benchgen -timings` tables.
+	Stages *obs.StageSet
 }
 
 func (c Config) withDefaults() Config {
@@ -55,6 +60,7 @@ func (c Config) withDefaults() Config {
 	if c.Estimator == nil {
 		c.Estimator = estimators.ForModel(c.Family)
 	}
+	c.Estimator = estimators.Instrumented(c.Estimator, c.Stages)
 	return c
 }
 
@@ -163,6 +169,7 @@ func (bm *BotMeter) Analyze(obs trace.Observed, w sim.Window) (*Landscape, error
 	}
 
 	// Step 3-4: match the stream per epoch (pools rotate across epochs).
+	matchStage := cfg.Stages.Start("match")
 	firstEpoch := int(w.Start / cfg.EpochLen)
 	lastEpoch := int((w.End - 1) / cfg.EpochLen)
 	matched := make(trace.Observed, 0, len(obs))
@@ -175,12 +182,13 @@ func (bm *BotMeter) Analyze(obs trace.Observed, w sim.Window) (*Landscape, error
 			matched = append(matched, rec)
 		}
 	}
+	matchStage.End()
 
 	// Step 5-7: per-server estimation. Servers are independent, so they
 	// are estimated concurrently with a bounded worker pool; the pool size
 	// follows GOMAXPROCS and each worker owns its loop state (the shared
 	// estimator instances synchronise their internal caches themselves).
-	timing := estimators.NewTiming()
+	timing := estimators.Instrumented(estimators.NewTiming(), cfg.Stages)
 	land := &Landscape{
 		Family:         cfg.Family.Name,
 		Model:          cfg.Family.ModelName(),
@@ -195,6 +203,7 @@ func (bm *BotMeter) Analyze(obs trace.Observed, w sim.Window) (*Landscape, error
 	}
 	sort.Strings(servers)
 
+	estStage := cfg.Stages.Start("estimate")
 	results := make([]ServerEstimate, len(servers))
 	errs := make([]error, len(servers))
 	var wg sync.WaitGroup
@@ -209,6 +218,7 @@ func (bm *BotMeter) Analyze(obs trace.Observed, w sim.Window) (*Landscape, error
 		}(i, server)
 	}
 	wg.Wait()
+	estStage.End()
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", servers[i], err)

@@ -47,6 +47,10 @@ type Cache struct {
 	sweepEvery int
 	opsSince   int
 	lastSweep  sim.Time
+
+	// m holds the optional obs instruments (see Instrument); the zero
+	// value is disabled and costs one branch per event.
+	m cacheMetrics
 }
 
 type cacheEntry struct {
@@ -70,18 +74,23 @@ func NewCache(positiveTTL, negativeTTL sim.Time) *Cache {
 // retained (for LookupStale) until the stale horizon passes.
 func (c *Cache) Lookup(now sim.Time, domain string) (Answer, bool) {
 	c.lookups++
+	c.m.lookups.Inc()
 	c.maybeSweep(now)
 	e, ok := c.entries[domain]
 	if !ok {
+		c.m.misses.Inc()
 		return Answer{}, false
 	}
 	if now >= e.expires {
 		if c.StaleTTL <= 0 || now >= e.expires+c.StaleTTL {
 			delete(c.entries, domain)
+			c.m.evictions.Inc()
 		}
+		c.m.misses.Inc()
 		return Answer{}, false
 	}
 	c.hits++
+	c.m.hits.Inc()
 	return Answer{NX: e.nx, CacheHit: true}, true
 }
 
@@ -98,6 +107,7 @@ func (c *Cache) LookupStale(now sim.Time, domain string) (Answer, bool) {
 		return Answer{}, false
 	}
 	c.staleHits++
+	c.m.staleHits.Inc()
 	return Answer{NX: e.nx, CacheHit: true, Stale: true}, true
 }
 
@@ -115,6 +125,10 @@ func (c *Cache) Store(now sim.Time, domain string, nx bool) {
 		return
 	}
 	c.entries[domain] = cacheEntry{expires: now + ttl, nx: nx}
+	if c.m.stores != nil {
+		c.m.stores.Inc()
+		c.m.entries.Set(float64(len(c.entries)))
+	}
 }
 
 // Len returns the number of cached entries including not-yet-swept expired
@@ -144,6 +158,10 @@ func (c *Cache) maybeSweep(now sim.Time) {
 	for d, e := range c.entries {
 		if now >= e.expires+c.StaleTTL {
 			delete(c.entries, d)
+			c.m.evictions.Inc()
 		}
+	}
+	if c.m.entries != nil {
+		c.m.entries.Set(float64(len(c.entries)))
 	}
 }

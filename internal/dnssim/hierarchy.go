@@ -3,7 +3,9 @@ package dnssim
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"botmeter/internal/obs"
 	"botmeter/internal/sim"
 	"botmeter/internal/trace"
 )
@@ -57,8 +59,9 @@ type Border struct {
 	ID          string
 	Granularity sim.Time
 
-	registry *Registry
-	observed trace.Observed
+	registry    *Registry
+	observed    trace.Observed
+	observedCtr *obs.Counter
 }
 
 // NewBorder builds a border server over the given registry.
@@ -68,6 +71,7 @@ func NewBorder(id string, registry *Registry) *Border {
 
 // Resolve implements Upstream: record, then answer authoritatively.
 func (b *Border) Resolve(now sim.Time, forwarder, domain string) Answer {
+	b.observedCtr.Inc()
 	b.observed = append(b.observed, trace.ObservedRecord{
 		T:      now.Truncate(b.Granularity),
 		Server: forwarder,
@@ -105,6 +109,10 @@ type Server struct {
 	retried     int
 	servfails   int
 	staleServed int
+
+	// m holds the optional obs instruments (see Instrument); the zero
+	// value is disabled and costs one branch per event.
+	m serverMetrics
 }
 
 // NewServer builds a caching server with the given TTLs and upstream.
@@ -120,23 +128,33 @@ func (s *Server) Cache() *Cache { return s.cache }
 // the client sees.
 func (s *Server) Query(now sim.Time, domain string) Answer {
 	s.queries++
+	s.m.queries.Inc()
+	// The latency histogram is the one instrument that would make the
+	// disabled path pay for a clock read, so it is guarded explicitly.
+	if s.m.latency != nil {
+		defer s.m.observeLatency(time.Now())
+	}
 	if ans, ok := s.cache.Lookup(now, domain); ok {
 		return ans
 	}
 	s.forwarded++
+	s.m.forwarded.Inc()
 	ans := s.upstream.Resolve(now, s.ID, domain)
 	for attempt := 0; ans.ServFail && attempt < s.MaxRetries; attempt++ {
 		s.retried++
+		s.m.retried.Inc()
 		ans = s.upstream.Resolve(now, s.ID, domain)
 	}
 	if ans.ServFail {
 		if s.ServeStale {
 			if stale, ok := s.cache.LookupStale(now, domain); ok {
 				s.staleServed++
+				s.m.staleServed.Inc()
 				return stale
 			}
 		}
 		s.servfails++
+		s.m.servfails.Inc()
 		return Answer{ServFail: true}
 	}
 	s.cache.Store(now, domain, ans.NX)
@@ -200,6 +218,11 @@ type NetworkConfig struct {
 	MaxRetries int
 	ServeStale bool
 	StaleTTL   sim.Time
+	// Obs, when non-nil, instruments every tier of the hierarchy on the
+	// registry: per-level query/cache/degradation counters, per-level
+	// wall-latency histograms and the border's observed-lookup counter.
+	// Nil (the default) keeps the query hot path instrument-free.
+	Obs *obs.Registry
 }
 
 // NewNetwork builds the hierarchy. Local servers are named "local-00",
@@ -211,6 +234,9 @@ func NewNetwork(cfg NetworkConfig) *Network {
 	registry := NewRegistry()
 	border := NewBorder("border", registry)
 	border.Granularity = cfg.Granularity
+	if cfg.Obs != nil {
+		border.Instrument(cfg.Obs)
+	}
 	n := &Network{
 		Border:     border,
 		Registry:   registry,
@@ -232,7 +258,11 @@ func NewNetwork(cfg NetworkConfig) *Network {
 	if cfg.MidTierFanIn > 0 {
 		numMid := (cfg.LocalServers + cfg.MidTierFanIn - 1) / cfg.MidTierFanIn
 		for i := 0; i < numMid; i++ {
-			mids = append(mids, harden(NewServer(fmt.Sprintf("mid-%02d", i), cfg.PositiveTTL, cfg.NegativeTTL, upstreamBorder)))
+			mid := harden(NewServer(fmt.Sprintf("mid-%02d", i), cfg.PositiveTTL, cfg.NegativeTTL, upstreamBorder))
+			if cfg.Obs != nil {
+				mid.Instrument(cfg.Obs, "mid")
+			}
+			mids = append(mids, mid)
 		}
 	}
 	for i := 0; i < cfg.LocalServers; i++ {
@@ -241,7 +271,11 @@ func NewNetwork(cfg NetworkConfig) *Network {
 		if len(mids) > 0 {
 			up = mids[i/cfg.MidTierFanIn]
 		}
-		n.locals[id] = harden(NewServer(id, cfg.PositiveTTL, cfg.NegativeTTL, up))
+		local := harden(NewServer(id, cfg.PositiveTTL, cfg.NegativeTTL, up))
+		if cfg.Obs != nil {
+			local.Instrument(cfg.Obs, "local")
+		}
+		n.locals[id] = local
 		n.localOrder = append(n.localOrder, id)
 	}
 	return n

@@ -10,6 +10,7 @@ import (
 	"botmeter/internal/dnssim"
 	"botmeter/internal/estimators"
 	"botmeter/internal/faults"
+	"botmeter/internal/obs"
 	"botmeter/internal/sim"
 	"botmeter/internal/stats"
 )
@@ -36,6 +37,9 @@ type ChaosConfig struct {
 	Scale float64
 	// Retries is the hardened hierarchy's MaxRetries (default 3).
 	Retries int
+	// Stages, when non-nil, accumulates per-stage wall/alloc timings
+	// (simulate vs estimate) for `benchgen -timings`.
+	Stages *obs.StageSet
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -126,6 +130,7 @@ func ChaosSweep(cfg ChaosConfig) ([]ChaosPoint, error) {
 // returns each estimator's ARE against the realised ground truth plus the
 // injector's final counters.
 func chaosTrial(cfg ChaosConfig, spec dga.Spec, ests []estimators.Estimator, rate float64, hardened bool, seed uint64) (map[string]float64, faults.Counters, error) {
+	simStage := cfg.Stages.Start("chaos:simulate")
 	inj := faults.New(seed^0xfa01, chaosRates(rate))
 	netCfg := dnssim.NetworkConfig{
 		LocalServers: 1,
@@ -148,16 +153,20 @@ func chaosTrial(cfg ChaosConfig, spec dga.Spec, ests []estimators.Estimator, rat
 		BotsPerServer: map[string]int{"local-00": cfg.Population},
 	}, net)
 	if err != nil {
+		simStage.End()
 		return nil, faults.Counters{}, err
 	}
 	w := sim.Window{Start: 0, End: sim.Day}
 	res, err := runner.Run(w)
+	simStage.End()
 	if err != nil {
 		return nil, faults.Counters{}, err
 	}
 	truth := float64(res.ActiveBots["local-00"][0])
 
-	obs := net.Border.Observed()
+	observed := net.Border.Observed()
+	estStage := cfg.Stages.Start("chaos:estimate")
+	defer estStage.End()
 	out := make(map[string]float64, len(ests))
 	for _, est := range ests {
 		bm, err := core.New(core.Config{
@@ -169,7 +178,7 @@ func chaosTrial(cfg ChaosConfig, spec dga.Spec, ests []estimators.Estimator, rat
 		if err != nil {
 			return nil, faults.Counters{}, err
 		}
-		land, err := bm.Analyze(obs, w)
+		land, err := bm.Analyze(observed, w)
 		if err != nil {
 			return nil, faults.Counters{}, err
 		}

@@ -15,6 +15,7 @@ import (
 	"botmeter/internal/dga"
 	"botmeter/internal/dnssim"
 	"botmeter/internal/estimators"
+	"botmeter/internal/obs"
 	"botmeter/internal/sim"
 	"botmeter/internal/stats"
 )
@@ -32,6 +33,9 @@ type Fig6Config struct {
 	Scale float64
 	// Models restricts the evaluated DGA models (nil = AU, AS, AR, AP).
 	Models []string
+	// Stages, when non-nil, accumulates per-stage wall/alloc timings
+	// (simulate vs estimate) for `benchgen -timings`.
+	Stages *obs.StageSet
 }
 
 func (c Fig6Config) withDefaults() Fig6Config {
@@ -136,6 +140,7 @@ type trialParams struct {
 	missRate     float64
 	granularity  sim.Time
 	seed         uint64
+	stages       *obs.StageSet
 }
 
 func defaultTrialParams(spec dga.Spec, population int, seed uint64) trialParams {
@@ -152,6 +157,7 @@ func defaultTrialParams(spec dga.Spec, population int, seed uint64) trialParams 
 // runTrial simulates one configuration and returns each estimator's ARE
 // against the realised ground truth.
 func runTrial(p trialParams, ests []estimators.Estimator) (map[string]float64, error) {
+	simStage := p.stages.Start("fig6:simulate")
 	net := dnssim.NewNetwork(dnssim.NetworkConfig{
 		LocalServers: 1,
 		PositiveTTL:  sim.Day,
@@ -169,6 +175,7 @@ func runTrial(p trialParams, ests []estimators.Estimator) (map[string]float64, e
 	}
 	w := sim.Window{Start: 0, End: sim.Time(p.windowEpochs) * sim.Day}
 	res, err := runner.Run(w)
+	simStage.End()
 	if err != nil {
 		return nil, err
 	}
@@ -182,7 +189,9 @@ func runTrial(p trialParams, ests []estimators.Estimator) (map[string]float64, e
 	if p.missRate > 0 {
 		detection = &d3.Window{MissRate: p.missRate, Seed: p.seed ^ 0xd3}
 	}
-	obs := net.Border.Observed()
+	observed := net.Border.Observed()
+	estStage := p.stages.Start("fig6:estimate")
+	defer estStage.End()
 	out := make(map[string]float64, len(ests))
 	for _, est := range ests {
 		bm, err := core.New(core.Config{
@@ -192,11 +201,12 @@ func runTrial(p trialParams, ests []estimators.Estimator) (map[string]float64, e
 			Granularity: p.granularity,
 			Estimator:   est,
 			Detection:   detection,
+			Stages:      p.stages,
 		})
 		if err != nil {
 			return nil, err
 		}
-		land, err := bm.Analyze(obs, w)
+		land, err := bm.Analyze(observed, w)
 		if err != nil {
 			return nil, err
 		}
@@ -216,6 +226,7 @@ func sweepPoint(cfg Fig6Config, panel, sweep, model string, x float64, mutate fu
 	for trial := 0; trial < cfg.Trials; trial++ {
 		seed := cfg.Seed ^ (uint64(trial)+1)*0x9e3779b97f4a7c15 ^ hash64(panel+model)
 		p := defaultTrialParams(spec, cfg.Population, seed)
+		p.stages = cfg.Stages
 		mutate(&p)
 		res, err := runTrial(p, ests)
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"botmeter/internal/dga"
 	"botmeter/internal/enterprise"
 	"botmeter/internal/estimators"
+	"botmeter/internal/obs"
 	"botmeter/internal/sim"
 	"botmeter/internal/stats"
 )
@@ -24,6 +25,9 @@ type Fig7Config struct {
 	// BenignClients / BenignLookupsPerClient size the background load.
 	BenignClients          int
 	BenignLookupsPerClient float64
+	// Stages, when non-nil, accumulates per-stage wall/alloc timings
+	// (trace generation vs per-family analysis) for `benchgen -timings`.
+	Stages *obs.StageSet
 }
 
 func (c Fig7Config) withDefaults() Fig7Config {
@@ -81,6 +85,7 @@ func fig7Infections(cfg Fig7Config) []enterprise.Infection {
 func Figure7(cfg Fig7Config) ([]Fig7Series, error) {
 	cfg = cfg.withDefaults()
 	infections := fig7Infections(cfg)
+	genStage := cfg.Stages.Start("fig7:generate")
 	tr, err := enterprise.Generate(enterprise.Config{
 		Days:                   cfg.Days,
 		Seed:                   cfg.Seed,
@@ -89,6 +94,7 @@ func Figure7(cfg Fig7Config) ([]Fig7Series, error) {
 		Granularity:            sim.Second,
 		Infections:             infections,
 	})
+	genStage.End()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig7: %w", err)
 	}
@@ -102,6 +108,7 @@ func Figure7(cfg Fig7Config) ([]Fig7Series, error) {
 				Seed:        inf.Seed,
 				Granularity: sim.Second,
 				Estimator:   est,
+				Stages:      cfg.Stages,
 			})
 			if err != nil {
 				return nil, err
@@ -112,6 +119,7 @@ func Figure7(cfg Fig7Config) ([]Fig7Series, error) {
 				Estimator: est.Name(),
 				Truth:     tr.GroundTruth[inf.Spec.Name],
 			}
+			famStage := cfg.Stages.Start("fig7:analyze:" + inf.Spec.Name + "/" + est.Name())
 			for day := 0; day < tr.Days; day++ {
 				w := sim.Window{Start: sim.Time(day) * sim.Day, End: sim.Time(day+1) * sim.Day}
 				land, err := bm.Analyze(tr.Observed.Window(w), w)
@@ -121,6 +129,7 @@ func Figure7(cfg Fig7Config) ([]Fig7Series, error) {
 				}
 				s.Estimates = append(s.Estimates, land.Estimate(tr.LocalServer))
 			}
+			famStage.End()
 			series = append(series, s)
 		}
 	}

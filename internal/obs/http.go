@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// MuxConfig wires the diagnostic HTTP endpoint.
+type MuxConfig struct {
+	// Registry backs /metrics (nil serves an empty exposition).
+	Registry *Registry
+	// Health backs /healthz: nil or a nil-returning func is healthy (200);
+	// an error yields 503 with the error text.
+	Health func() error
+	// Tracer backs /debug/spans (nil serves nothing).
+	Tracer *Tracer
+}
+
+// NewMux builds the diagnostic mux: /metrics (Prometheus text), /healthz,
+// /debug/vars (expvar), /debug/spans (sampled span JSONL) and
+// /debug/pprof/*.
+func NewMux(cfg MuxConfig) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		cfg.Registry.WritePrometheus(w) //nolint:errcheck // client gone
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if cfg.Health != nil {
+			if err := cfg.Health(); err != nil {
+				http.Error(w, fmt.Sprintf("unhealthy: %v", err), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		cfg.Tracer.DumpJSONL(w) //nolint:errcheck // client gone
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// HTTPServer is a running diagnostic endpoint.
+type HTTPServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartHTTP listens on addr and serves the mux in a background goroutine.
+// Pass the returned server's Addr to clients (useful with ":0") and Close
+// it on shutdown.
+func StartHTTP(addr string, handler http.Handler) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	return &HTTPServer{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the bound listen address. Nil-safe ("").
+func (s *HTTPServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the endpoint down, waiting briefly for in-flight requests.
+// Nil-safe.
+func (s *HTTPServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMuxMetricsAndHealth(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("demo_total").Add(2)
+	tr := NewTracer(TracerConfig{Capacity: 4})
+	tr.Start("q").End()
+
+	var mu sync.Mutex
+	var healthErr error
+	mux := NewMux(MuxConfig{
+		Registry: reg,
+		Tracer:   tr,
+		Health: func() error {
+			mu.Lock()
+			defer mu.Unlock()
+			return healthErr
+		},
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ctype := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content-type = %q", ctype)
+	}
+	if !strings.Contains(body, "demo_total 2") {
+		t.Errorf("/metrics body missing counter: %q", body)
+	}
+
+	code, body, _ = get("/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz healthy = %d %q", code, body)
+	}
+	mu.Lock()
+	healthErr = errors.New("observed dataset writer: disk full")
+	mu.Unlock()
+	code, body, _ = get("/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "disk full") {
+		t.Fatalf("/healthz degraded = %d %q", code, body)
+	}
+
+	code, body, ctype = get("/debug/spans")
+	if code != http.StatusOK || ctype != "application/x-ndjson" {
+		t.Fatalf("/debug/spans = %d %q", code, ctype)
+	}
+	if !strings.Contains(body, `"name":"q"`) {
+		t.Errorf("/debug/spans body = %q", body)
+	}
+
+	if code, _, _ = get("/debug/vars"); code != http.StatusOK {
+		t.Errorf("/debug/vars = %d", code)
+	}
+	if code, _, _ = get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+// TestMuxNilBackends: the mux must serve sanely with nothing wired in.
+func TestMuxNilBackends(t *testing.T) {
+	srv := httptest.NewServer(NewMux(MuxConfig{}))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/healthz", "/debug/spans"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s = %d with nil backends", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestStartHTTP(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("up").Set(1)
+	srv, err := StartHTTP("127.0.0.1:0", NewMux(MuxConfig{Registry: reg}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Addr() == "" {
+		t.Fatal("no bound address")
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "up 1") {
+		t.Errorf("metrics body = %q", body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	var nilSrv *HTTPServer
+	if nilSrv.Addr() != "" || nilSrv.Close() != nil {
+		t.Error("nil HTTPServer not nil-safe")
+	}
+}

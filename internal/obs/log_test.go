@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedNow() time.Time {
+	return time.Date(2016, 4, 1, 12, 0, 0, 0, time.UTC)
+}
+
+func TestLoggerLogfmt(t *testing.T) {
+	var b strings.Builder
+	lg := NewLogger(&b, LogConfig{Component: "resolver", Now: fixedNow})
+	lg.Info("serving", "listen", "127.0.0.1:5354", "retries", 3)
+	want := "ts=2016-04-01T12:00:00Z level=info component=resolver msg=serving listen=127.0.0.1:5354 retries=3\n"
+	if got := b.String(); got != want {
+		t.Errorf("logfmt line:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestLoggerLogfmtQuoting(t *testing.T) {
+	var b strings.Builder
+	lg := NewLogger(&b, LogConfig{Now: fixedNow})
+	lg.Warn("chaos enabled", "rates", "loss=0.2 dup=0.01", "err", errors.New(`bad "thing"`))
+	got := b.String()
+	for _, frag := range []string{
+		`msg="chaos enabled"`,
+		`rates="loss=0.2 dup=0.01"`,
+		`err="bad \"thing\""`,
+	} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("line %q missing %q", got, frag)
+		}
+	}
+}
+
+func TestLoggerJSON(t *testing.T) {
+	var b strings.Builder
+	lg := NewLogger(&b, LogConfig{Format: FormatJSON, Component: "vantage", Now: fixedNow})
+	lg.Error("write failed", "count", 2, "ok", false, "err", errors.New("disk full"))
+	want := `{"ts":"2016-04-01T12:00:00Z","level":"error","component":"vantage","msg":"write failed","count":2,"ok":false,"err":"disk full"}` + "\n"
+	if got := b.String(); got != want {
+		t.Errorf("json line:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var b strings.Builder
+	lg := NewLogger(&b, LogConfig{Level: LevelWarn, Now: fixedNow})
+	lg.Debug("d")
+	lg.Info("i")
+	lg.Warn("w")
+	lg.Error("e")
+	got := b.String()
+	if strings.Contains(got, "msg=d") || strings.Contains(got, "msg=i") {
+		t.Errorf("below-threshold lines emitted: %q", got)
+	}
+	if !strings.Contains(got, "msg=w") || !strings.Contains(got, "msg=e") {
+		t.Errorf("threshold lines missing: %q", got)
+	}
+	if !lg.Enabled(LevelWarn) || lg.Enabled(LevelInfo) {
+		t.Error("Enabled thresholds wrong")
+	}
+}
+
+func TestLoggerDerived(t *testing.T) {
+	var b strings.Builder
+	lg := NewLogger(&b, LogConfig{Component: "parent", Now: fixedNow})
+	child := lg.Component("child").With("shard", 7)
+	child.Info("hello", "extra", "x")
+	got := b.String()
+	for _, frag := range []string{"component=child", "shard=7", "extra=x"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("derived line %q missing %q", got, frag)
+		}
+	}
+	if strings.Contains(got, "component=parent") {
+		t.Errorf("derived line kept parent component: %q", got)
+	}
+}
+
+func TestParseLevelAndFormat(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, "warning": LevelWarn,
+		"Error": LevelError, "": LevelInfo,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+	if f, err := ParseFormat("JSON"); err != nil || f != FormatJSON {
+		t.Errorf("ParseFormat(JSON) = %v, %v", f, err)
+	}
+	if f, err := ParseFormat(""); err != nil || f != FormatLogfmt {
+		t.Errorf("ParseFormat(\"\") = %v, %v", f, err)
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("ParseFormat accepted garbage")
+	}
+}

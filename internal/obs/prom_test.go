@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition format: deterministic family
+// ordering, one HELP/TYPE header per family, sorted series, cumulative le
+// buckets with _sum and _count.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Help("app_requests_total", "Requests handled.")
+	reg.Help("app_latency_seconds", "Request latency.")
+	reg.Counter("app_requests_total", "code", "500").Inc()
+	reg.Counter("app_requests_total", "code", "200").Add(3)
+	reg.Gauge("app_queue_depth").Set(7)
+	reg.Gauge("app_temperature").Set(36.5)
+	h := reg.Histogram("app_latency_seconds", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(3)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_requests_total Requests handled.
+# TYPE app_requests_total counter
+app_requests_total{code="200"} 3
+app_requests_total{code="500"} 1
+# TYPE app_queue_depth gauge
+app_queue_depth 7
+# TYPE app_temperature gauge
+app_temperature 36.5
+# HELP app_latency_seconds Request latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="1"} 1
+app_latency_seconds_bucket{le="2"} 2
+app_latency_seconds_bucket{le="+Inf"} 3
+app_latency_seconds_sum 5
+app_latency_seconds_count 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", "path", `a"b\c`+"\n").Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{path="a\"b\\c\n"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("exposition %q does not contain %q", b.String(), want)
+	}
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TracerConfig configures a Tracer.
+type TracerConfig struct {
+	// SampleEvery keeps 1 span in every SampleEvery starts (1 = every
+	// query, the default). Spans not sampled cost one atomic add.
+	SampleEvery int
+	// Capacity bounds the completed-span ring buffer (default 1024): the
+	// newest Capacity spans are retained, older ones are overwritten.
+	Capacity int
+	// Now overrides the clock (tests). Nil means time.Now.
+	Now func() time.Time
+}
+
+// Tracer produces sampled query-lifecycle spans and retains the most
+// recent completed ones in a bounded ring buffer. A nil *Tracer never
+// samples; all methods are nil-safe.
+type Tracer struct {
+	sampleEvery uint64
+	seq         atomic.Uint64 // start attempts (for sampling)
+	ids         atomic.Uint64 // sampled span ids
+	dropped     atomic.Uint64 // completed spans overwritten in the ring
+	now         func() time.Time
+
+	mu   sync.Mutex
+	ring []SpanRecord
+	next int // ring insert position
+	size int // filled entries (≤ cap)
+}
+
+// NewTracer builds a tracer.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 1
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1024
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Tracer{
+		sampleEvery: uint64(cfg.SampleEvery),
+		now:         now,
+		ring:        make([]SpanRecord, cfg.Capacity),
+	}
+}
+
+// SpanEvent is one timestamped step inside a span.
+type SpanEvent struct {
+	// OffsetUS is microseconds since the span started.
+	OffsetUS int64 `json:"off_us"`
+	// Name is the step ("cache_hit", "upstream_attempt", "retry", …).
+	Name string `json:"name"`
+	// Attrs holds optional key/value detail.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// SpanRecord is a completed span as stored in the ring and dumped as JSONL.
+type SpanRecord struct {
+	ID    uint64            `json:"id"`
+	Name  string            `json:"name"`
+	Start time.Time         `json:"start"`
+	DurUS int64             `json:"dur_us"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+	Event []SpanEvent       `json:"events,omitempty"`
+}
+
+// Span is one in-flight traced operation. A nil *Span (not sampled, or
+// tracing disabled) no-ops everywhere, so call sites need no guards. A Span
+// is owned by one goroutine; it is not safe for concurrent use.
+type Span struct {
+	t     *Tracer
+	start time.Time
+	rec   SpanRecord
+}
+
+// Start begins a span when the sampling policy selects this call;
+// otherwise (and on a nil tracer) it returns nil.
+func (t *Tracer) Start(name string, kv ...string) *Span {
+	if t == nil {
+		return nil
+	}
+	n := t.seq.Add(1)
+	if (n-1)%t.sampleEvery != 0 {
+		return nil
+	}
+	s := &Span{
+		t:     t,
+		start: t.now(),
+		rec:   SpanRecord{ID: t.ids.Add(1), Name: name},
+	}
+	s.rec.Start = s.start
+	for i := 0; i+1 < len(kv); i += 2 {
+		s.setAttr(kv[i], kv[i+1])
+	}
+	return s
+}
+
+// Started reports the total number of Start calls (sampled or not).
+func (t *Tracer) Started() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.seq.Load()
+}
+
+// Dropped reports how many completed spans have been overwritten.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+func (s *Span) setAttr(k, v string) {
+	if s.rec.Attrs == nil {
+		s.rec.Attrs = make(map[string]string, 4)
+	}
+	s.rec.Attrs[k] = v
+}
+
+// SetAttr attaches a key/value attribute to the span. Nil-safe.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.setAttr(k, v)
+}
+
+// Event records a timestamped step with optional alternating key/value
+// attributes. Nil-safe.
+func (s *Span) Event(name string, kv ...string) {
+	if s == nil {
+		return
+	}
+	ev := SpanEvent{
+		OffsetUS: s.t.now().Sub(s.start).Microseconds(),
+		Name:     name,
+	}
+	if len(kv) >= 2 {
+		ev.Attrs = make(map[string]string, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			ev.Attrs[kv[i]] = kv[i+1]
+		}
+	}
+	s.rec.Event = append(s.rec.Event, ev)
+}
+
+// End completes the span and pushes it into the tracer's ring buffer,
+// overwriting the oldest entry when full. Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.rec.DurUS = s.t.now().Sub(s.start).Microseconds()
+	t := s.t
+	t.mu.Lock()
+	if t.size == len(t.ring) {
+		t.dropped.Add(1)
+	} else {
+		t.size++
+	}
+	t.ring[t.next] = s.rec
+	t.next = (t.next + 1) % len(t.ring)
+	t.mu.Unlock()
+}
+
+// Snapshot returns the retained spans oldest-first. Nil-safe (nil slice).
+func (t *Tracer) Snapshot() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, t.size)
+	start := t.next - t.size
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.size; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// DumpJSONL writes the retained spans as one JSON object per line,
+// oldest-first. Nil-safe no-op.
+func (t *Tracer) DumpJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, rec := range t.Snapshot() {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

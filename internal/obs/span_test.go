@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock hands out strictly increasing instants.
+type fakeClock struct {
+	t time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(time.Millisecond)
+	return c.t
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleEvery: 3, Capacity: 16})
+	var sampled int
+	for i := 0; i < 9; i++ {
+		if sp := tr.Start("q"); sp != nil {
+			sampled++
+			sp.End()
+		}
+	}
+	if sampled != 3 {
+		t.Fatalf("sampled %d of 9 with SampleEvery=3, want 3", sampled)
+	}
+	if tr.Started() != 9 {
+		t.Fatalf("Started = %d, want 9", tr.Started())
+	}
+	if len(tr.Snapshot()) != 3 {
+		t.Fatalf("snapshot = %d spans, want 3", len(tr.Snapshot()))
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 4})
+	for i := 0; i < 7; i++ {
+		sp := tr.Start("q")
+		sp.SetAttr("i", string(rune('a'+i)))
+		sp.End()
+	}
+	if got := tr.Dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot = %d spans, want capacity 4", len(snap))
+	}
+	// Oldest-first: spans 4..7 survive (ids are 1-based).
+	for i, rec := range snap {
+		if want := uint64(4 + i); rec.ID != want {
+			t.Errorf("snapshot[%d].ID = %d, want %d", i, rec.ID, want)
+		}
+	}
+	// Wrap again past a full cycle: only the newest 4 remain, in order.
+	for i := 0; i < 5; i++ {
+		tr.Start("q").End()
+	}
+	snap = tr.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("after rewrap snapshot = %d, want 4", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].ID != snap[i-1].ID+1 {
+			t.Fatalf("snapshot ids not consecutive oldest-first: %v", snap)
+		}
+	}
+}
+
+func TestSpanEventsAndAttrs(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	tr := NewTracer(TracerConfig{Now: clk.now})
+	sp := tr.Start("resolver.query", "domain", "example.test")
+	sp.SetAttr("outcome", "cache_hit")
+	sp.Event("cache_hit", "level", "local")
+	sp.Event("done")
+	sp.End()
+	snap := tr.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot = %d spans, want 1", len(snap))
+	}
+	rec := snap[0]
+	if rec.Name != "resolver.query" {
+		t.Errorf("name = %q", rec.Name)
+	}
+	if rec.Attrs["domain"] != "example.test" || rec.Attrs["outcome"] != "cache_hit" {
+		t.Errorf("attrs = %v", rec.Attrs)
+	}
+	if len(rec.Event) != 2 {
+		t.Fatalf("events = %v", rec.Event)
+	}
+	if rec.Event[0].Name != "cache_hit" || rec.Event[0].Attrs["level"] != "local" {
+		t.Errorf("event[0] = %+v", rec.Event[0])
+	}
+	// The fake clock ticks 1ms per reading: event offsets and the span
+	// duration must be positive and increasing.
+	if rec.Event[0].OffsetUS <= 0 || rec.Event[1].OffsetUS <= rec.Event[0].OffsetUS {
+		t.Errorf("event offsets not increasing: %+v", rec.Event)
+	}
+	if rec.DurUS <= rec.Event[1].OffsetUS {
+		t.Errorf("span duration %d not after last event %d", rec.DurUS, rec.Event[1].OffsetUS)
+	}
+}
+
+func TestDumpJSONL(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 8})
+	for i := 0; i < 3; i++ {
+		sp := tr.Start("q")
+		sp.Event("step")
+		sp.End()
+	}
+	var b strings.Builder
+	if err := tr.DumpJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	var lines int
+	var lastID uint64
+	for sc.Scan() {
+		lines++
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		if rec.ID <= lastID {
+			t.Fatalf("ids not increasing oldest-first: %d after %d", rec.ID, lastID)
+		}
+		lastID = rec.ID
+	}
+	if lines != 3 {
+		t.Fatalf("dumped %d lines, want 3", lines)
+	}
+}

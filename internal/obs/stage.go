@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// StageSet accumulates coarse per-stage wall-clock and allocation totals —
+// the timers behind `botmeter -verbose` and `benchgen -timings`. Stages are
+// keyed by name; repeated stages accumulate. All methods are safe for
+// concurrent use and nil-safe (a nil *StageSet records nothing), so
+// instrumented pipelines pay nothing when timing is off.
+//
+// Allocation deltas are read from runtime.MemStats.TotalAlloc, which is a
+// process-wide monotonic total: concurrent stages attribute each other's
+// allocations to themselves, so treat Bytes as indicative, not exact.
+type StageSet struct {
+	mu     sync.Mutex
+	order  []string
+	stages map[string]*StageStat
+	now    func() time.Time
+}
+
+// StageStat is the accumulated cost of one named stage.
+type StageStat struct {
+	// Name is the stage label.
+	Name string
+	// Count is how many times the stage ran.
+	Count int
+	// Wall is the total wall-clock time.
+	Wall time.Duration
+	// Bytes is the total allocated bytes (TotalAlloc delta).
+	Bytes uint64
+}
+
+// NewStageSet builds an empty, enabled stage set.
+func NewStageSet() *StageSet {
+	return &StageSet{stages: make(map[string]*StageStat), now: time.Now}
+}
+
+// Observe merges one completed stage run. Nil-safe.
+func (s *StageSet) Observe(name string, wall time.Duration, bytes uint64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	st, ok := s.stages[name]
+	if !ok {
+		st = &StageStat{Name: name}
+		s.stages[name] = st
+		s.order = append(s.order, name)
+	}
+	st.Count++
+	st.Wall += wall
+	st.Bytes += bytes
+	s.mu.Unlock()
+}
+
+// StageSpan is one running stage measurement.
+type StageSpan struct {
+	set    *StageSet
+	name   string
+	t0     time.Time
+	alloc0 uint64
+}
+
+// Start begins timing a named stage; call End on the returned span.
+// Nil-safe: a nil set returns a nil span whose End no-ops.
+func (s *StageSet) Start(name string) *StageSpan {
+	if s == nil {
+		return nil
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &StageSpan{set: s, name: name, t0: s.now(), alloc0: ms.TotalAlloc}
+}
+
+// End completes the measurement and merges it into the set. Nil-safe.
+func (sp *StageSpan) End() {
+	if sp == nil {
+		return
+	}
+	wall := sp.set.now().Sub(sp.t0)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	var bytes uint64
+	if ms.TotalAlloc > sp.alloc0 {
+		bytes = ms.TotalAlloc - sp.alloc0
+	}
+	sp.set.Observe(sp.name, wall, bytes)
+}
+
+// Time runs fn as a named stage. Nil-safe: fn still runs, untimed.
+func (s *StageSet) Time(name string, fn func() error) error {
+	sp := s.Start(name)
+	err := fn()
+	sp.End()
+	return err
+}
+
+// Stats returns the accumulated stages in first-seen order. Nil-safe.
+func (s *StageSet) Stats() []StageStat {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StageStat, 0, len(s.order))
+	for _, name := range s.order {
+		out = append(out, *s.stages[name])
+	}
+	return out
+}
+
+// SortedStats returns the stages sorted by descending wall time.
+func (s *StageSet) SortedStats() []StageStat {
+	out := s.Stats()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Wall > out[j].Wall })
+	return out
+}
+
+// Table renders an aligned per-stage timing table ("" when empty), e.g.
+//
+//	stage                       runs        wall     wall/run       alloc
+//	read-trace                     1     12.3ms       12.3ms      1.2MiB
+func (s *StageSet) Table() string {
+	stats := s.Stats()
+	if len(stats) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %6s %12s %12s %10s\n", "stage", "runs", "wall", "wall/run", "alloc")
+	var totalWall time.Duration
+	var totalBytes uint64
+	for _, st := range stats {
+		per := st.Wall
+		if st.Count > 0 {
+			per = st.Wall / time.Duration(st.Count)
+		}
+		fmt.Fprintf(&b, "%-28s %6d %12s %12s %10s\n",
+			st.Name, st.Count, roundDuration(st.Wall), roundDuration(per), humanBytes(st.Bytes))
+		totalWall += st.Wall
+		totalBytes += st.Bytes
+	}
+	fmt.Fprintf(&b, "%-28s %6s %12s %12s %10s\n", "total", "", roundDuration(totalWall), "", humanBytes(totalBytes))
+	return b.String()
+}
+
+// roundDuration trims durations to a readable precision.
+func roundDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(10 * time.Nanosecond).String()
+	}
+}
+
+// humanBytes renders byte counts in binary units.
+func humanBytes(n uint64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%dB", n)
+	}
+	div, exp := uint64(unit), 0
+	for v := n / unit; v >= unit; v /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}

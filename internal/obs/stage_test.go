@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStageSetAccumulates(t *testing.T) {
+	s := NewStageSet()
+	s.Observe("match", 10*time.Millisecond, 1024)
+	s.Observe("match", 20*time.Millisecond, 1024)
+	s.Observe("estimate", 5*time.Millisecond, 0)
+	stats := s.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats = %v", stats)
+	}
+	if stats[0].Name != "match" || stats[0].Count != 2 ||
+		stats[0].Wall != 30*time.Millisecond || stats[0].Bytes != 2048 {
+		t.Errorf("match stat = %+v", stats[0])
+	}
+	sorted := s.SortedStats()
+	if sorted[0].Name != "match" || sorted[1].Name != "estimate" {
+		t.Errorf("SortedStats order = %v", sorted)
+	}
+	table := s.Table()
+	for _, frag := range []string{"stage", "match", "estimate", "total", "30ms", "2.0KiB"} {
+		if !strings.Contains(table, frag) {
+			t.Errorf("table missing %q:\n%s", frag, table)
+		}
+	}
+	if empty := NewStageSet().Table(); empty != "" {
+		t.Errorf("empty table = %q", empty)
+	}
+}
+
+func TestStageSpanAndTime(t *testing.T) {
+	s := NewStageSet()
+	sp := s.Start("work")
+	_ = make([]byte, 1<<16) // force some allocation inside the span
+	sp.End()
+	wantErr := errors.New("boom")
+	if err := s.Time("timed", func() error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("Time returned %v", err)
+	}
+	stats := s.Stats()
+	if len(stats) != 2 || stats[0].Name != "work" || stats[1].Name != "timed" {
+		t.Fatalf("stats = %v", stats)
+	}
+	if stats[0].Count != 1 || stats[1].Count != 1 {
+		t.Errorf("counts = %+v", stats)
+	}
+}
+
+func TestStageSetConcurrent(t *testing.T) {
+	s := NewStageSet()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Observe("estimate:MT", time.Microsecond, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	stats := s.Stats()
+	if len(stats) != 1 || stats[0].Count != 800 || stats[0].Bytes != 800 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	for in, want := range map[uint64]string{
+		512:     "512B",
+		2048:    "2.0KiB",
+		1 << 20: "1.0MiB",
+		3 << 30: "3.0GiB",
+	} {
+		if got := humanBytes(in); got != want {
+			t.Errorf("humanBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

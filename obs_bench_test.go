@@ -1,0 +1,105 @@
+package botmeter_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"botmeter/internal/dnssim"
+	"botmeter/internal/obs"
+	"botmeter/internal/sim"
+)
+
+// The BenchmarkObs* family bounds the observability layer's cost, in both
+// states: enabled (atomic instruments on the dnssim query hot path) and
+// disabled (nil registry — the default for every simulation run). CI runs
+// them as a smoke test (`go test -bench=Obs -benchtime=100x`); compare
+// BenchmarkObsQueryDisabled against BenchmarkObsQueryBaseline locally to
+// verify the <5% disabled-overhead budget from DESIGN.md §11.
+
+// benchHierarchy builds the standard benchmark hierarchy, optionally
+// instrumented.
+func benchHierarchy(reg *obs.Registry) *dnssim.Network {
+	return dnssim.NewNetwork(dnssim.NetworkConfig{
+		LocalServers: 8,
+		MidTierFanIn: 4,
+		PositiveTTL:  sim.Day,
+		NegativeTTL:  2 * sim.Hour,
+		Obs:          reg,
+	})
+}
+
+func benchQueries(b *testing.B, n *dnssim.Network) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		client := fmt.Sprintf("10.0.0.%d", i%200)
+		domain := fmt.Sprintf("q%05d.com", i%5000)
+		if _, err := n.ClientQuery(sim.Time(i), client, domain); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObsQueryBaseline is the uninstrumented hot path (no Obs field at
+// all would behave identically: a nil registry hands out nil instruments).
+func BenchmarkObsQueryBaseline(b *testing.B) {
+	benchQueries(b, benchHierarchy(nil))
+}
+
+// BenchmarkObsQueryDisabled is the instrument-wired hot path with a nil
+// registry: every metric call is a single nil-check branch. This must stay
+// within 5% of BenchmarkObsQueryBaseline.
+func BenchmarkObsQueryDisabled(b *testing.B) {
+	var reg *obs.Registry
+	benchQueries(b, benchHierarchy(reg))
+}
+
+// BenchmarkObsQueryEnabled prices full metric collection on the same path.
+func BenchmarkObsQueryEnabled(b *testing.B) {
+	benchQueries(b, benchHierarchy(obs.NewRegistry()))
+}
+
+func BenchmarkObsCounterInc(b *testing.B) {
+	c := obs.NewRegistry().Counter("bench_total")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsCounterNil(b *testing.B) {
+	var c *obs.Counter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := obs.NewRegistry().Histogram("bench_seconds", nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ObserveDuration(time.Duration(i%1000) * time.Microsecond)
+	}
+}
+
+func BenchmarkObsSpanUnsampled(b *testing.B) {
+	tr := obs.NewTracer(obs.TracerConfig{SampleEvery: 1 << 30, Capacity: 64})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("q")
+		sp.Event("step")
+		sp.End()
+	}
+}
+
+func BenchmarkObsSpanSampled(b *testing.B) {
+	tr := obs.NewTracer(obs.TracerConfig{SampleEvery: 1, Capacity: 64})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("q")
+		sp.Event("step")
+		sp.End()
+	}
+}
