@@ -22,9 +22,11 @@ import (
 )
 
 // benchFig6Cfg keeps per-iteration cost benchmark-friendly while staying at
-// the paper's pool scale.
+// the paper's pool scale. Workers: 0 resolves to GOMAXPROCS, so
+// `go test -bench=Figure6a -cpu 1,4` measures sequential vs parallel trial
+// execution (identical artifacts either way).
 func benchFig6Cfg() experiments.Fig6Config {
-	return experiments.Fig6Config{Trials: 2, Population: 64, Seed: 2016, Scale: 1}
+	return experiments.Fig6Config{Trials: 2, Population: 64, Seed: 2016, Scale: 1, Workers: 0}
 }
 
 // reportMedianARE attaches the artifact's accuracy to the benchmark output.
@@ -118,7 +120,7 @@ func BenchmarkFigure7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var err error
 		series, err = experiments.Figure7(experiments.Fig7Config{
-			Days: 10, Seed: 2016, Scale: 1, BenignClients: 200,
+			Days: 10, Seed: 2016, Scale: 1, BenignClients: 200, Workers: 0,
 		})
 		if err != nil {
 			b.Fatal(err)

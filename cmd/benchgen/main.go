@@ -12,14 +12,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"botmeter/internal/experiments"
 	"botmeter/internal/obs"
+	"botmeter/internal/parallel"
 )
 
 func main() {
@@ -41,6 +45,8 @@ func run(args []string) error {
 	chart := fs.Bool("chart", false, "render ASCII charts for fig7 series")
 	models := fs.String("models", "", "comma-separated DGA models for fig6 (default all)")
 	timings := fs.Bool("timings", false, "print a per-stage wall/alloc timing table to stderr after the artifact")
+	workers := fs.Int("workers", 0, "parallel workers for trial loops (0 = one per CPU, 1 = sequential); any value renders identical artifacts")
+	benchJSON := fs.String("bench-json", "", "append a benchmark record (wall time, ns/trial, allocs/trial, workers) for this invocation to the given JSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,19 +60,61 @@ func run(args []string) error {
 			}
 		}()
 	}
+	var reg *obs.Registry
+	if *benchJSON != "" {
+		reg = obs.NewRegistry()
+	}
 
 	f6 := experiments.Fig6Config{
 		Trials:     *trials,
 		Population: *population,
 		Seed:       *seed,
 		Scale:      *scale,
+		Workers:    *workers,
 		Stages:     stages,
+		Obs:        reg,
 	}
 	if *models != "" {
 		f6.Models = strings.Split(*models, ",")
 	}
-	f7 := experiments.Fig7Config{Days: *days, Seed: *seed, Scale: *scale, Stages: stages}
+	f7 := experiments.Fig7Config{Days: *days, Seed: *seed, Scale: *scale, Workers: *workers, Stages: stages, Obs: reg}
 
+	g := genOpts{
+		artifact: *artifact, f6: f6, f7: f7,
+		trials: *trials, population: *population, days: *days,
+		seed: *seed, scale: *scale, workers: *workers,
+		reg: reg, stages: stages, outdir: *outdir, chart: *chart,
+	}
+	if *benchJSON == "" {
+		return generate(g)
+	}
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	if err := generate(g); err != nil {
+		return err
+	}
+	return appendBenchRecord(*benchJSON, *artifact, *workers, reg, t0, m0)
+}
+
+// genOpts carries one artifact invocation's settings.
+type genOpts struct {
+	artifact   string
+	f6         experiments.Fig6Config
+	f7         experiments.Fig7Config
+	trials     int
+	population int
+	days       int
+	seed       uint64
+	scale      float64
+	workers    int
+	reg        *obs.Registry
+	stages     *obs.StageSet
+	outdir     string
+	chart      bool
+}
+
+func generate(g genOpts) error {
 	panels := map[string]func(experiments.Fig6Config) ([]experiments.Fig6Point, error){
 		"fig6a": experiments.Figure6a,
 		"fig6b": experiments.Figure6b,
@@ -75,27 +123,28 @@ func run(args []string) error {
 		"fig6e": experiments.Figure6e,
 	}
 
-	switch *artifact {
+	switch g.artifact {
 	case "table1":
 		fmt.Print(experiments.RenderTableI())
 		return nil
 	case "fig6a", "fig6b", "fig6c", "fig6d", "fig6e":
-		pts, err := panels[*artifact](f6)
+		pts, err := panels[g.artifact](g.f6)
 		if err != nil {
 			return err
 		}
 		fmt.Print(experiments.RenderFig6(pts))
-		return writeFig6CSV(*outdir, *artifact, pts)
+		return writeFig6CSV(g.outdir, g.artifact, pts)
 	case "fig6":
-		pts, err := experiments.Figure6(f6)
+		pts, err := experiments.Figure6(g.f6)
 		if err != nil {
 			return err
 		}
 		fmt.Print(experiments.RenderFig6(pts))
-		return writeFig6CSV(*outdir, "fig6", pts)
+		return writeFig6CSV(g.outdir, "fig6", pts)
 	case "missing":
 		pts, err := experiments.MissingObservations(experiments.MissingObsConfig{
-			Trials: *trials, Population: *population, Seed: *seed, Scale: *scale,
+			Trials: g.trials, Population: g.population, Seed: g.seed, Scale: g.scale,
+			Workers: g.workers, Obs: g.reg,
 		})
 		if err != nil {
 			return err
@@ -104,8 +153,8 @@ func run(args []string) error {
 		return nil
 	case "chaos":
 		pts, err := experiments.ChaosSweep(experiments.ChaosConfig{
-			Trials: *trials, Population: *population, Seed: *seed, Scale: *scale,
-			Stages: stages,
+			Trials: g.trials, Population: g.population, Seed: g.seed, Scale: g.scale,
+			Workers: g.workers, Stages: g.stages, Obs: g.reg,
 		})
 		if err != nil {
 			return err
@@ -114,7 +163,7 @@ func run(args []string) error {
 		return nil
 	case "taxonomy":
 		cells, err := experiments.TaxonomyGrid(experiments.TaxonomyGridConfig{
-			Trials: *trials, Seed: *seed,
+			Trials: g.trials, Seed: g.seed, Workers: g.workers, Obs: g.reg,
 		})
 		if err != nil {
 			return err
@@ -123,7 +172,7 @@ func run(args []string) error {
 		return nil
 	case "reactivation":
 		rows, err := experiments.Reactivation(experiments.ReactivationConfig{
-			Days: *days, Seed: *seed,
+			Days: g.days, Seed: g.seed, Workers: g.workers, Obs: g.reg,
 		})
 		if err != nil {
 			return err
@@ -131,18 +180,18 @@ func run(args []string) error {
 		fmt.Print(experiments.RenderReactivation(rows))
 		return nil
 	case "fig7", "table2":
-		series, err := experiments.Figure7(f7)
+		series, err := experiments.Figure7(g.f7)
 		if err != nil {
 			return err
 		}
-		if *artifact == "fig7" {
+		if g.artifact == "fig7" {
 			fmt.Print(experiments.RenderFig7(series))
-			if *chart {
+			if g.chart {
 				for _, s := range series {
 					fmt.Println(experiments.ASCIIChart(s, 60))
 				}
 			}
-			if err := writeFig7CSV(*outdir, series); err != nil {
+			if err := writeFig7CSV(g.outdir, series); err != nil {
 				return err
 			}
 		}
@@ -151,24 +200,82 @@ func run(args []string) error {
 	case "all":
 		fmt.Print(experiments.RenderTableI())
 		fmt.Println()
-		pts, err := experiments.Figure6(f6)
+		pts, err := experiments.Figure6(g.f6)
 		if err != nil {
 			return err
 		}
 		fmt.Print(experiments.RenderFig6(pts))
-		if err := writeFig6CSV(*outdir, "fig6", pts); err != nil {
+		if err := writeFig6CSV(g.outdir, "fig6", pts); err != nil {
 			return err
 		}
-		series, err := experiments.Figure7(f7)
+		series, err := experiments.Figure7(g.f7)
 		if err != nil {
 			return err
 		}
 		fmt.Print(experiments.RenderFig7(series))
 		fmt.Print(experiments.RenderTableII(experiments.TableII(series)))
-		return writeFig7CSV(*outdir, series)
+		return writeFig7CSV(g.outdir, series)
 	default:
-		return fmt.Errorf("unknown artifact %q", *artifact)
+		return fmt.Errorf("unknown artifact %q", g.artifact)
 	}
+}
+
+// BenchRecord is one -bench-json entry: the wall-clock and allocator cost
+// of regenerating an artifact at a given worker count. Trials is read from
+// the run's experiments_trials_total counter (one trial = one simulated
+// run or one analysed day); AllocsPerTrial divides the process-wide
+// allocation delta across trials, so it is an attribution, exact at
+// workers=1 and shared-cost-inclusive otherwise.
+type BenchRecord struct {
+	Artifact       string  `json:"artifact"`
+	Workers        int     `json:"workers"`
+	ResolvedW      int     `json:"resolved_workers"`
+	CPUs           int     `json:"cpus"`
+	GoVersion      string  `json:"go_version"`
+	Trials         uint64  `json:"trials"`
+	WallNS         int64   `json:"wall_ns"`
+	NSPerTrial     int64   `json:"ns_per_trial"`
+	AllocsPerTrial uint64  `json:"allocs_per_trial"`
+	AllocMB        float64 `json:"alloc_mb"`
+	RecordedAt     string  `json:"recorded_at"`
+}
+
+// appendBenchRecord measures the run just completed and appends it to the
+// JSON array at path (created when absent).
+func appendBenchRecord(path, artifact string, workers int, reg *obs.Registry, t0 time.Time, m0 runtime.MemStats) error {
+	wall := time.Since(t0)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	trials := reg.CounterValue("experiments_trials_total")
+	rec := BenchRecord{
+		Artifact:   artifact,
+		Workers:    workers,
+		ResolvedW:  parallel.Workers(workers),
+		CPUs:       runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Trials:     trials,
+		WallNS:     wall.Nanoseconds(),
+		AllocMB:    float64(m1.TotalAlloc-m0.TotalAlloc) / (1 << 20),
+		RecordedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	if trials > 0 {
+		rec.NSPerTrial = wall.Nanoseconds() / int64(trials)
+		rec.AllocsPerTrial = (m1.Mallocs - m0.Mallocs) / trials
+	}
+	var records []BenchRecord
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &records); err != nil {
+			return fmt.Errorf("bench-json %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	records = append(records, rec)
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 func writeFig6CSV(dir, name string, pts []experiments.Fig6Point) error {

@@ -53,6 +53,7 @@ func run(args []string) error {
 	planCapacity := fs.Float64("plan-capacity", 0, "hosts the response team can vet per day; > 0 prints a remediation schedule")
 	planHosts := fs.Int("plan-hosts", 1000, "assumed hosts behind each local server for the schedule")
 	verbose := fs.Bool("verbose", false, "print a per-stage timing summary (trace read, matching, estimation) to stderr")
+	workers := fs.Int("workers", 0, "per-server estimation workers (0 = one per CPU capped at 16, 1 = sequential); any value yields identical landscapes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -118,6 +119,7 @@ func run(args []string) error {
 		Estimator:     est,
 		Detection:     detection,
 		SecondOpinion: *second,
+		Workers:       *workers,
 		Stages:        stages,
 	})
 	selectStage.End()

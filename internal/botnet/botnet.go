@@ -71,6 +71,13 @@ type Runner struct {
 
 	pools     map[int]*dga.Pool
 	poolValid map[int][]string
+	// uniformBarrels caches the one barrel a Uniform model produces per
+	// epoch. Uniform bots all query the identical generation-order prefix
+	// and the model ignores its RNG, so sharing one positions slice across
+	// the whole population changes nothing observable while cutting the
+	// per-bot θq-sized allocation — the dominant botnet-side allocation for
+	// AU families.
+	uniformBarrels map[int][]int
 }
 
 // NewRunner validates the configuration and binds it to a network.
@@ -96,11 +103,27 @@ func NewRunner(cfg Config, net *dnssim.Network) (*Runner, error) {
 		}
 	}
 	return &Runner{
-		cfg:       cfg,
-		net:       net,
-		pools:     make(map[int]*dga.Pool),
-		poolValid: make(map[int][]string),
+		cfg:            cfg,
+		net:            net,
+		pools:          make(map[int]*dga.Pool),
+		poolValid:      make(map[int][]string),
+		uniformBarrels: make(map[int][]int),
 	}, nil
+}
+
+// barrelFor draws one activation's intended positions, sharing the
+// epoch-wide slice for Uniform models (see uniformBarrels).
+func (r *Runner) barrelFor(epoch int, pool *dga.Pool, rng *sim.RNG) []int {
+	spec := r.cfg.Spec
+	if _, uniform := spec.Barrel.(dga.Uniform); !uniform {
+		return spec.Barrel.Barrel(pool, spec.ThetaQ, rng)
+	}
+	if b, ok := r.uniformBarrels[epoch]; ok {
+		return b
+	}
+	b := spec.Barrel.Barrel(pool, spec.ThetaQ, rng)
+	r.uniformBarrels[epoch] = b
+	return b
 }
 
 // Pool returns the (cached) pool for an epoch index.
@@ -219,16 +242,25 @@ type botRun struct {
 	positions   []int
 	step        int
 	activations int
+
+	// queryFn and startFn are the bot's methods pre-bound once per bot:
+	// every ScheduleAfter(b.query) retry used to materialise a fresh
+	// method-value closure, which was ~30% of all simulation allocations.
+	queryFn func(*sim.Engine)
+	startFn func(*sim.Engine)
 }
 
 func (b *botRun) start(e *sim.Engine) {
+	if b.queryFn == nil {
+		b.queryFn = b.query
+		b.startFn = b.start
+	}
 	pool := b.runner.Pool(b.epoch)
-	spec := b.runner.cfg.Spec
 	b.activations++
 	if b.positions == nil {
 		// The barrel is drawn once: the DGA is seeded by the date, so a
 		// retry walks the same list (§III).
-		b.positions = spec.Barrel.Barrel(pool, spec.ThetaQ, b.rng)
+		b.positions = b.runner.barrelFor(b.epoch, pool, b.rng)
 	}
 	b.step = 0
 	b.query(e)
@@ -251,14 +283,14 @@ func (b *botRun) query(e *sim.Engine) {
 		// Resolution failure (injected fault or upstream outage): the bot
 		// cannot tell SERVFAIL from NXDomain success-wise and walks on to
 		// the next domain, like real crimeware under packet loss.
-		e.ScheduleAfter(b.runner.cfg.Spec.Interval(b.rng), b.query)
+		e.ScheduleAfter(b.runner.cfg.Spec.Interval(b.rng), b.queryFn)
 		return
 	}
 	if !ans.NX {
 		b.result.C2Contacts++
 		return // rendezvous established; activation ends
 	}
-	e.ScheduleAfter(b.runner.cfg.Spec.Interval(b.rng), b.query)
+	e.ScheduleAfter(b.runner.cfg.Spec.Interval(b.rng), b.queryFn)
 }
 
 // maybeReactivate schedules a retry of the same barrel after the back-off,
@@ -274,7 +306,7 @@ func (b *botRun) maybeReactivate(e *sim.Engine) {
 	if at >= epochEnd {
 		return
 	}
-	e.Schedule(at, b.start)
+	e.Schedule(at, b.startFn)
 }
 
 // hashString folds a string into a uint64 label for RNG splitting.

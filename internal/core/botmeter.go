@@ -8,17 +8,18 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"botmeter/internal/d3"
 	"botmeter/internal/dga"
 	"botmeter/internal/estimators"
 	"botmeter/internal/matcher"
 	"botmeter/internal/obs"
+	"botmeter/internal/parallel"
 	"botmeter/internal/sim"
 	"botmeter/internal/trace"
 )
@@ -44,6 +45,11 @@ type Config struct {
 	// SecondOpinion additionally runs the Timing estimator on every server
 	// (the paper evaluates MT alongside the model-specific estimator).
 	SecondOpinion bool
+	// Workers bounds the per-server estimation pool inside Analyze
+	// (0 = one worker per CPU capped at 16, 1 = sequential). Servers are
+	// independent and results are collected in sorted-server order, so any
+	// value yields identical landscapes.
+	Workers int
 	// Stages, when non-nil, records per-stage wall/alloc timings of every
 	// Analyze call ("match", "estimate", plus per-estimator wall times) —
 	// the source of `botmeter -verbose` and `benchgen -timings` tables.
@@ -204,25 +210,17 @@ func (bm *BotMeter) Analyze(obs trace.Observed, w sim.Window) (*Landscape, error
 	sort.Strings(servers)
 
 	estStage := cfg.Stages.Start("estimate")
-	results := make([]ServerEstimate, len(servers))
-	errs := make([]error, len(servers))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	for i, server := range servers {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, server string) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i], errs[i] = bm.estimateServer(server, byServer[server], w, firstEpoch, lastEpoch, estCfg, timing)
-		}(i, server)
-	}
-	wg.Wait()
+	results, err := parallel.Map(context.Background(), len(servers), bm.workers(),
+		func(_ context.Context, i int) (ServerEstimate, error) {
+			est, err := bm.estimateServer(servers[i], byServer[servers[i]], w, firstEpoch, lastEpoch, estCfg, timing)
+			if err != nil {
+				return est, fmt.Errorf("core: %s: %w", servers[i], err)
+			}
+			return est, nil
+		})
 	estStage.End()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: %s: %w", servers[i], err)
-		}
+	if err != nil {
+		return nil, err
 	}
 	for _, est := range results {
 		land.Servers = append(land.Servers, est)
@@ -270,8 +268,14 @@ func (bm *BotMeter) estimateServer(server string, serverObs trace.Observed, w si
 	return est, nil
 }
 
-// maxParallel bounds the per-server estimation pool.
-func maxParallel() int {
+// workers resolves the per-server estimation pool size: the configured
+// Workers when positive, else one worker per CPU capped at 16 (the cap
+// keeps goroutine fan-out bounded on very wide hosts; server counts are
+// typically small).
+func (bm *BotMeter) workers() int {
+	if bm.cfg.Workers > 0 {
+		return bm.cfg.Workers
+	}
 	n := runtime.GOMAXPROCS(0)
 	if n < 1 {
 		n = 1

@@ -2,6 +2,7 @@ package dga
 
 import (
 	"strings"
+	"sync"
 
 	"botmeter/internal/sim"
 )
@@ -58,11 +59,19 @@ func (g Generator) Generate(rng *sim.RNG) string {
 	return b.String()
 }
 
+// seenMaps recycles GenerateUnique's dedup scratch. Pool regeneration runs
+// once per (epoch, family) and allocated a fresh count-sized map each time;
+// the recycled maps keep their buckets across calls and across the
+// concurrent experiment trials that share this package.
+var seenMaps = sync.Pool{
+	New: func() any { return make(map[string]struct{}, 1024) },
+}
+
 // GenerateUnique draws count distinct domains, retrying collisions against
 // both the fresh batch and the supplied exclusion set (which may be nil).
 func (g Generator) GenerateUnique(rng *sim.RNG, count int, exclude map[string]struct{}) []string {
 	out := make([]string, 0, count)
-	seen := make(map[string]struct{}, count)
+	seen := seenMaps.Get().(map[string]struct{})
 	for len(out) < count {
 		d := g.Generate(rng)
 		if _, dup := seen[d]; dup {
@@ -76,5 +85,7 @@ func (g Generator) GenerateUnique(rng *sim.RNG, count int, exclude map[string]st
 		seen[d] = struct{}{}
 		out = append(out, d)
 	}
+	clear(seen)
+	seenMaps.Put(seen)
 	return out
 }

@@ -8,6 +8,8 @@
 package dnssim
 
 import (
+	"sync"
+
 	"botmeter/internal/sim"
 )
 
@@ -58,15 +60,38 @@ type cacheEntry struct {
 	nx      bool
 }
 
+// entryMaps recycles the cache's entry maps across simulations. Experiment
+// sweeps build thousands of short-lived hierarchies, and re-growing each
+// cache map from scratch dominated the allocator profile; maps returned
+// via Release keep their buckets and are handed to the next NewCache
+// already sized for a day of traffic.
+var entryMaps = sync.Pool{
+	New: func() any { return make(map[string]cacheEntry, 1024) },
+}
+
 // NewCache builds a cache with the given TTLs. Non-positive TTLs disable
 // caching for that answer class.
 func NewCache(positiveTTL, negativeTTL sim.Time) *Cache {
 	return &Cache{
 		positiveTTL: positiveTTL,
 		negativeTTL: negativeTTL,
-		entries:     make(map[string]cacheEntry),
+		entries:     entryMaps.Get().(map[string]cacheEntry),
 		sweepEvery:  1 << 14,
 	}
+}
+
+// Release returns the cache's entry map to the shared pool and leaves the
+// cache empty but usable. Call it when a simulated hierarchy is done (see
+// Network.ReleaseCaches); a cache that was never stored into keeps its map,
+// so double releases do not churn the pool.
+func (c *Cache) Release() {
+	if c.entries == nil || len(c.entries) == 0 {
+		return
+	}
+	m := c.entries
+	clear(m)
+	entryMaps.Put(m)
+	c.entries = make(map[string]cacheEntry) // small; the released map is gone
 }
 
 // Lookup consults the cache at virtual time now. On a hit it returns the

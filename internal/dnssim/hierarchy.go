@@ -190,6 +190,7 @@ type Network struct {
 
 	locals      map[string]*Server
 	localOrder  []string
+	mids        []*Server
 	clientHome  map[string]string
 	rawRecorder trace.Raw
 	recordRaw   bool
@@ -265,6 +266,7 @@ func NewNetwork(cfg NetworkConfig) *Network {
 			mids = append(mids, mid)
 		}
 	}
+	n.mids = mids
 	for i := 0; i < cfg.LocalServers; i++ {
 		id := fmt.Sprintf("local-%02d", i)
 		up := upstreamBorder
@@ -335,6 +337,20 @@ func (n *Network) Raw() trace.Raw { return n.rawRecorder }
 func (n *Network) ResetTraces() {
 	n.rawRecorder = nil
 	n.Border.ResetObserved()
+}
+
+// ReleaseCaches returns every tier's cache-entry map to the shared pool.
+// Call it once a simulation is done and the hierarchy will not answer
+// further queries (the servers stay usable, but their caches start cold).
+// Experiment trials call this after capturing Border.Observed() so the
+// next trial's hierarchy reuses the grown maps instead of reallocating.
+func (n *Network) ReleaseCaches() {
+	for _, id := range n.localOrder {
+		n.locals[id].cache.Release()
+	}
+	for _, mid := range n.mids {
+		mid.cache.Release()
+	}
 }
 
 // SortedClientHomes returns clients sorted by name with their home servers,

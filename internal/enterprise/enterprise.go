@@ -202,6 +202,7 @@ func Generate(cfg Config) (*Trace, error) {
 	}
 
 	obs := net.Border.Observed()
+	net.ReleaseCaches()
 	obs.Sort()
 	return &Trace{
 		Observed:    obs,

@@ -37,9 +37,17 @@ type ChaosConfig struct {
 	Scale float64
 	// Retries is the hardened hierarchy's MaxRetries (default 3).
 	Retries int
+	// Workers bounds trial-level parallelism (0 = one worker per CPU,
+	// 1 = sequential); the rendered sweep is identical for any value
+	// because per-trial seeds depend only on the trial index and the
+	// fault counters are tallied in trial order.
+	Workers int
 	// Stages, when non-nil, accumulates per-stage wall/alloc timings
 	// (simulate vs estimate) for `benchgen -timings`.
 	Stages *obs.StageSet
+	// Obs, when non-nil, exports experiments_parallel_workers,
+	// experiments_trials_total and per-trial latency histograms.
+	Obs *obs.Registry
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -92,17 +100,28 @@ func ChaosSweep(cfg ChaosConfig) ([]ChaosPoint, error) {
 		ests := estimatorsFor(model, "")
 		for _, rate := range []float64{0, 0.1, 0.2, 0.3} {
 			for _, hardened := range []bool{false, true} {
-				errsByEst := make(map[string][]float64)
-				var tally faults.Counters
-				for trial := 0; trial < cfg.Trials; trial++ {
+				hardened := hardened
+				trials, err := runTrials(cfg.Workers, cfg.Obs, "chaos", cfg.Trials, func(trial int) (chaosTrialResult, error) {
 					seed := cfg.Seed ^ hash64("chaos"+model) ^ (uint64(trial)+1)*0x9e3779b97f4a7c15
 					res, c, err := chaosTrial(cfg, spec, ests, rate, hardened, seed)
 					if err != nil {
-						return nil, fmt.Errorf("experiments: chaos %s rate %v hardened=%v: %w", model, rate, hardened, err)
+						return chaosTrialResult{}, fmt.Errorf("experiments: chaos %s rate %v hardened=%v trial %d: %w", model, rate, hardened, trial, err)
 					}
-					for name, are := range res {
+					return chaosTrialResult{errs: res, counters: c}, nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				errsByEst := make(map[string][]float64, len(ests))
+				for _, est := range ests {
+					errsByEst[est.Name()] = make([]float64, 0, cfg.Trials)
+				}
+				var tally faults.Counters
+				for _, tr := range trials {
+					for name, are := range tr.errs {
 						errsByEst[name] = append(errsByEst[name], are)
 					}
+					c := tr.counters
 					tally.Passed += c.Passed
 					tally.Lost += c.Lost
 					tally.Duplicated += c.Duplicated
@@ -124,6 +143,13 @@ func ChaosSweep(cfg ChaosConfig) ([]ChaosPoint, error) {
 		}
 	}
 	return out, nil
+}
+
+// chaosTrialResult carries one trial's per-estimator errors plus the
+// injector counters, so parallel trials aggregate in canonical order.
+type chaosTrialResult struct {
+	errs     map[string]float64
+	counters faults.Counters
 }
 
 // chaosTrial runs one simulation behind a faulty local→border link and
@@ -165,6 +191,7 @@ func chaosTrial(cfg ChaosConfig, spec dga.Spec, ests []estimators.Estimator, rat
 	truth := float64(res.ActiveBots["local-00"][0])
 
 	observed := net.Border.Observed()
+	net.ReleaseCaches()
 	estStage := cfg.Stages.Start("chaos:estimate")
 	defer estStage.End()
 	out := make(map[string]float64, len(ests))

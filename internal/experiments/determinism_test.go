@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"testing"
+
+	"botmeter/internal/obs"
+)
+
+// The parallel-execution contract (DESIGN.md §12): for every experiment,
+// Workers=N must render the byte-identical artifact as Workers=1, because
+// per-trial seeds are pure functions of the trial index and aggregation is
+// canonical. These tests are the regression gate for that contract; CI runs
+// them under -race, which also exercises the worker pool for data races on
+// the shared estimator caches and StageSet.
+
+func TestWorkersDeterminismFig6a(t *testing.T) {
+	render := func(workers int) string {
+		cfg := quickCfg()
+		cfg.Workers = workers
+		cfg.Obs = obs.NewRegistry()
+		cfg.Stages = obs.NewStageSet()
+		pts, err := Figure6a(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return RenderFig6(pts)
+	}
+	seq := render(1)
+	for _, w := range []int{2, 8} {
+		if got := render(w); got != seq {
+			t.Errorf("fig6a render differs between workers=1 and workers=%d:\n--- workers=1\n%s\n--- workers=%d\n%s", w, seq, w, got)
+		}
+	}
+}
+
+func TestWorkersDeterminismChaos(t *testing.T) {
+	render := func(workers int) string {
+		pts, err := ChaosSweep(ChaosConfig{
+			Trials:     2,
+			Population: 16,
+			Seed:       7,
+			Scale:      0.08,
+			Workers:    workers,
+			Obs:        obs.NewRegistry(),
+			Stages:     obs.NewStageSet(),
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return RenderChaos(pts)
+	}
+	seq := render(1)
+	if got := render(8); got != seq {
+		t.Errorf("chaos render differs between workers=1 and workers=8:\n--- workers=1\n%s\n--- workers=8\n%s", seq, got)
+	}
+}
+
+func TestWorkersDeterminismFig7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("enterprise trace generation is seconds-scale")
+	}
+	render := func(workers int) string {
+		series, err := Figure7(Fig7Config{
+			Days:                   4,
+			Seed:                   11,
+			Scale:                  0.05,
+			BenignClients:          20,
+			BenignLookupsPerClient: 2,
+			Workers:                workers,
+			Obs:                    obs.NewRegistry(),
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return RenderFig7(series)
+	}
+	seq := render(1)
+	if got := render(8); got != seq {
+		t.Errorf("fig7 render differs between workers=1 and workers=8:\n--- workers=1\n%s\n--- workers=8\n%s", seq, got)
+	}
+}
+
+// TestWorkersDeterminismTaxonomyAndMissing covers the remaining parallel
+// loops (case-level fan-out in Reactivation is exercised by its own test).
+func TestWorkersDeterminismTaxonomyAndMissing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid sweep is seconds-scale")
+	}
+	grid := func(workers int) string {
+		cells, err := TaxonomyGrid(TaxonomyGridConfig{Trials: 1, Population: 8, Seed: 3, Workers: workers})
+		if err != nil {
+			t.Fatalf("taxonomy workers=%d: %v", workers, err)
+		}
+		return RenderTaxonomyGrid(cells)
+	}
+	if a, b := grid(1), grid(8); a != b {
+		t.Errorf("taxonomy render differs between workers=1 and workers=8")
+	}
+	miss := func(workers int) string {
+		pts, err := MissingObservations(MissingObsConfig{Trials: 2, Population: 12, Seed: 5, Scale: 0.08, Workers: workers})
+		if err != nil {
+			t.Fatalf("missing workers=%d: %v", workers, err)
+		}
+		return RenderMissingObs(pts)
+	}
+	if a, b := miss(1), miss(8); a != b {
+		t.Errorf("missing-obs render differs between workers=1 and workers=8")
+	}
+}

@@ -27,10 +27,33 @@ func TestScaledSpec(t *testing.T) {
 	if same.ThetaQ != 500 {
 		t.Error("scale 1 must be identity")
 	}
-	// Non-drain-replenish pools pass through.
+	// Sliding-window pools scale their per-day volume and barrel budget.
 	sw := ScaledSpec(dga.Ranbyus(), 0.5)
-	if sw.ThetaQ != dga.Ranbyus().ThetaQ {
-		t.Error("sliding-window specs must pass through unscaled")
+	swPool := sw.Pool.(dga.SlidingWindow)
+	if swPool.PerDay != 20 || sw.ThetaQ != 620 {
+		t.Errorf("sliding-window scaled: PerDay=%d θq=%d", swPool.PerDay, sw.ThetaQ)
+	}
+	if swPool.C2 != dga.Ranbyus().Pool.(dga.SlidingWindow).C2 {
+		t.Errorf("sliding-window θ∃ must be preserved, got %d", swPool.C2)
+	}
+	// PerDay never shrinks below the registered count + 1.
+	tiny := ScaledSpec(dga.Ranbyus(), 0.01)
+	if got := tiny.Pool.(dga.SlidingWindow).PerDay; got != 4 {
+		t.Errorf("sliding-window PerDay floor: got %d, want 4", got)
+	}
+	// Multiple-mixture pools scale useful and noise pools alike.
+	mm := ScaledSpec(dga.Pykspa(), 0.1)
+	mmPool := mm.Pool.(dga.MultipleMixture)
+	if mmPool.UsefulNX != 19 || mmPool.NoiseSizes[0] != 1600 || mm.ThetaQ != 100 {
+		t.Errorf("mixture scaled: UsefulNX=%d noise=%v θq=%d",
+			mmPool.UsefulNX, mmPool.NoiseSizes, mm.ThetaQ)
+	}
+	if mmPool.UsefulC2 != 2 {
+		t.Errorf("mixture θ∃ must be preserved, got %d", mmPool.UsefulC2)
+	}
+	// The original specs are never mutated in place.
+	if dga.Pykspa().Pool.(dga.MultipleMixture).NoiseSizes[0] != 16000 {
+		t.Error("ScaledSpec must not mutate the source spec's noise sizes")
 	}
 }
 

@@ -33,9 +33,18 @@ type Fig6Config struct {
 	Scale float64
 	// Models restricts the evaluated DGA models (nil = AU, AS, AR, AP).
 	Models []string
+	// Workers bounds the trial-level parallelism: trials of one grid point
+	// run concurrently on a bounded worker pool (0 = one worker per CPU,
+	// 1 = sequential). Per-trial seeds are derived from the trial index
+	// alone, and aggregation is canonical (trial order), so any worker
+	// count renders byte-identical artifacts.
+	Workers int
 	// Stages, when non-nil, accumulates per-stage wall/alloc timings
 	// (simulate vs estimate) for `benchgen -timings`.
 	Stages *obs.StageSet
+	// Obs, when non-nil, exports experiments_parallel_workers,
+	// experiments_trials_total and per-trial latency histograms.
+	Obs *obs.Registry
 }
 
 func (c Fig6Config) withDefaults() Fig6Config {
@@ -84,28 +93,51 @@ func modelSpec(model string, scale float64) (dga.Spec, error) {
 	return ScaledSpec(s, scale), nil
 }
 
-// ScaledSpec shrinks a drain-and-replenish spec's pool and barrel by the
-// given factor (1 = unchanged), preserving the θ∃ count and pacing. Used to
-// keep CI runtimes bounded; the benchmark harness runs Scale 1.
+// scaledFloor scales n by the factor and clamps to a minimum.
+func scaledFloor(n int, scale float64, floor int) int {
+	v := int(float64(n) * scale)
+	if v < floor {
+		v = floor
+	}
+	return v
+}
+
+// ScaledSpec shrinks a spec's pool and barrel by the given factor
+// (1 = unchanged), preserving the θ∃ / registered-domain counts and the
+// query pacing. All three pool classes scale: drain-and-replenish shrinks
+// its NXD pool, sliding-window its per-day generation volume, and the
+// multiple-mixture its useful and noise pools; the barrel's ThetaQ always
+// scales with them so the per-bot query budget stays proportional to the
+// pool. Used to keep CI runtimes bounded; the benchmark harness runs
+// Scale 1.
 func ScaledSpec(s dga.Spec, scale float64) dga.Spec {
 	if scale == 1 {
 		return s
 	}
-	dr, ok := s.Pool.(dga.DrainReplenish)
-	if !ok {
-		return s
+	switch pool := s.Pool.(type) {
+	case dga.DrainReplenish:
+		pool.NX = scaledFloor(pool.NX, scale, 10)
+		s.Pool = pool
+	case dga.SlidingWindow:
+		// Keep at least one fresh domain per day beyond the registered
+		// ones so the window still slides.
+		pool.PerDay = scaledFloor(pool.PerDay, scale, pool.C2+1)
+		s.Pool = pool
+	case dga.MultipleMixture:
+		pool.UsefulNX = scaledFloor(pool.UsefulNX, scale, 10)
+		if len(pool.NoiseSizes) > 0 {
+			sizes := make([]int, len(pool.NoiseSizes))
+			for i, n := range pool.NoiseSizes {
+				sizes[i] = scaledFloor(n, scale, 10)
+			}
+			pool.NoiseSizes = sizes
+		}
+		s.Pool = pool
+	default:
+		// Unknown pool class: leave the pool alone but still scale the
+		// barrel below so the query budget tracks the caller's intent.
 	}
-	nx := int(float64(dr.NX) * scale)
-	if nx < 10 {
-		nx = 10
-	}
-	tq := int(float64(s.ThetaQ) * scale)
-	if tq < 5 {
-		tq = 5
-	}
-	dr.NX = nx
-	s.Pool = dr
-	s.ThetaQ = tq
+	s.ThetaQ = scaledFloor(s.ThetaQ, scale, 5)
 	return s
 }
 
@@ -190,6 +222,7 @@ func runTrial(p trialParams, ests []estimators.Estimator) (map[string]float64, e
 		detection = &d3.Window{MissRate: p.missRate, Seed: p.seed ^ 0xd3}
 	}
 	observed := net.Border.Observed()
+	net.ReleaseCaches()
 	estStage := p.stages.Start("fig6:estimate")
 	defer estStage.End()
 	out := make(map[string]float64, len(ests))
@@ -215,15 +248,17 @@ func runTrial(p trialParams, ests []estimators.Estimator) (map[string]float64, e
 	return out, nil
 }
 
-// sweepPoint evaluates one (model, x) grid point across trials.
+// sweepPoint evaluates one (model, x) grid point across trials. Trials run
+// on the bounded worker pool; every per-trial seed is a function of the
+// trial index only, and the per-estimator error series are rebuilt in trial
+// order afterwards, so the rendered artifact is identical for any Workers.
 func sweepPoint(cfg Fig6Config, panel, sweep, model string, x float64, mutate func(*trialParams)) ([]Fig6Point, error) {
 	spec, err := modelSpec(model, cfg.Scale)
 	if err != nil {
 		return nil, err
 	}
 	ests := estimatorsFor(model, panel)
-	errsByEst := make(map[string][]float64, len(ests))
-	for trial := 0; trial < cfg.Trials; trial++ {
+	trials, err := runTrials(cfg.Workers, cfg.Obs, "fig6"+panel, cfg.Trials, func(trial int) (map[string]float64, error) {
 		seed := cfg.Seed ^ (uint64(trial)+1)*0x9e3779b97f4a7c15 ^ hash64(panel+model)
 		p := defaultTrialParams(spec, cfg.Population, seed)
 		p.stages = cfg.Stages
@@ -232,6 +267,16 @@ func sweepPoint(cfg Fig6Config, panel, sweep, model string, x float64, mutate fu
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig6%s %s trial %d: %w", panel, model, trial, err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	errsByEst := make(map[string][]float64, len(ests))
+	for _, est := range ests {
+		errsByEst[est.Name()] = make([]float64, 0, cfg.Trials)
+	}
+	for _, res := range trials {
 		for name, are := range res {
 			errsByEst[name] = append(errsByEst[name], are)
 		}

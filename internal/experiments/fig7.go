@@ -25,9 +25,19 @@ type Fig7Config struct {
 	// BenignClients / BenignLookupsPerClient size the background load.
 	BenignClients          int
 	BenignLookupsPerClient float64
+	// Workers bounds the per-day analysis parallelism: the daily windows
+	// of one (family, estimator) series are analysed concurrently, each
+	// day on its own BotMeter instance (0 = one worker per CPU, 1 =
+	// sequential). Daily estimates are pure functions of the trace and the
+	// day index, so any worker count yields byte-identical series.
+	Workers int
 	// Stages, when non-nil, accumulates per-stage wall/alloc timings
 	// (trace generation vs per-family analysis) for `benchgen -timings`.
 	Stages *obs.StageSet
+	// Obs, when non-nil, exports experiments_parallel_workers,
+	// experiments_trials_total and per-trial latency histograms (one
+	// "trial" = one analysed day).
+	Obs *obs.Registry
 }
 
 func (c Fig7Config) withDefaults() Fig7Config {
@@ -101,35 +111,48 @@ func Figure7(cfg Fig7Config) ([]Fig7Series, error) {
 
 	var series []Fig7Series
 	for _, inf := range infections {
-		primary := estimators.ForModel(inf.Spec)
-		for _, est := range []estimators.Estimator{primary, estimators.NewTiming()} {
-			bm, err := core.New(core.Config{
-				Family:      inf.Spec,
-				Seed:        inf.Seed,
-				Granularity: sim.Second,
-				Estimator:   est,
-				Stages:      cfg.Stages,
-			})
-			if err != nil {
-				return nil, err
-			}
+		inf := inf
+		// Each day is analysed on its own BotMeter (and estimator)
+		// instance so the per-day loop can fan out across the worker pool
+		// without sharing lazily built matcher state; every day maps to a
+		// distinct epoch, so no cross-day matcher reuse is lost.
+		for _, mkEst := range []func() estimators.Estimator{
+			func() estimators.Estimator { return estimators.ForModel(inf.Spec) },
+			func() estimators.Estimator { return estimators.NewTiming() },
+		} {
+			mkEst := mkEst
+			estName := mkEst().Name()
 			s := Fig7Series{
 				Family:    inf.Spec.Name,
 				Model:     inf.Spec.ModelName(),
-				Estimator: est.Name(),
+				Estimator: estName,
 				Truth:     tr.GroundTruth[inf.Spec.Name],
 			}
-			famStage := cfg.Stages.Start("fig7:analyze:" + inf.Spec.Name + "/" + est.Name())
-			for day := 0; day < tr.Days; day++ {
+			famStage := cfg.Stages.Start("fig7:analyze:" + inf.Spec.Name + "/" + estName)
+			estimates, err := runTrials(cfg.Workers, cfg.Obs, "fig7", tr.Days, func(day int) (float64, error) {
+				bm, err := core.New(core.Config{
+					Family:      inf.Spec,
+					Seed:        inf.Seed,
+					Granularity: sim.Second,
+					Estimator:   mkEst(),
+					Stages:      cfg.Stages,
+				})
+				if err != nil {
+					return 0, err
+				}
 				w := sim.Window{Start: sim.Time(day) * sim.Day, End: sim.Time(day+1) * sim.Day}
 				land, err := bm.Analyze(tr.Observed.Window(w), w)
 				if err != nil {
-					return nil, fmt.Errorf("experiments: fig7 %s/%s day %d: %w",
-						inf.Spec.Name, est.Name(), day, err)
+					return 0, fmt.Errorf("experiments: fig7 %s/%s day %d: %w",
+						inf.Spec.Name, estName, day, err)
 				}
-				s.Estimates = append(s.Estimates, land.Estimate(tr.LocalServer))
-			}
+				return land.Estimate(tr.LocalServer), nil
+			})
 			famStage.End()
+			if err != nil {
+				return nil, err
+			}
+			s.Estimates = estimates
 			series = append(series, s)
 		}
 	}

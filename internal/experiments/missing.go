@@ -9,6 +9,7 @@ import (
 	"botmeter/internal/dga"
 	"botmeter/internal/dnssim"
 	"botmeter/internal/estimators"
+	"botmeter/internal/obs"
 	"botmeter/internal/sim"
 	"botmeter/internal/stats"
 	"botmeter/internal/trace"
@@ -28,6 +29,11 @@ type MissingObsConfig struct {
 	Seed uint64
 	// Scale shrinks pools (1 = Table I).
 	Scale float64
+	// Workers bounds trial-level parallelism (0 = one worker per CPU,
+	// 1 = sequential); results are identical for any value.
+	Workers int
+	// Obs, when non-nil, exports the parallel-engine metrics.
+	Obs *obs.Registry
 }
 
 func (c MissingObsConfig) withDefaults() MissingObsConfig {
@@ -70,13 +76,22 @@ func MissingObservations(cfg MissingObsConfig) ([]MissingObsPoint, error) {
 			ests = append(ests, tolerant, adaptive)
 		}
 		for _, drop := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
-			errsByEst := make(map[string][]float64)
-			for trial := 0; trial < cfg.Trials; trial++ {
+			trials, err := runTrials(cfg.Workers, cfg.Obs, "missing", cfg.Trials, func(trial int) (map[string]float64, error) {
 				seed := cfg.Seed ^ hash64(model) ^ (uint64(trial)+1)*0x9e3779b97f4a7c15
 				res, err := missingObsTrial(spec, ests, cfg.Population, drop, seed)
 				if err != nil {
-					return nil, fmt.Errorf("experiments: missing-obs %s drop %v: %w", model, drop, err)
+					return nil, fmt.Errorf("experiments: missing-obs %s drop %v trial %d: %w", model, drop, trial, err)
 				}
+				return res, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			errsByEst := make(map[string][]float64, len(ests))
+			for _, est := range ests {
+				errsByEst[est.Name()] = make([]float64, 0, cfg.Trials)
+			}
+			for _, res := range trials {
 				for name, are := range res {
 					errsByEst[name] = append(errsByEst[name], are)
 				}
@@ -117,6 +132,7 @@ func missingObsTrial(spec dga.Spec, ests []estimators.Estimator, population int,
 	truth := float64(res.ActiveBots["local-00"][0])
 
 	obs := dropRecords(net.Border.Observed(), drop, seed^0xbad)
+	net.ReleaseCaches()
 	out := make(map[string]float64, len(ests))
 	for _, est := range ests {
 		bm, err := core.New(core.Config{

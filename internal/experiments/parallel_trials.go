@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"botmeter/internal/obs"
+	"botmeter/internal/parallel"
+)
+
+// runTrials executes n independent trials of one artifact on the bounded
+// worker pool (internal/parallel) and returns the per-trial results in
+// trial order — the canonical aggregation order that makes workers=N
+// byte-identical to workers=1 (per-trial seeds are derived from the trial
+// index alone; see DESIGN.md §12).
+//
+// When reg is non-nil it exports
+//
+//	experiments_parallel_workers            (gauge: resolved pool size)
+//	experiments_trials_total                (counter: completed trials)
+//	experiments_trial_seconds{artifact=...} (histogram: per-trial latency)
+//
+// on the shared obs registry; nil instruments no-op, so uninstrumented
+// runs pay one branch per trial.
+func runTrials[T any](workers int, reg *obs.Registry, artifact string, n int, fn func(trial int) (T, error)) ([]T, error) {
+	w := parallel.Workers(workers)
+	reg.Gauge("experiments_parallel_workers").Set(float64(w))
+	trialCtr := reg.Counter("experiments_trials_total")
+	latency := reg.Histogram("experiments_trial_seconds", trialBuckets, "artifact", artifact)
+	return parallel.Map(context.Background(), n, w, func(_ context.Context, i int) (T, error) {
+		t0 := time.Now()
+		v, err := fn(i)
+		latency.ObserveDuration(time.Since(t0))
+		trialCtr.Inc()
+		return v, err
+	})
+}
+
+// trialBuckets span microsecond-scale quick-config trials up to the
+// minutes-scale Table-I-parameter trials.
+var trialBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60, 120}

@@ -8,6 +8,7 @@ import (
 	"botmeter/internal/dga"
 	"botmeter/internal/enterprise"
 	"botmeter/internal/estimators"
+	"botmeter/internal/obs"
 	"botmeter/internal/sim"
 	"botmeter/internal/stats"
 )
@@ -31,6 +32,12 @@ type ReactivationConfig struct {
 	MeanActive float64
 	// Backoff is the retry interval (default 3 h).
 	Backoff sim.Time
+	// Workers bounds the parallelism across estimator configurations
+	// (0 = one worker per CPU, 1 = sequential); rows are returned in the
+	// fixed case order regardless.
+	Workers int
+	// Obs, when non-nil, exports the parallel-engine metrics.
+	Obs *obs.Registry
 }
 
 func (c ReactivationConfig) withDefaults() ReactivationConfig {
@@ -92,8 +99,11 @@ func Reactivation(cfg ReactivationConfig) ([]ReactivationRow, error) {
 		{wholeEpoch, "whole-epoch distinct set (paper's MB)"},
 		{estimators.NewTiming(), "Algorithm 1"},
 	}
-	rows := make([]ReactivationRow, 0, len(cases))
-	for _, tc := range cases {
+	// The three configurations are independent analyses of the same
+	// immutable trace: fan them out on the worker pool, rows stay in case
+	// order.
+	return runTrials(cfg.Workers, cfg.Obs, "reactivation", len(cases), func(ci int) (ReactivationRow, error) {
+		tc := cases[ci]
 		bm, err := core.New(core.Config{
 			Family:      inf.Spec,
 			Seed:        inf.Seed,
@@ -101,7 +111,7 @@ func Reactivation(cfg ReactivationConfig) ([]ReactivationRow, error) {
 			Estimator:   tc.est,
 		})
 		if err != nil {
-			return nil, err
+			return ReactivationRow{}, err
 		}
 		var errs, biases []float64
 		for day := 0; day < tr.Days; day++ {
@@ -112,20 +122,19 @@ func Reactivation(cfg ReactivationConfig) ([]ReactivationRow, error) {
 			w := sim.Window{Start: sim.Time(day) * sim.Day, End: sim.Time(day+1) * sim.Day}
 			land, err := bm.Analyze(tr.Observed.Window(w), w)
 			if err != nil {
-				return nil, err
+				return ReactivationRow{}, err
 			}
 			got := land.Estimate(tr.LocalServer)
 			errs = append(errs, stats.ARE(got, float64(truth)))
 			biases = append(biases, (got-float64(truth))/float64(truth))
 		}
-		rows = append(rows, ReactivationRow{
+		return ReactivationRow{
 			Estimator: tc.est.Name(),
 			Mode:      tc.mode,
 			Summary:   stats.Summarize(errs),
 			MeanBias:  stats.Mean(biases),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderReactivation prints the extension experiment's table.

@@ -9,6 +9,7 @@ import (
 	"botmeter/internal/dga"
 	"botmeter/internal/dnssim"
 	"botmeter/internal/estimators"
+	"botmeter/internal/obs"
 	"botmeter/internal/sim"
 	"botmeter/internal/stats"
 )
@@ -21,6 +22,11 @@ type TaxonomyGridConfig struct {
 	Population int
 	// Seed drives the runs.
 	Seed uint64
+	// Workers bounds trial-level parallelism (0 = one worker per CPU,
+	// 1 = sequential); results are identical for any value.
+	Workers int
+	// Obs, when non-nil, exports the parallel-engine metrics.
+	Obs *obs.Registry
 }
 
 func (c TaxonomyGridConfig) withDefaults() TaxonomyGridConfig {
@@ -109,14 +115,16 @@ func TaxonomyGrid(cfg TaxonomyGridConfig) ([]TaxonomyCell, error) {
 		for _, b := range barrels {
 			spec, wildName := gridSpec(p, b)
 			est := estimators.ForModel(spec)
-			var errs []float64
-			for trial := 0; trial < cfg.Trials; trial++ {
+			errs, err := runTrials(cfg.Workers, cfg.Obs, "taxonomy", cfg.Trials, func(trial int) (float64, error) {
 				seed := cfg.Seed ^ hash64(spec.Name) ^ (uint64(trial)+1)*0x9e3779b97f4a7c15
 				are, err := taxonomyTrial(spec, est, cfg.Population, seed)
 				if err != nil {
-					return nil, fmt.Errorf("experiments: grid cell %s/%s: %w", p, b, err)
+					return 0, fmt.Errorf("experiments: grid cell %s/%s trial %d: %w", p, b, trial, err)
 				}
-				errs = append(errs, are)
+				return are, nil
+			})
+			if err != nil {
+				return nil, err
 			}
 			cells = append(cells, TaxonomyCell{
 				Pool:      p.String(),
@@ -150,6 +158,8 @@ func taxonomyTrial(spec dga.Spec, est estimators.Estimator, population int, seed
 	if err != nil {
 		return 0, err
 	}
+	observed := net.Border.Observed()
+	net.ReleaseCaches()
 	bm, err := core.New(core.Config{
 		Family:      spec,
 		Seed:        seed,
@@ -159,7 +169,7 @@ func taxonomyTrial(spec dga.Spec, est estimators.Estimator, population int, seed
 	if err != nil {
 		return 0, err
 	}
-	land, err := bm.Analyze(net.Border.Observed(), w)
+	land, err := bm.Analyze(observed, w)
 	if err != nil {
 		return 0, err
 	}

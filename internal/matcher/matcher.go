@@ -162,7 +162,25 @@ func (m *Multi) Get(name string) (Matcher, bool) {
 	return match, ok
 }
 
+// normalize canonicalises a domain: strips one trailing dot and lowers
+// ASCII letters. The single scan up front returns already-canonical
+// domains (the overwhelmingly common case on the hot Match path — the
+// simulator emits lowercase, dot-free names) unchanged without
+// allocating; only domains that actually need rewriting pay for a copy.
 func normalize(d string) string {
+	canonical := true
+	for i := 0; i < len(d); i++ {
+		c := d[i]
+		if ('A' <= c && c <= 'Z') || c >= 0x80 || (c == '.' && i == len(d)-1) {
+			// Uppercase ASCII, any non-ASCII byte (Unicode case folding
+			// may apply) or a trailing dot: fall through to the slow path.
+			canonical = false
+			break
+		}
+	}
+	if canonical {
+		return d
+	}
 	d = strings.TrimSuffix(d, ".")
 	return strings.ToLower(d)
 }

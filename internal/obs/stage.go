@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,14 +16,29 @@ import (
 // concurrent use and nil-safe (a nil *StageSet records nothing), so
 // instrumented pipelines pay nothing when timing is off.
 //
+// Concurrency: per-stage totals are plain atomics, so the steady state of
+// Observe (stage name already known) takes a read-lock for the map lookup
+// and three atomic adds — no per-stage mutex is held while trial workers
+// from the parallel experiment engine (internal/parallel) report into the
+// same stage concurrently. The write-lock is taken only the first time a
+// stage name appears.
+//
 // Allocation deltas are read from runtime.MemStats.TotalAlloc, which is a
 // process-wide monotonic total: concurrent stages attribute each other's
-// allocations to themselves, so treat Bytes as indicative, not exact.
+// allocations to themselves, so treat Bytes as indicative, not exact —
+// under workers>1 the per-stage split blurs while the total stays right.
 type StageSet struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	order  []string
-	stages map[string]*StageStat
+	stages map[string]*stageCounters
 	now    func() time.Time
+}
+
+// stageCounters is the lock-free accumulation cell of one stage.
+type stageCounters struct {
+	count atomic.Int64
+	wall  atomic.Int64 // nanoseconds
+	bytes atomic.Uint64
 }
 
 // StageStat is the accumulated cost of one named stage.
@@ -39,7 +55,7 @@ type StageStat struct {
 
 // NewStageSet builds an empty, enabled stage set.
 func NewStageSet() *StageSet {
-	return &StageSet{stages: make(map[string]*StageStat), now: time.Now}
+	return &StageSet{stages: make(map[string]*stageCounters), now: time.Now}
 }
 
 // Observe merges one completed stage run. Nil-safe.
@@ -47,17 +63,21 @@ func (s *StageSet) Observe(name string, wall time.Duration, bytes uint64) {
 	if s == nil {
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	st, ok := s.stages[name]
+	s.mu.RUnlock()
 	if !ok {
-		st = &StageStat{Name: name}
-		s.stages[name] = st
-		s.order = append(s.order, name)
+		s.mu.Lock()
+		if st, ok = s.stages[name]; !ok { // lost the insert race?
+			st = &stageCounters{}
+			s.stages[name] = st
+			s.order = append(s.order, name)
+		}
+		s.mu.Unlock()
 	}
-	st.Count++
-	st.Wall += wall
-	st.Bytes += bytes
-	s.mu.Unlock()
+	st.count.Add(1)
+	st.wall.Add(int64(wall))
+	st.bytes.Add(bytes)
 }
 
 // StageSpan is one running stage measurement.
@@ -107,11 +127,17 @@ func (s *StageSet) Stats() []StageStat {
 	if s == nil {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]StageStat, 0, len(s.order))
 	for _, name := range s.order {
-		out = append(out, *s.stages[name])
+		st := s.stages[name]
+		out = append(out, StageStat{
+			Name:  name,
+			Count: int(st.count.Load()),
+			Wall:  time.Duration(st.wall.Load()),
+			Bytes: st.bytes.Load(),
+		})
 	}
 	return out
 }

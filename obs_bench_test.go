@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"botmeter/internal/dnssim"
+	"botmeter/internal/experiments"
 	"botmeter/internal/obs"
 	"botmeter/internal/sim"
 )
@@ -58,6 +59,41 @@ func BenchmarkObsQueryDisabled(b *testing.B) {
 // BenchmarkObsQueryEnabled prices full metric collection on the same path.
 func BenchmarkObsQueryEnabled(b *testing.B) {
 	benchQueries(b, benchHierarchy(obs.NewRegistry()))
+}
+
+// BenchmarkParallelFig6a prices the parallel trial engine itself on a small
+// Figure 6(a) configuration. The workers-1 sub-benchmark takes the engine's
+// inline fast path (no goroutines, no channels) and must stay within noise
+// of the pre-engine sequential loop; workers-gomaxprocs shows what the
+// bounded pool buys on the current host (nothing on a single-core box —
+// compare `-cpu 4`). The instrumented variant additionally wires a live
+// registry to bound the per-trial metric overhead.
+func BenchmarkParallelFig6a(b *testing.B) {
+	base := experiments.Fig6Config{Trials: 2, Population: 24, Seed: 9, Scale: 0.08}
+	run := func(b *testing.B, cfg experiments.Fig6Config) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Figure6a(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("workers-1", func(b *testing.B) {
+		cfg := base
+		cfg.Workers = 1
+		run(b, cfg)
+	})
+	b.Run("workers-gomaxprocs", func(b *testing.B) {
+		cfg := base
+		cfg.Workers = 0
+		run(b, cfg)
+	})
+	b.Run("workers-1-instrumented", func(b *testing.B) {
+		cfg := base
+		cfg.Workers = 1
+		cfg.Obs = obs.NewRegistry()
+		run(b, cfg)
+	})
 }
 
 func BenchmarkObsCounterInc(b *testing.B) {
