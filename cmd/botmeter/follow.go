@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"botmeter/internal/core"
+	"botmeter/internal/obs"
+	"botmeter/internal/sim"
+	"botmeter/internal/stream"
+	"botmeter/internal/trace"
+)
+
+// followConfig carries the flags of the streaming mode.
+type followConfig struct {
+	in      string // input path ("" = stdin)
+	format  string // csv or jsonl
+	lenient bool
+	live    bool          // keep tailing after EOF until interrupted
+	listen  string        // diagnostic HTTP address ("" disables)
+	reorder time.Duration // reorder window
+	jsonOut bool
+	topK    int
+}
+
+// runFollow is `botmeter -follow`: instead of materialising the trace and
+// analysing it once, it feeds records to the online engine as they appear
+// (optionally tailing a live capture), serves the evolving landscape over
+// /landscape, and prints the final landscape when the input ends or the
+// process is interrupted.
+func runFollow(coreCfg core.Config, fc followConfig) error {
+	if fc.format != "csv" && fc.format != "jsonl" {
+		return fmt.Errorf("-follow supports csv and jsonl input, not %q", fc.format)
+	}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	var reg *obs.Registry
+	if fc.listen != "" {
+		reg = obs.NewRegistry()
+	}
+	eng, err := stream.New(stream.Config{
+		Core:          coreCfg,
+		ReorderWindow: sim.FromDuration(fc.reorder),
+		Registry:      reg,
+	})
+	if err != nil {
+		return err
+	}
+	if fc.listen != "" {
+		diag, err := obs.StartHTTP(fc.listen, obs.NewMux(obs.MuxConfig{
+			Registry:  reg,
+			Landscape: eng.LandscapeJSON,
+		}))
+		if err != nil {
+			eng.Close() //nolint:errcheck // the listen error wins
+			return err
+		}
+		defer diag.Close()
+		fmt.Fprintf(os.Stderr, "botmeter: live landscape at http://%s/landscape\n", diag.Addr())
+	}
+
+	opt := stream.FollowOptions{Format: fc.format, Lenient: fc.lenient, Live: fc.live}
+	var res trace.ReadResult
+	if fc.in == "" {
+		res, err = eng.Follow(ctx, os.Stdin, opt)
+	} else {
+		res, err = eng.FollowFile(ctx, fc.in, opt)
+	}
+	if err != nil {
+		eng.Close() //nolint:errcheck // the read error wins
+		return err
+	}
+	land, err := eng.Close()
+	if err != nil {
+		return err
+	}
+	stats := eng.Stats()
+	if res.Skipped > 0 {
+		fmt.Fprintf(os.Stderr, "botmeter: skipped %d malformed line(s)\n", res.Skipped)
+	}
+	fmt.Fprintf(os.Stderr, "botmeter: streamed %d record(s): %d matched, %d late-dropped, %d epoch cell(s) closed\n",
+		stats.Ingested, stats.Matched, stats.DroppedLate, stats.EpochsClosed)
+	if stats.Ingested == 0 {
+		return fmt.Errorf("no observations in input")
+	}
+	if fc.topK > 0 {
+		land.Servers = land.Top(fc.topK)
+	}
+	if fc.jsonOut {
+		return land.WriteJSON(os.Stdout)
+	}
+	fmt.Print(land.String())
+	return nil
+}

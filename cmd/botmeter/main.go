@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"botmeter/internal/core"
 	"botmeter/internal/d3"
@@ -54,6 +55,10 @@ func run(args []string) error {
 	planHosts := fs.Int("plan-hosts", 1000, "assumed hosts behind each local server for the schedule")
 	verbose := fs.Bool("verbose", false, "print a per-stage timing summary (trace read, matching, estimation) to stderr")
 	workers := fs.Int("workers", 0, "per-server estimation workers (0 = one per CPU capped at 16, 1 = sequential); any value yields identical landscapes")
+	follow := fs.Bool("follow", false, "stream the input through the online engine instead of batch analysis; prints the final landscape at EOF or on interrupt")
+	followLive := fs.Bool("live", false, "with -follow: keep tailing the input after EOF (live capture) until interrupted")
+	followListen := fs.String("listen", "", "with -follow: serve the evolving landscape at /landscape (plus /metrics, /debug/pprof) on this address")
+	reorderWindow := fs.Duration("reorder-window", 2*time.Second, "with -follow: how far out of order timestamps may arrive and still be re-sequenced")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,6 +102,27 @@ func run(args []string) error {
 	var detection *d3.Window
 	if *missRate > 0 {
 		detection = &d3.Window{MissRate: *missRate, Seed: *seed ^ 0xd3}
+	}
+
+	if *follow {
+		return runFollow(core.Config{
+			Family:        spec,
+			Seed:          *seed,
+			NegativeTTL:   sim.FromDuration(*negTTL),
+			Granularity:   sim.FromDuration(*granularity),
+			Estimator:     est,
+			Detection:     detection,
+			SecondOpinion: *second,
+		}, followConfig{
+			in:      *in,
+			format:  *format,
+			lenient: *lenient,
+			live:    *followLive,
+			listen:  *followListen,
+			reorder: *reorderWindow,
+			jsonOut: *jsonOut,
+			topK:    *topK,
+		})
 	}
 
 	readStage := stages.Start("read-trace")

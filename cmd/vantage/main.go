@@ -34,10 +34,13 @@ import (
 	"syscall"
 	"time"
 
+	"botmeter/internal/core"
+	"botmeter/internal/dga"
 	"botmeter/internal/dnswire"
 	"botmeter/internal/faults"
 	"botmeter/internal/obs"
 	"botmeter/internal/sim"
+	"botmeter/internal/stream"
 	"botmeter/internal/trace"
 )
 
@@ -94,6 +97,8 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	chaosSpec := fs.String("chaos", "", "inject faults, e.g. loss=0.2,dup=0.01,servfail=0.05,delay=5ms,blackout=10s+2s")
 	chaosSeed := fs.Uint64("chaos-seed", 1, "seed for deterministic fault injection")
 	obsAddr := fs.String("obs-addr", "", "HTTP diagnostics address serving /metrics, /healthz, /debug/vars and /debug/pprof (empty disables)")
+	liveFamily := fs.String("live-estimate", "", "maintain a live landscape for this DGA family in-process; served as JSON at /landscape on -obs-addr")
+	liveSeed := fs.Uint64("live-seed", 1, "DGA seed reconstructing the -live-estimate family's pools")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	logFormat := fs.String("log-format", "logfmt", "log encoding: logfmt or json")
 	if err := fs.Parse(args); err != nil {
@@ -115,6 +120,26 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	var reg *obs.Registry
 	if *obsAddr != "" {
 		reg = obs.NewRegistry()
+	}
+
+	// Live estimation: every observation is ALSO fed to the online
+	// landscape engine, so /landscape serves the evolving chart without a
+	// separate botmeter pass over the dataset.
+	var est *stream.Engine
+	if *liveFamily != "" {
+		spec, err := dga.Lookup(*liveFamily)
+		if err != nil {
+			return err
+		}
+		est, err = stream.New(stream.Config{
+			Core:     core.Config{Family: spec, Seed: *liveSeed},
+			Registry: reg,
+		})
+		if err != nil {
+			return err
+		}
+		logger.Info("live estimation enabled",
+			"family", spec.Name, "estimator", est.EstimatorName(), "seed", *liveSeed)
 	}
 
 	zone, err := loadZone(*zonePath)
@@ -157,6 +182,7 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		ttl:     uint32(*ttl),
 		started: time.Now(),
 		inj:     inj,
+		est:     est,
 		log:     logger,
 		out: trace.NewSafeWriter(out, trace.SafeWriterConfig{
 			FlushInterval: *flushInterval,
@@ -168,10 +194,11 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		srv.m = newSinkMetrics(reg)
 	}
 	if *obsAddr != "" {
-		diag, err := obs.StartHTTP(*obsAddr, obs.NewMux(obs.MuxConfig{
-			Registry: reg,
-			Health:   srv.health,
-		}))
+		muxCfg := obs.MuxConfig{Registry: reg, Health: srv.health}
+		if est != nil {
+			muxCfg.Landscape = est.LandscapeJSON
+		}
+		diag, err := obs.StartHTTP(*obsAddr, obs.NewMux(muxCfg))
 		if err != nil {
 			return err
 		}
@@ -193,6 +220,18 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	if inj != nil {
 		logger.Info("chaos counters", "counters", inj.Counters().String())
 	}
+	if est != nil {
+		// The serve loop has returned, so no Observe is in flight.
+		land, err := est.Close()
+		if err != nil {
+			logger.Error("closing live estimation", "err", err)
+		} else {
+			stats := est.Stats()
+			logger.Info("final live landscape",
+				"servers", len(land.Servers), "total", fmt.Sprintf("%.1f", land.Total),
+				"matched", stats.Matched, "late_dropped", stats.DroppedLate)
+		}
+	}
 	return srv.out.Close()
 }
 
@@ -203,6 +242,7 @@ type sink struct {
 	started time.Time
 	out     *trace.SafeWriter
 	inj     *faults.Injector
+	est     *stream.Engine
 	log     *obs.Logger
 	m       sinkMetrics
 
@@ -291,6 +331,11 @@ func (s *sink) handle(pkt []byte, from net.Addr) []byte {
 		}
 	} else {
 		s.m.observed.Inc()
+	}
+	if s.est != nil {
+		// Backpressure from the engine's shard channels bounds queuing;
+		// the only possible error is "engine closed" during shutdown.
+		s.est.Observe(rec) //nolint:errcheck
 	}
 
 	ip := s.zone[domain]

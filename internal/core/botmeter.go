@@ -17,7 +17,6 @@ import (
 	"botmeter/internal/d3"
 	"botmeter/internal/dga"
 	"botmeter/internal/estimators"
-	"botmeter/internal/matcher"
 	"botmeter/internal/obs"
 	"botmeter/internal/parallel"
 	"botmeter/internal/sim"
@@ -84,13 +83,14 @@ func (c Config) Validate() error {
 }
 
 // BotMeter is the analysis pipeline bound to one configuration. A BotMeter
-// parallelises internally across forwarding servers; the value itself is
-// not safe for concurrent Analyze calls (per-epoch matcher state is built
-// lazily) — use one instance per goroutine, they share nothing global.
+// parallelises internally across forwarding servers; the per-epoch matcher
+// cache is concurrency-safe (EpochMatchers), so Analyze may also be called
+// from multiple goroutines, though per-call estimator state still makes
+// one instance per goroutine the simpler deployment.
 type BotMeter struct {
 	cfg Config
 
-	matchersByEpoch map[int]*matcher.Set
+	matchers *EpochMatchers
 }
 
 // New builds a BotMeter instance.
@@ -98,33 +98,15 @@ func New(cfg Config) (*BotMeter, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cfg = cfg.withDefaults()
 	return &BotMeter{
-		cfg:             cfg.withDefaults(),
-		matchersByEpoch: make(map[int]*matcher.Set),
+		cfg:      cfg,
+		matchers: NewEpochMatchers(cfg.Family, cfg.Seed, cfg.Detection),
 	}, nil
 }
 
 // EstimatorName reports the selected analytical model.
 func (bm *BotMeter) EstimatorName() string { return bm.cfg.Estimator.Name() }
-
-// matcherFor returns the per-epoch domain matcher, built from the D³
-// report (or the full pool when detection is perfect).
-func (bm *BotMeter) matcherFor(epoch int) *matcher.Set {
-	if m, ok := bm.matchersByEpoch[epoch]; ok {
-		return m
-	}
-	pool := bm.cfg.Family.Pool.PoolFor(bm.cfg.Seed, epoch)
-	var domains []string
-	if bm.cfg.Detection != nil {
-		rep := bm.cfg.Detection.Detect(epoch, pool)
-		domains = rep.All()
-	} else {
-		domains = pool.Domains
-	}
-	m := matcher.NewSet(bm.cfg.Family.Name, domains)
-	bm.matchersByEpoch[epoch] = m
-	return m
-}
 
 // ServerEstimate is the assessment for one local DNS server.
 type ServerEstimate struct {
@@ -184,7 +166,7 @@ func (bm *BotMeter) Analyze(obs trace.Observed, w sim.Window) (*Landscape, error
 			continue
 		}
 		epoch := int(rec.T / cfg.EpochLen)
-		if bm.matcherFor(epoch).Match(rec.Domain) {
+		if bm.matchers.For(epoch).Match(rec.Domain) {
 			matched = append(matched, rec)
 		}
 	}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"sync"
+
+	"botmeter/internal/d3"
+	"botmeter/internal/dga"
+	"botmeter/internal/matcher"
+)
+
+// EpochMatchers builds and caches the per-epoch domain matchers of one
+// target DGA (paper Figure 2, steps 2–4): the family's pool for the epoch,
+// optionally narrowed to what the D³ front end detected. It is safe for
+// concurrent use, which lets the streaming engine's ingest shards share
+// one instance — pool reconstruction is the expensive part and must happen
+// once per epoch, not once per shard.
+type EpochMatchers struct {
+	family    dga.Spec
+	seed      uint64
+	detection *d3.Window
+
+	mu      sync.Mutex
+	byEpoch map[int]*matcher.Set
+}
+
+// NewEpochMatchers builds the matcher cache. A nil detection window means
+// perfect pool knowledge.
+func NewEpochMatchers(family dga.Spec, seed uint64, detection *d3.Window) *EpochMatchers {
+	return &EpochMatchers{
+		family:    family,
+		seed:      seed,
+		detection: detection,
+		byEpoch:   make(map[int]*matcher.Set),
+	}
+}
+
+// For returns the matcher for one epoch, building it on first use. The
+// returned Set must be treated as read-only; concurrent Match calls are
+// safe because the set is never mutated after construction.
+func (em *EpochMatchers) For(epoch int) *matcher.Set {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	if m, ok := em.byEpoch[epoch]; ok {
+		return m
+	}
+	pool := em.family.Pool.PoolFor(em.seed, epoch)
+	var domains []string
+	if em.detection != nil {
+		rep := em.detection.Detect(epoch, pool)
+		domains = rep.All()
+	} else {
+		domains = pool.Domains
+	}
+	m := matcher.NewSet(em.family.Name, domains)
+	em.byEpoch[epoch] = m
+	return m
+}
+
+// Epochs reports how many epoch matchers are currently cached.
+func (em *EpochMatchers) Epochs() int {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	return len(em.byEpoch)
+}

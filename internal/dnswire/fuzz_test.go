@@ -1,6 +1,7 @@
 package dnswire
 
 import (
+	"bytes"
 	"net"
 	"testing"
 )
@@ -49,6 +50,74 @@ func FuzzNameRoundTrip(f *testing.F) {
 		}
 		if back.Questions[0].Name != want {
 			t.Fatalf("round trip %q → %q", name, back.Questions[0].Name)
+		}
+	})
+}
+
+// FuzzDecodeMessage is the full message round-trip fuzzer: any datagram
+// that Decode accepts must re-encode and decode again into the SAME
+// message — header flags, questions and answers all preserved. (Sections
+// the codec deliberately drops — authority/additional counts, name
+// compression — are normalised by the first decode, so the identity is
+// checked between first and second decode, not against the raw input.)
+func FuzzDecodeMessage(f *testing.F) {
+	q, _ := NewQuery(0x1234, "seed.example.com").Encode()
+	f.Add(q)
+	resp, _ := NewResponse(NewQuery(2, "pool-domain.biz"), net.ParseIP("192.0.2.1"), 300).Encode()
+	f.Add(resp)
+	resp6, _ := NewResponse(NewQuery(3, "v6.example"), net.ParseIP("2001:db8::1"), 60).Encode()
+	f.Add(resp6)
+	nx, _ := NewResponse(NewQuery(4, "nxd.example"), nil, 0).Encode()
+	f.Add(nx)
+	// Compressed response: answer name points back at the question name.
+	f.Add([]byte{
+		0x00, 0x05, 0x80, 0x00, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00,
+		0x01, 'a', 0x02, 'b', 'c', 0x00, 0x00, 0x01, 0x00, 0x01,
+		0xC0, 0x0C, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x3C, 0x00, 0x04, 192, 0, 2, 1,
+	})
+	// Regression: a raw '.' inside a wire label ("a.") used to decode into
+	// a name that re-encoded as a different name ("a"); Decode now rejects
+	// presentation-ambiguous labels.
+	f.Add([]byte{
+		0x00, 0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+		0x02, 'a', '.', 0x00, 0x00, 0x01, 0x00, 0x01,
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m1, err := Decode(data)
+		if err != nil {
+			return
+		}
+		wire, err := m1.Encode()
+		if err != nil {
+			t.Fatalf("decoded message does not re-encode: %v\n%+v", err, m1)
+		}
+		m2, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("re-encoded message does not decode: %v", err)
+		}
+		// Counts of dropped sections are normalised away by Encode.
+		h1, h2 := m1.Header, m2.Header
+		h1.NSCount, h1.ARCount, h1.QDCount, h1.ANCount = 0, 0, 0, 0
+		h2.NSCount, h2.ARCount, h2.QDCount, h2.ANCount = 0, 0, 0, 0
+		if h1 != h2 {
+			t.Fatalf("header not preserved:\n first %+v\nsecond %+v", h1, h2)
+		}
+		if len(m1.Questions) != len(m2.Questions) {
+			t.Fatalf("question count %d → %d", len(m1.Questions), len(m2.Questions))
+		}
+		for i := range m1.Questions {
+			if m1.Questions[i] != m2.Questions[i] {
+				t.Fatalf("question %d not preserved: %+v → %+v", i, m1.Questions[i], m2.Questions[i])
+			}
+		}
+		if len(m1.Answers) != len(m2.Answers) {
+			t.Fatalf("answer count %d → %d", len(m1.Answers), len(m2.Answers))
+		}
+		for i := range m1.Answers {
+			a, b := m1.Answers[i], m2.Answers[i]
+			if a.Name != b.Name || a.Type != b.Type || a.Class != b.Class || a.TTL != b.TTL || !bytes.Equal(a.Data, b.Data) {
+				t.Fatalf("answer %d not preserved: %+v → %+v", i, a, b)
+			}
 		}
 	})
 }

@@ -266,7 +266,15 @@ func decodeName(b []byte, off int) (string, int, error) {
 			if off+1+l > len(b) {
 				return "", 0, fmt.Errorf("dnswire: truncated label")
 			}
-			labels = append(labels, string(b[off+1:off+1+l]))
+			label := string(b[off+1 : off+1+l])
+			// A raw '.' inside a label has no unambiguous presentation
+			// form in this non-escaping codec: "a." would re-encode as
+			// the label "a" (found by FuzzDecodeMessage). DGA domains
+			// never contain one; reject instead of silently mangling.
+			if strings.Contains(label, ".") {
+				return "", 0, fmt.Errorf("dnswire: label contains '.'")
+			}
+			labels = append(labels, label)
 			if len(labels) > 128 {
 				return "", 0, fmt.Errorf("dnswire: too many labels")
 			}

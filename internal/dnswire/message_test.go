@@ -141,6 +141,13 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 			binary.BigEndian.PutUint16(b[4:6], 1)
 			return append(b, 1, 'a', 0) // name ok, but no type/class
 		}(),
+		// Found by FuzzDecodeMessage: a raw '.' inside a label has no
+		// unambiguous presentation form ("a." re-encoded as "a").
+		"dot inside label": func() []byte {
+			b := make([]byte, 12)
+			binary.BigEndian.PutUint16(b[4:6], 1)
+			return append(b, 2, 'a', '.', 0, 0, 1, 0, 1)
+		}(),
 	}
 	for name, wire := range cases {
 		if _, err := Decode(wire); err == nil {

@@ -39,8 +39,11 @@ type timingEntry struct {
 	domains map[string]struct{}
 }
 
-// EstimateEpoch implements Estimator (Algorithm 1).
-func (mt *Timing) EstimateEpoch(obs trace.Observed, _ int, cfg Config) (float64, error) {
+// EstimateEpoch implements Estimator (Algorithm 1). The batch form is the
+// streaming form (TimingStream) fed with the stable-sorted epoch: one
+// implementation serves both paths, which is what makes the batch↔stream
+// equivalence contract (internal/stream) checkable rather than aspirational.
+func (mt *Timing) EstimateEpoch(obs trace.Observed, epoch int, cfg Config) (float64, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return 0, err
@@ -52,36 +55,9 @@ func (mt *Timing) EstimateEpoch(obs trace.Observed, _ int, cfg Config) (float64,
 	copy(s, obs)
 	sort.SliceStable(s, func(i, j int) bool { return s[i].T < s[j].T })
 
-	deltaI := cfg.Spec.QueryInterval
-	useModulo := deltaI > 0 && (cfg.Granularity == 0 || cfg.Granularity <= deltaI)
-	maxDuration := cfg.Spec.MaxDuration()
-
-	var list []*timingEntry
+	stream := mt.OpenEpoch(epoch, cfg)
 	for _, rec := range s {
-		absorbed := false
-		for _, entry := range list {
-			// Heuristic #1: domain already attributed to this bot.
-			if _, seen := entry.domains[rec.Domain]; seen {
-				continue
-			}
-			// Heuristic #2: beyond the maximum activation duration.
-			if entry.first+maxDuration <= rec.T {
-				continue
-			}
-			// Heuristic #3: offset must be a multiple of δi.
-			if useModulo && (rec.T-entry.first)%deltaI != 0 {
-				continue
-			}
-			entry.domains[rec.Domain] = struct{}{}
-			absorbed = true
-			break
-		}
-		if !absorbed {
-			list = append(list, &timingEntry{
-				first:   rec.T,
-				domains: map[string]struct{}{rec.Domain: {}},
-			})
-		}
+		stream.Observe(rec)
 	}
-	return float64(len(list)), nil
+	return stream.Estimate(), nil
 }

@@ -1,0 +1,131 @@
+package estimators
+
+import (
+	"botmeter/internal/sim"
+	"botmeter/internal/trace"
+)
+
+// StreamCapable is implemented by estimators that can consume one epoch's
+// matched lookups incrementally, in non-decreasing timestamp order, while
+// holding only bounded state. The streaming landscape engine
+// (internal/stream) uses this to avoid retaining an epoch's records for
+// such estimators; everything else is re-estimated from a windowed
+// micro-batch on epoch close.
+type StreamCapable interface {
+	Estimator
+	// OpenEpoch starts incremental estimation for one (server, epoch)
+	// cell. cfg is normalised by the caller once per engine.
+	OpenEpoch(epoch int, cfg Config) EpochStream
+}
+
+// EpochStream is the per-(server, epoch) incremental state of a
+// StreamCapable estimator.
+type EpochStream interface {
+	// Observe folds one matched lookup in. Records MUST arrive in
+	// non-decreasing timestamp order (the engine's reorder buffer
+	// guarantees this).
+	Observe(rec trace.ObservedRecord)
+	// Advance tells the stream that no future record will carry a
+	// timestamp below watermark, letting it expire state that can no
+	// longer influence the estimate.
+	Advance(watermark sim.Time)
+	// Estimate returns the estimate over everything observed so far. It
+	// is valid mid-epoch (provisional) and after the last record (final).
+	Estimate() float64
+}
+
+// TimingStream is Algorithm 1 in online form: the batch loop of
+// Timing.EstimateEpoch re-expressed as an Observe API over a
+// timestamp-ordered stream, with candidate-entry expiry so memory is
+// bounded by the number of SIMULTANEOUSLY active candidates rather than
+// the epoch's record count.
+//
+// Equivalence with the batch form: batch MT stable-sorts the epoch's
+// records and scans candidates in creation order. Streaming feeds records
+// in the same order (the engine emits in non-decreasing T, stable for
+// ties), and candidates are created in emission order, so their `first`
+// fields — and hence their expiry times first+θq·δi — are non-decreasing.
+// An entry expired against the current record's timestamp (heuristic #2:
+// first+maxDuration ≤ t) can never absorb that record or any later one,
+// so counting it and freeing its domain set changes nothing. The count at
+// epoch end therefore equals batch MT exactly for identically ordered
+// input; only the ordering of equal-timestamp records (which the batch
+// stable sort pins to insertion order) can differ after a mid-window
+// shuffle, which is the documented MT tolerance of the batch↔stream
+// contract.
+type TimingStream struct {
+	deltaI      sim.Time
+	useModulo   bool
+	maxDuration sim.Time
+
+	// active candidates in creation order; `first` is non-decreasing, so
+	// expiry always pops a prefix.
+	active []*timingEntry
+	// expired counts candidates whose absorption window has passed and
+	// whose domain sets have been freed.
+	expired int
+}
+
+// OpenEpoch implements StreamCapable.
+func (*Timing) OpenEpoch(_ int, cfg Config) EpochStream {
+	cfg = cfg.withDefaults()
+	deltaI := cfg.Spec.QueryInterval
+	return &TimingStream{
+		deltaI:      deltaI,
+		useModulo:   deltaI > 0 && (cfg.Granularity == 0 || cfg.Granularity <= deltaI),
+		maxDuration: cfg.Spec.MaxDuration(),
+	}
+}
+
+// Observe implements EpochStream.
+func (s *TimingStream) Observe(rec trace.ObservedRecord) {
+	// Expire candidates that can no longer absorb rec or anything after
+	// it (timestamps are non-decreasing from here on).
+	s.Advance(rec.T)
+	for _, entry := range s.active {
+		// Heuristic #1: domain already attributed to this bot.
+		if _, seen := entry.domains[rec.Domain]; seen {
+			continue
+		}
+		// Heuristic #2: beyond the maximum activation duration. Active
+		// entries are only pre-expired against rec.T, which uses the
+		// same condition, so this re-check is for entries that survived.
+		if entry.first+s.maxDuration <= rec.T {
+			continue
+		}
+		// Heuristic #3: offset must be a multiple of δi.
+		if s.useModulo && (rec.T-entry.first)%s.deltaI != 0 {
+			continue
+		}
+		entry.domains[rec.Domain] = struct{}{}
+		return
+	}
+	s.active = append(s.active, &timingEntry{
+		first:   rec.T,
+		domains: map[string]struct{}{rec.Domain: {}},
+	})
+}
+
+// Advance implements EpochStream: candidates whose absorption window ends
+// at or before watermark are folded into the expired count and their
+// domain sets freed.
+func (s *TimingStream) Advance(watermark sim.Time) {
+	n := 0
+	for n < len(s.active) && s.active[n].first+s.maxDuration <= watermark {
+		s.active[n] = nil // release the entry (and its domain map)
+		n++
+	}
+	if n > 0 {
+		s.expired += n
+		s.active = s.active[n:]
+	}
+}
+
+// Estimate implements EpochStream: the candidate count so far.
+func (s *TimingStream) Estimate() float64 {
+	return float64(s.expired + len(s.active))
+}
+
+// ActiveCandidates reports how many candidates still hold domain state —
+// the stream's memory footprint, exposed for bounded-memory assertions.
+func (s *TimingStream) ActiveCandidates() int { return len(s.active) }

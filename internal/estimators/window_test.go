@@ -1,0 +1,127 @@
+package estimators
+
+import (
+	"testing"
+
+	"botmeter/internal/sim"
+	"botmeter/internal/trace"
+)
+
+// TestEstimateWindowEpochSlicing pins EstimateWindow's epoch-grid slicing:
+// which epochs a window touches, how records are partitioned onto them, and
+// how the per-epoch sub-windows are clipped at partial first/last epochs.
+// The streaming engine's batch↔stream contract leans on exactly these
+// boundary conventions (epochs are half-open, T = k·δe opens epoch k), so
+// they are pinned here as a table.
+func TestEstimateWindowEpochSlicing(t *testing.T) {
+	cfg := defaultCfg(auSpec())
+	obs := trace.Observed{
+		{T: 0, Domain: "r0.com"},
+		{T: 6 * sim.Hour, Domain: "r1.com"},
+		{T: sim.Day - 1, Domain: "r2.com"},
+		{T: sim.Day, Domain: "r3.com"},
+		{T: sim.Day + 6*sim.Hour, Domain: "r4.com"},
+		{T: 2*sim.Day - 1, Domain: "r5.com"},
+		{T: 2 * sim.Day, Domain: "r6.com"},
+	}
+	cases := []struct {
+		name       string
+		w          sim.Window
+		wantEpochs []int // epoch indices handed to the estimator, in order
+		wantCounts []int // record count per handed epoch
+		wantErr    bool
+	}{
+		{
+			name:       "aligned two epochs",
+			w:          sim.Window{Start: 0, End: 2 * sim.Day},
+			wantEpochs: []int{0, 1},
+			wantCounts: []int{3, 3}, // r6 sits at the excluded End instant
+		},
+		{
+			name:       "partial first epoch",
+			w:          sim.Window{Start: 6 * sim.Hour, End: 2 * sim.Day},
+			wantEpochs: []int{0, 1},
+			wantCounts: []int{2, 3}, // r0 clipped; r1 at Start is included (half-open)
+		},
+		{
+			name:       "partial last epoch",
+			w:          sim.Window{Start: 0, End: sim.Day + 6*sim.Hour},
+			wantEpochs: []int{0, 1},
+			wantCounts: []int{3, 1}, // r4 at End is excluded; epoch 1 keeps only r3
+		},
+		{
+			name:       "window inside one epoch",
+			w:          sim.Window{Start: 6 * sim.Hour, End: 12 * sim.Hour},
+			wantEpochs: []int{0},
+			wantCounts: []int{1}, // r1 only
+		},
+		{
+			name:       "offset start epoch indices",
+			w:          sim.Window{Start: sim.Day, End: 3 * sim.Day},
+			wantEpochs: []int{1, 2},
+			wantCounts: []int{3, 1}, // r3..r5 in epoch 1; r6 opens epoch 2
+		},
+		{
+			name:       "trailing empty epoch",
+			w:          sim.Window{Start: 0, End: 4 * sim.Day},
+			wantEpochs: []int{0, 1, 2, 3},
+			wantCounts: []int{3, 3, 1, 0}, // empty epochs still visit the estimator
+		},
+		{
+			name:    "zero-length window",
+			w:       sim.Window{Start: sim.Day, End: sim.Day},
+			wantErr: true,
+		},
+		{
+			name:    "negative window",
+			w:       sim.Window{Start: sim.Day, End: 0},
+			wantErr: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var gotEpochs, gotCounts []int
+			recorder := estimatorFunc(func(o trace.Observed, ep int, _ Config) (float64, error) {
+				gotEpochs = append(gotEpochs, ep)
+				gotCounts = append(gotCounts, len(o))
+				return float64(len(o)), nil
+			})
+			avg, err := EstimateWindow(recorder, obs, tc.w, cfg)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("want error, got avg %v", avg)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("EstimateWindow: %v", err)
+			}
+			if !equalInts(gotEpochs, tc.wantEpochs) {
+				t.Errorf("epochs visited: %v, want %v", gotEpochs, tc.wantEpochs)
+			}
+			if !equalInts(gotCounts, tc.wantCounts) {
+				t.Errorf("records per epoch: %v, want %v", gotCounts, tc.wantCounts)
+			}
+			var sum int
+			for _, c := range tc.wantCounts {
+				sum += c
+			}
+			want := float64(sum) / float64(len(tc.wantCounts))
+			if avg != want {
+				t.Errorf("average = %v, want %v", avg, want)
+			}
+		})
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

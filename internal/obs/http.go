@@ -19,6 +19,10 @@ type MuxConfig struct {
 	Health func() error
 	// Tracer backs /debug/spans (nil serves nothing).
 	Tracer *Tracer
+	// Landscape backs /landscape: a function returning the current
+	// landscape snapshot as JSON bytes (e.g. stream.Engine.LandscapeJSON).
+	// Nil yields 404; an error yields 500 with the error text.
+	Landscape func() ([]byte, error)
 }
 
 // NewMux builds the diagnostic mux: /metrics (Prometheus text), /healthz,
@@ -39,6 +43,19 @@ func NewMux(cfg MuxConfig) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/landscape", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Landscape == nil {
+			http.NotFound(w, r)
+			return
+		}
+		body, err := cfg.Landscape()
+		if err != nil {
+			http.Error(w, fmt.Sprintf("landscape: %v", err), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body) //nolint:errcheck // client gone
 	})
 	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")

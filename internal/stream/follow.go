@@ -1,0 +1,55 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"botmeter/internal/trace"
+)
+
+// FollowOptions tunes Follow's tailing behaviour.
+type FollowOptions struct {
+	// Format is the input encoding: "jsonl" or "csv" (default csv, the
+	// cmd convention).
+	Format string
+	// Lenient skips malformed lines instead of failing — the right choice
+	// for live captures, whose final line may be torn mid-append.
+	Lenient bool
+	// Poll is the tail polling interval once EOF is reached (0 = 200 ms).
+	Poll time.Duration
+	// Live, when false, stops at the first EOF instead of tailing — the
+	// one-shot replay mode.
+	Live bool
+}
+
+// Follow feeds records from r into the engine until the reader is
+// exhausted (Live=false) or the context is cancelled (Live=true). It
+// returns the reader's tally; the engine is left open so the caller
+// decides when to Close and render the final landscape.
+func (e *Engine) Follow(ctx context.Context, r io.Reader, opt FollowOptions) (trace.ReadResult, error) {
+	if opt.Live {
+		r = trace.NewTailReader(ctx, r, opt.Poll)
+	}
+	format := opt.Format
+	if format == "" {
+		format = "csv"
+	}
+	// Cancellation flows through the TailReader (it surfaces EOF), so
+	// records already buffered by the parser still reach the engine and
+	// Follow returns nil on a clean shutdown.
+	return trace.StreamObserved(r, format, trace.ReadOptions{Lenient: opt.Lenient}, e.Observe)
+}
+
+// FollowFile opens path and Follows it. The file is opened at the start
+// (not the end): a landscape needs the already-captured epochs too.
+func (e *Engine) FollowFile(ctx context.Context, path string, opt FollowOptions) (trace.ReadResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return trace.ReadResult{}, fmt.Errorf("stream: %w", err)
+	}
+	defer f.Close()
+	return e.Follow(ctx, f, opt)
+}

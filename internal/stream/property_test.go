@@ -1,0 +1,249 @@
+package stream_test
+
+import (
+	"strings"
+	"testing"
+
+	"botmeter/internal/core"
+	"botmeter/internal/dga"
+	"botmeter/internal/experiments"
+	"botmeter/internal/sim"
+	"botmeter/internal/stream"
+	"botmeter/internal/trace"
+)
+
+// testConfig is the shared small configuration of the property tests.
+func testConfig() (dga.Spec, core.Config) {
+	spec := experiments.ScaledSpec(dga.Murofet(), 0.1)
+	return spec, core.Config{Family: spec, Seed: 7, EpochLen: testEpochLen}
+}
+
+// TestEmptyTrace: an engine that never sees a record must close cleanly
+// into an empty landscape — no servers, no window, no retained state.
+func TestEmptyTrace(t *testing.T) {
+	_, coreCfg := testConfig()
+	eng, err := stream.New(stream.Config{Core: coreCfg})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := eng.Snapshot(); err != nil {
+		t.Fatalf("Snapshot on empty engine: %v", err)
+	}
+	land, err := eng.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if len(land.Servers) != 0 || land.Total != 0 || land.MatchedLookups != 0 {
+		t.Fatalf("empty engine produced a non-empty landscape: %+v", land)
+	}
+	stats := eng.Stats()
+	if stats != (stream.Stats{Watermark: stats.Watermark}) {
+		t.Fatalf("empty engine has non-zero stats: %+v", stats)
+	}
+}
+
+// TestSingleRecord: one matched record must chart exactly as the batch
+// pipeline charts it.
+func TestSingleRecord(t *testing.T) {
+	spec, coreCfg := testConfig()
+	pool := spec.Pool.PoolFor(coreCfg.Seed, 0)
+	delivered := trace.Observed{{T: 1234, Server: "local-a", Domain: pool.Domains[0]}}
+	want := runBatch(t, coreCfg, delivered)
+	got, stats := runStream(t, stream.Config{Core: coreCfg}, delivered)
+	requireEqualLandscapes(t, want, got)
+	if stats.Matched != 1 || stats.DroppedLate != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if len(got.Servers) != 1 || got.Servers[0].MatchedLookups != 1 {
+		t.Fatalf("landscape: %+v", got)
+	}
+}
+
+// TestEpochBoundaryRecords: records at the exact first and last instants of
+// each epoch must land in the same epoch cell as the batch grid puts them
+// (epochs are half-open: T = k·δe opens epoch k).
+func TestEpochBoundaryRecords(t *testing.T) {
+	spec, coreCfg := testConfig()
+	var delivered trace.Observed
+	for ep := 0; ep < 3; ep++ {
+		pool := spec.Pool.PoolFor(coreCfg.Seed, ep)
+		start := sim.Time(ep) * testEpochLen
+		delivered = append(delivered,
+			trace.ObservedRecord{T: start, Server: "local-a", Domain: pool.Domains[0]},
+			trace.ObservedRecord{T: start, Server: "local-b", Domain: pool.Domains[1]},
+			trace.ObservedRecord{T: start + testEpochLen - 1, Server: "local-a", Domain: pool.Domains[2]},
+		)
+	}
+	delivered.Sort()
+	want := runBatch(t, coreCfg, delivered)
+	got, stats := runStream(t, stream.Config{Core: coreCfg}, delivered)
+	requireEqualLandscapes(t, want, got)
+	if stats.Matched != uint64(len(delivered)) {
+		t.Fatalf("matched %d of %d boundary records", stats.Matched, len(delivered))
+	}
+	for _, sv := range got.Servers {
+		if len(sv.PerEpoch) != 3 {
+			t.Fatalf("%s spans %d epochs, want 3", sv.Server, len(sv.PerEpoch))
+		}
+	}
+}
+
+// TestDuplicateTimestamps: ties are the documented hazard of streaming
+// (arrival order breaks them). The contract is that stream emission keeps
+// arrival order for equal timestamps — the exact stable sort the batch
+// runs — so even a trace that is ALL ties must agree bit-for-bit.
+func TestDuplicateTimestamps(t *testing.T) {
+	spec, coreCfg := testConfig()
+	pool := spec.Pool.PoolFor(coreCfg.Seed, 0)
+	var delivered trace.Observed
+	for i := 0; i < 200; i++ {
+		delivered = append(delivered, trace.ObservedRecord{
+			T:      sim.Time(5000 + 100*(i%3)), // three distinct instants, heavily duplicated
+			Server: serverName(i % 4),
+			Domain: pool.Domains[i%pool.Size()],
+		})
+	}
+	want := runBatch(t, coreCfg, delivered)
+	got, stats := runStream(t, stream.Config{Core: coreCfg, Shards: 3}, delivered)
+	requireEqualLandscapes(t, want, got)
+	if stats.DroppedLate != 0 || stats.ReorderEvictions != 0 {
+		t.Fatalf("ties must not be dropped: %+v", stats)
+	}
+}
+
+// TestReorderOverflow: a buffer stuffed past MaxReorder must degrade
+// gracefully — forced emissions are counted, nothing panics, no record is
+// silently lost, and the watermark stays monotone.
+func TestReorderOverflow(t *testing.T) {
+	spec, coreCfg := testConfig()
+	pool := spec.Pool.PoolFor(coreCfg.Seed, 0)
+	// Identical timestamps never advance the watermark, so every record
+	// accumulates in the buffer until it overflows.
+	var delivered trace.Observed
+	for i := 0; i < 100; i++ {
+		delivered = append(delivered, trace.ObservedRecord{
+			T: 1000, Server: "local-a", Domain: pool.Domains[i%pool.Size()],
+		})
+	}
+	eng, err := stream.New(stream.Config{Core: coreCfg, Shards: 1, MaxReorder: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, rec := range delivered {
+		if err := eng.Observe(rec); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	land, err := eng.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	stats := eng.Stats()
+	if stats.ReorderEvictions == 0 {
+		t.Fatal("overflow did not evict")
+	}
+	// Conservation: every accepted matched record reaches the landscape —
+	// eviction force-emits, it never discards.
+	if got, want := land.MatchedLookups, int(stats.Matched-stats.DroppedLate); got != want {
+		t.Fatalf("conservation violated: %d charted, %d accepted", got, want)
+	}
+	if stats.Retained != 0 {
+		t.Fatalf("%d records retained after Close", stats.Retained)
+	}
+}
+
+// TestLateRecordsDropped: records arriving behind the watermark are counted
+// drops, never panics, never regressions. The watermark (single shard, so
+// the global view IS the shard view) must be monotone throughout.
+func TestLateRecordsDropped(t *testing.T) {
+	spec, coreCfg := testConfig()
+	pool := spec.Pool.PoolFor(coreCfg.Seed, 0)
+	const window = 2 * sim.Second
+	eng, err := stream.New(stream.Config{Core: coreCfg, Shards: 1, ReorderWindow: window})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Descending timestamps spaced wider than the reorder window: the
+	// first record pins the watermark, everything after is late.
+	lastWM := sim.Time(-1 << 62)
+	for i := 0; i < 50; i++ {
+		rec := trace.ObservedRecord{
+			T:      sim.Time(10*sim.Minute) - sim.Time(i)*2*window,
+			Server: "local-a",
+			Domain: pool.Domains[i%pool.Size()],
+		}
+		if err := eng.Observe(rec); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+		stats := eng.Stats()
+		if stats.WatermarkValid {
+			if stats.Watermark < lastWM {
+				t.Fatalf("watermark regressed: %d → %d", lastWM, stats.Watermark)
+			}
+			lastWM = stats.Watermark
+		}
+	}
+	land, err := eng.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	stats := eng.Stats()
+	if stats.DroppedLate != 49 {
+		t.Fatalf("want 49 late drops, got %d", stats.DroppedLate)
+	}
+	if land.MatchedLookups != 1 {
+		t.Fatalf("only the first record should chart, got %d", land.MatchedLookups)
+	}
+}
+
+// TestEngineLifecycle: Observe after Close fails, double Close fails, and a
+// non-epoch-aligned pinned window is rejected at construction.
+func TestEngineLifecycle(t *testing.T) {
+	_, coreCfg := testConfig()
+	eng, err := stream.New(stream.Config{Core: coreCfg})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := eng.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := eng.Observe(trace.ObservedRecord{Server: "x", Domain: "y"}); err == nil {
+		t.Fatal("Observe after Close succeeded")
+	}
+	if _, err := eng.Close(); err == nil {
+		t.Fatal("double Close succeeded")
+	}
+	_, err = stream.New(stream.Config{
+		Core:   coreCfg,
+		Window: sim.Window{Start: 0, End: testEpochLen + 1},
+	})
+	if err == nil || !strings.Contains(err.Error(), "epoch-aligned") {
+		t.Fatalf("misaligned window accepted: %v", err)
+	}
+}
+
+// TestLandscapeJSON: the /landscape payload round-trips through the stable
+// core schema.
+func TestLandscapeJSON(t *testing.T) {
+	spec, coreCfg := testConfig()
+	pool := spec.Pool.PoolFor(coreCfg.Seed, 0)
+	eng, err := stream.New(stream.Config{Core: coreCfg})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := eng.Observe(trace.ObservedRecord{T: 42, Server: "local-a", Domain: pool.Domains[0]}); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if _, err := eng.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	body, err := eng.LandscapeJSON()
+	if err != nil {
+		t.Fatalf("LandscapeJSON: %v", err)
+	}
+	for _, want := range []string{`"family"`, `"servers"`, `"local-a"`} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("payload missing %s:\n%s", want, body)
+		}
+	}
+}

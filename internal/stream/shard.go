@@ -1,0 +1,420 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"botmeter/internal/core"
+	"botmeter/internal/estimators"
+	"botmeter/internal/obs"
+	"botmeter/internal/sim"
+	"botmeter/internal/trace"
+)
+
+// shard owns the servers that hash to it: reorder buffer, watermark and
+// per-(server, epoch) estimator state. All mutable state is guarded by mu
+// so Snapshot/Stats can read consistently while the shard goroutine runs.
+type shard struct {
+	eng *Engine
+	idx int
+	ch  chan trace.ObservedRecord
+
+	mu  sync.Mutex
+	buf reorderHeap
+	seq uint64
+	// watermark is the low-water mark: no record with T < watermark will
+	// ever be emitted again. Monotone by construction.
+	watermark sim.Time
+	// maxT/minT span every ingested record (matched or not) — the source
+	// of the derived analysis window, mirroring cmd/botmeter.
+	maxT, minT sim.Time
+	hasData    bool
+	// maxEmittedEpoch is the highest epoch that has received an emission;
+	// epochs below it are closed as soon as it advances.
+	maxEmittedEpoch int
+
+	servers map[string]*serverState
+
+	retained     int // buffered + open-epoch records currently held
+	peakRetained int
+	stats        Stats
+	err          error
+
+	// wmGauge is the shard's exported watermark (nil-safe when metrics
+	// are disabled).
+	wmGauge *obs.Gauge
+}
+
+func newShard(e *Engine, idx int) *shard {
+	s := &shard{
+		eng:             e,
+		idx:             idx,
+		ch:              make(chan trace.ObservedRecord, e.cfg.ShardBuffer),
+		watermark:       math.MinInt64,
+		maxT:            math.MinInt64,
+		minT:            math.MaxInt64,
+		maxEmittedEpoch: math.MinInt64,
+		servers:         make(map[string]*serverState),
+	}
+	if reg := e.cfg.Registry; reg != nil {
+		s.wmGauge = reg.Gauge(MetricWatermark, "shard", fmt.Sprint(idx))
+	}
+	return s
+}
+
+// loop drains the shard channel until Close.
+func (s *shard) loop() {
+	for rec := range s.ch {
+		s.mu.Lock()
+		s.ingestLocked(rec)
+		s.mu.Unlock()
+	}
+}
+
+// ingestLocked processes one record: span tracking, matching, reorder
+// buffering, watermark advance, emission and epoch closing.
+func (s *shard) ingestLocked(rec trace.ObservedRecord) {
+	e := s.eng
+	s.stats.Ingested++
+	e.m.ingested.Inc()
+	// minT/maxT track the span of EVERY ingested record (matched or not) —
+	// the derived analysis window mirrors cmd/botmeter, which epoch-aligns
+	// around the whole trace. The watermark, by contrast, only advances on
+	// matched records (below), so unmatched stragglers cannot force late
+	// drops of matched traffic.
+	if !s.hasData {
+		s.minT, s.maxT = rec.T, rec.T
+		s.hasData = true
+	} else {
+		if rec.T < s.minT {
+			s.minT = rec.T
+		}
+		if rec.T > s.maxT {
+			s.maxT = rec.T
+		}
+	}
+
+	epoch := int(rec.T / e.cfg.Core.EpochLen)
+	if !e.matchers.For(epoch).Match(rec.Domain) {
+		s.stats.Unmatched++
+		e.m.unmatched.Inc()
+		return
+	}
+	s.stats.Matched++
+	e.m.matched.Inc()
+
+	if s.watermark != math.MinInt64 && rec.T < s.watermark {
+		s.stats.DroppedLate++
+		e.m.late.Inc()
+		return
+	}
+	s.buf.push(reorderEntry{t: rec.T, seq: s.seq, rec: rec})
+	s.seq++
+	s.retainInc(1)
+	if wm := rec.T - e.cfg.ReorderWindow; wm > s.watermark {
+		s.watermark = wm
+	}
+
+	// Overflow: force-emit the oldest buffered record, advancing the
+	// watermark to it so ordering stays monotone (later arrivals older
+	// than it become late drops).
+	for s.buf.len() > e.cfg.MaxReorder {
+		entry := s.buf.pop()
+		s.retainInc(-1)
+		if entry.t > s.watermark {
+			s.watermark = entry.t
+		}
+		s.stats.ReorderEvictions++
+		e.m.evictions.Inc()
+		s.emitLocked(entry.rec)
+	}
+	// Normal drain: everything strictly below the watermark is safe to
+	// emit (a new arrival at exactly the watermark is still accepted, so
+	// equal-T entries must wait).
+	for s.buf.len() > 0 && s.buf.min().t < s.watermark {
+		entry := s.buf.pop()
+		s.retainInc(-1)
+		s.emitLocked(entry.rec)
+	}
+	// Watermark-driven epoch closing: epochs wholly below the watermark
+	// can never receive another record, even for idle servers.
+	if s.watermark != math.MinInt64 && s.watermark >= 0 {
+		s.closeThroughLocked(int(s.watermark/e.cfg.Core.EpochLen) - 1)
+		s.advanceOpenLocked(s.watermark)
+	}
+	if s.wmGauge != nil && s.watermark != math.MinInt64 {
+		s.wmGauge.Set(float64(s.watermark))
+	}
+}
+
+// emitLocked hands one matched record, in non-decreasing timestamp order,
+// to its (server, epoch) cell.
+func (s *shard) emitLocked(rec trace.ObservedRecord) {
+	e := s.eng
+	epoch := int(rec.T / e.cfg.Core.EpochLen)
+	if epoch > s.maxEmittedEpoch {
+		if s.maxEmittedEpoch != math.MinInt64 {
+			s.closeThroughLocked(epoch - 1)
+		}
+		s.maxEmittedEpoch = epoch
+	}
+	sv, ok := s.servers[rec.Server]
+	if !ok {
+		sv = &serverState{
+			domains:  make(map[string]struct{}),
+			perEpoch: make(map[int]float64),
+			open:     make(map[int]*epochCell),
+		}
+		if e.secondSrc != nil {
+			sv.perEpochMT = make(map[int]float64)
+		}
+		s.servers[rec.Server] = sv
+	}
+	sv.matched++
+	sv.domains[rec.Domain] = struct{}{}
+	cell, ok := sv.open[epoch]
+	if !ok {
+		cell = &epochCell{}
+		if e.streaming != nil {
+			cell.prim = e.streaming.OpenEpoch(epoch, e.estCfg)
+		}
+		if e.secondSrc != nil {
+			cell.second = e.secondSrc.OpenEpoch(epoch, e.estCfg)
+		}
+		sv.open[epoch] = cell
+	}
+	if cell.prim != nil {
+		cell.prim.Observe(rec)
+	} else {
+		cell.recs = append(cell.recs, rec)
+		s.retainInc(1)
+	}
+	if cell.second != nil {
+		cell.second.Observe(rec)
+	}
+}
+
+// closeThroughLocked finalises every open epoch ≤ ep across the shard's
+// servers: micro-batch estimators run over the retained records, streaming
+// estimators report their running count, and the cell is freed.
+func (s *shard) closeThroughLocked(ep int) {
+	for _, sv := range s.servers {
+		for e := range sv.open {
+			if e <= ep {
+				s.closeCellLocked(sv, e)
+			}
+		}
+	}
+}
+
+// closeCellLocked finalises one (server, epoch) cell.
+func (s *shard) closeCellLocked(sv *serverState, epoch int) {
+	cell := sv.open[epoch]
+	if cell == nil {
+		return
+	}
+	v, err := s.estimateCellLocked(cell, epoch)
+	if err != nil {
+		s.eng.m.estErrors.Inc()
+		if s.err == nil {
+			s.err = err
+		}
+	}
+	sv.perEpoch[epoch] = v
+	if cell.second != nil {
+		sv.perEpochMT[epoch] = cell.second.Estimate()
+	}
+	s.retainInc(-len(cell.recs))
+	delete(sv.open, epoch)
+	s.stats.EpochsClosed++
+	s.eng.m.epochs.Inc()
+}
+
+// estimateCellLocked evaluates one cell (final or provisional).
+func (s *shard) estimateCellLocked(cell *epochCell, epoch int) (float64, error) {
+	if cell.prim != nil {
+		return cell.prim.Estimate(), nil
+	}
+	v, err := s.eng.estimator.EstimateEpoch(cell.recs, epoch, s.eng.estCfg)
+	if err != nil {
+		return 0, fmt.Errorf("stream: epoch %d: %w", epoch, err)
+	}
+	return v, nil
+}
+
+// advanceOpenLocked lets streaming estimators expire candidate state up to
+// the watermark (bounded memory for idle-but-open epochs).
+func (s *shard) advanceOpenLocked(watermark sim.Time) {
+	for _, sv := range s.servers {
+		for _, cell := range sv.open {
+			if cell.prim != nil {
+				cell.prim.Advance(watermark)
+			}
+			if cell.second != nil {
+				cell.second.Advance(watermark)
+			}
+		}
+	}
+}
+
+// flushLocked drains the reorder buffer entirely and closes every open
+// epoch — the end-of-stream path of Close.
+func (s *shard) flushLocked() {
+	for s.buf.len() > 0 {
+		entry := s.buf.pop()
+		s.retainInc(-1)
+		if entry.t > s.watermark {
+			s.watermark = entry.t
+		}
+		s.emitLocked(entry.rec)
+	}
+	s.closeThroughLocked(math.MaxInt64)
+}
+
+// retainInc adjusts the retained-record gauge and its peak.
+func (s *shard) retainInc(d int) {
+	s.retained += d
+	if s.retained > s.peakRetained {
+		s.peakRetained = s.retained
+	}
+	s.eng.m.retained.Add(float64(d))
+}
+
+// estimateServer assembles one server's ServerEstimate over the epoch
+// range [first, last], exactly as core.Analyze does: closed epochs use
+// their finalised value, open epochs a provisional estimate, absent
+// epochs the estimator's value on an empty observation set.
+func (s *shard) estimateServer(name string, sv *serverState, first, last int) (core.ServerEstimate, error) {
+	est := core.ServerEstimate{
+		Server:          name,
+		MatchedLookups:  sv.matched,
+		DistinctDomains: len(sv.domains),
+	}
+	var firstErr error
+	var total, totalMT float64
+	epochs := 0
+	for ep := first; ep <= last; ep++ {
+		var v float64
+		switch {
+		case hasKey(sv.perEpoch, ep):
+			v = sv.perEpoch[ep]
+		case sv.open[ep] != nil:
+			pv, err := s.estimateCellLocked(sv.open[ep], ep)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			v = pv
+			if sv.open[ep].second != nil {
+				totalMT += sv.open[ep].second.Estimate()
+			}
+		default:
+			pv, err := s.eng.estimator.EstimateEpoch(nil, ep, s.eng.estCfg)
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("stream: epoch %d: %w", ep, err)
+			}
+			v = pv
+		}
+		if hasKey(sv.perEpochMT, ep) {
+			totalMT += sv.perEpochMT[ep]
+		}
+		est.PerEpoch = append(est.PerEpoch, v)
+		total += v
+		epochs++
+	}
+	if epochs > 0 {
+		est.Population = total / float64(epochs)
+		if s.eng.secondSrc != nil {
+			est.SecondOpinion = totalMT / float64(epochs)
+		}
+	}
+	return est, firstErr
+}
+
+func hasKey(m map[int]float64, k int) bool {
+	if m == nil {
+		return false
+	}
+	_, ok := m[k]
+	return ok
+}
+
+// serverState is one forwarding server's accumulated landscape state.
+type serverState struct {
+	matched    int
+	domains    map[string]struct{}
+	perEpoch   map[int]float64 // closed epochs → finalised estimate
+	perEpochMT map[int]float64 // closed epochs → MT second opinion
+	open       map[int]*epochCell
+}
+
+// epochCell is one open (server, epoch): either a streaming estimator fed
+// incrementally or the retained records for a micro-batch on close.
+type epochCell struct {
+	recs   trace.Observed
+	prim   estimators.EpochStream
+	second estimators.EpochStream
+}
+
+// reorderEntry orders buffered records by (timestamp, arrival sequence) so
+// equal timestamps keep arrival order — the stability that makes in-order
+// input reproduce batch MT exactly.
+type reorderEntry struct {
+	t   sim.Time
+	seq uint64
+	rec trace.ObservedRecord
+}
+
+func (a reorderEntry) less(b reorderEntry) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+// reorderHeap is a value-based binary min-heap (no container/heap boxing —
+// same idiom as internal/sim's event queue).
+type reorderHeap struct {
+	entries []reorderEntry
+}
+
+func (h *reorderHeap) len() int { return len(h.entries) }
+
+func (h *reorderHeap) min() reorderEntry { return h.entries[0] }
+
+func (h *reorderHeap) push(e reorderEntry) {
+	h.entries = append(h.entries, e)
+	i := len(h.entries) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.entries[i].less(h.entries[parent]) {
+			break
+		}
+		h.entries[i], h.entries[parent] = h.entries[parent], h.entries[i]
+		i = parent
+	}
+}
+
+func (h *reorderHeap) pop() reorderEntry {
+	top := h.entries[0]
+	last := len(h.entries) - 1
+	h.entries[0] = h.entries[last]
+	h.entries[last] = reorderEntry{} // release the record string refs
+	h.entries = h.entries[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.entries) && h.entries[l].less(h.entries[smallest]) {
+			smallest = l
+		}
+		if r < len(h.entries) && h.entries[r].less(h.entries[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		h.entries[i], h.entries[smallest] = h.entries[smallest], h.entries[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,437 @@
+// Package stream is the online landscape engine: the batch pipeline of
+// internal/core (match → group by server → per-epoch estimate → rank)
+// re-expressed over an unbounded record stream in bounded memory. It is
+// what turns the paper's Figure-2 deployment from "collect a trace, then
+// analyse it" into continuous monitoring at a border vantage point.
+//
+// Architecture (DESIGN.md §13):
+//
+//   - Observe hashes each record by forwarding server onto one of a fixed
+//     set of ingest shards; each shard is a goroutine fed by a bounded
+//     channel (backpressure, never unbounded queuing). A server's records
+//     are always handled by the same shard, so per-server state needs no
+//     cross-shard coordination.
+//   - Inside a shard, matched records pass through a small reorder buffer:
+//     a min-heap by (timestamp, arrival), drained up to the watermark
+//     maxT − ReorderWindow. Emission is therefore in non-decreasing
+//     timestamp order (stable for ties). Records older than the watermark
+//     are dropped and counted; buffer overflow evicts the oldest entry and
+//     advances the watermark — graceful degradation, never a panic, never
+//     a watermark regression.
+//   - Estimation is per (server, epoch). StreamCapable estimators (MT) are
+//     fed record-by-record with candidate expiry; everything else (MP, MB,
+//     …) keeps the open epoch's records and re-estimates them as a
+//     windowed micro-batch when the watermark closes the epoch, after
+//     which the records are freed. Memory is bounded by the reorder buffer
+//     plus the open epochs' matched records — never the full trace.
+//
+// The defining contract (enforced by TestBatchStreamEquivalence under
+// -race): for any trace, streaming the records yields the same landscape
+// as core.Analyze over the full trace — exactly for epoch-closed MP/MB
+// (set/multiset-based, insensitive to tie order) and exactly for MT on
+// in-order input; after shuffling within the reorder window MT may differ
+// only through the ordering of equal-timestamp records, the documented
+// tolerance.
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"botmeter/internal/core"
+	"botmeter/internal/estimators"
+	"botmeter/internal/obs"
+	"botmeter/internal/sim"
+	"botmeter/internal/trace"
+)
+
+// Metric families exported by the engine (see Config.Registry).
+const (
+	MetricIngested   = "stream_ingested_records_total"
+	MetricMatched    = "stream_matched_records_total"
+	MetricUnmatched  = "stream_unmatched_records_total"
+	MetricLate       = "stream_dropped_late_total"
+	MetricEvictions  = "stream_reorder_evictions_total"
+	MetricEpochs     = "stream_epochs_closed_total"
+	MetricRetained   = "stream_retained_records"
+	MetricWatermark  = "stream_watermark_ms"
+	MetricSnapshots  = "stream_snapshots_total"
+	MetricEstimators = "stream_estimator_errors_total"
+)
+
+// Config configures one streaming deployment for one target DGA family.
+type Config struct {
+	// Core carries the analysis configuration (family, seed, epoch length,
+	// TTL, granularity, estimator override, detection, second opinion).
+	// Core.Workers and Core.Stages are ignored: parallelism comes from the
+	// ingest shards.
+	Core core.Config
+	// Shards is the number of ingest shards (0 = one per CPU, capped at 8).
+	Shards int
+	// ShardBuffer is the per-shard channel capacity (0 = 256). A full
+	// channel blocks Observe — backpressure, not unbounded queuing.
+	ShardBuffer int
+	// ReorderWindow bounds how far out of order timestamps may arrive and
+	// still be re-sequenced (0 = 2 s). Records older than
+	// maxT − ReorderWindow are dropped and counted.
+	ReorderWindow sim.Time
+	// MaxReorder bounds the reorder buffer per shard (0 = 4096). Overflow
+	// evicts the oldest buffered record, advancing the watermark.
+	MaxReorder int
+	// Window, when non-zero, pins the analysis window (must be epoch-
+	// aligned for the batch↔stream contract). Zero derives the window from
+	// the observed data, epoch-aligned, exactly like cmd/botmeter.
+	Window sim.Window
+	// Registry exports stream_* metrics when non-nil.
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards > 8 {
+			c.Shards = 8
+		}
+	}
+	if c.ShardBuffer <= 0 {
+		c.ShardBuffer = 256
+	}
+	if c.ReorderWindow <= 0 {
+		c.ReorderWindow = 2 * sim.Second
+	}
+	if c.MaxReorder <= 0 {
+		c.MaxReorder = 4096
+	}
+	if c.Core.EpochLen <= 0 {
+		c.Core.EpochLen = sim.Day
+	}
+	if c.Core.NegativeTTL <= 0 {
+		c.Core.NegativeTTL = 2 * sim.Hour
+	}
+	return c
+}
+
+// Stats is a point-in-time tally of the engine's ingest plane.
+type Stats struct {
+	// Ingested counts every record handed to Observe and processed.
+	Ingested uint64
+	// Matched counts records attributed to the target DGA and emitted to
+	// estimation (excludes late drops).
+	Matched uint64
+	// Unmatched counts records outside the family's (detected) pool.
+	Unmatched uint64
+	// DroppedLate counts matched records older than the watermark.
+	DroppedLate uint64
+	// ReorderEvictions counts forced emissions from a full reorder buffer.
+	ReorderEvictions uint64
+	// EpochsClosed counts (server, epoch) cells finalised.
+	EpochsClosed uint64
+	// Retained is the number of records currently held (reorder buffers +
+	// open-epoch micro-batch state).
+	Retained int
+	// PeakRetained sums the per-shard retention peaks — an upper bound on
+	// the true engine-wide peak (shard peaks need not coincide in time).
+	// This is the heap gauge behind the bounded-memory assertion of the
+	// equivalence test: it must stay well below the trace size.
+	PeakRetained int
+	// Watermark is the minimum watermark across shards that have seen
+	// data; WatermarkValid reports whether any shard has.
+	Watermark      sim.Time
+	WatermarkValid bool
+}
+
+// Engine is the online landscape engine. Observe may be called from any
+// number of goroutines; Snapshot is safe at any time; Close is terminal.
+type Engine struct {
+	cfg       Config
+	estCfg    estimators.Config
+	estimator estimators.Estimator
+	streaming estimators.StreamCapable // non-nil when estimator is incremental
+	secondSrc *estimators.Timing       // second-opinion source when enabled
+	matchers  *core.EpochMatchers
+
+	shards []*shard
+
+	mu     sync.RWMutex // guards closed against concurrent Observe
+	closed bool
+	wg     sync.WaitGroup
+
+	m engineMetrics
+}
+
+// engineMetrics carries pre-resolved instruments; zero value = disabled
+// (obs instruments are nil-safe).
+type engineMetrics struct {
+	ingested  *obs.Counter
+	matched   *obs.Counter
+	unmatched *obs.Counter
+	late      *obs.Counter
+	evictions *obs.Counter
+	epochs    *obs.Counter
+	snapshots *obs.Counter
+	estErrors *obs.Counter
+	retained  *obs.Gauge
+}
+
+// New builds and starts the engine: shards spin up immediately and wait
+// for records.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Core.Validate(); err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Window.Len() < 0 {
+		return nil, fmt.Errorf("stream: negative analysis window")
+	}
+	if cfg.Window.Len() > 0 {
+		if cfg.Window.Start%cfg.Core.EpochLen != 0 || cfg.Window.End%cfg.Core.EpochLen != 0 {
+			return nil, fmt.Errorf("stream: window %v…%v is not epoch-aligned (δe=%v)",
+				cfg.Window.Start, cfg.Window.End, cfg.Core.EpochLen)
+		}
+	}
+	est := cfg.Core.Estimator
+	if est == nil {
+		est = estimators.ForModel(cfg.Core.Family)
+	}
+	e := &Engine{
+		cfg:       cfg,
+		estimator: est,
+		matchers:  core.NewEpochMatchers(cfg.Core.Family, cfg.Core.Seed, cfg.Core.Detection),
+		estCfg: estimators.Config{
+			Spec:        cfg.Core.Family,
+			Seed:        cfg.Core.Seed,
+			EpochLen:    cfg.Core.EpochLen,
+			NegativeTTL: cfg.Core.NegativeTTL,
+			Granularity: cfg.Core.Granularity,
+			Detection:   cfg.Core.Detection,
+		},
+	}
+	if sc, ok := est.(estimators.StreamCapable); ok {
+		e.streaming = sc
+	}
+	if cfg.Core.SecondOpinion {
+		e.secondSrc = estimators.NewTiming()
+	}
+	if reg := cfg.Registry; reg != nil {
+		reg.Help(MetricIngested, "Records handed to the streaming engine.")
+		reg.Help(MetricMatched, "Records attributed to the target DGA and emitted to estimation.")
+		reg.Help(MetricUnmatched, "Records outside the family's detected pool.")
+		reg.Help(MetricLate, "Matched records dropped for arriving older than the watermark.")
+		reg.Help(MetricEvictions, "Forced emissions from a full reorder buffer.")
+		reg.Help(MetricEpochs, "Per-server epochs finalised.")
+		reg.Help(MetricRetained, "Records currently retained (reorder buffers + open epochs).")
+		reg.Help(MetricWatermark, "Per-shard watermark (virtual ms).")
+		reg.Help(MetricSnapshots, "Landscape snapshots served.")
+		reg.Help(MetricEstimators, "Estimator failures during epoch close or snapshot.")
+		e.m = engineMetrics{
+			ingested:  reg.Counter(MetricIngested),
+			matched:   reg.Counter(MetricMatched),
+			unmatched: reg.Counter(MetricUnmatched),
+			late:      reg.Counter(MetricLate),
+			evictions: reg.Counter(MetricEvictions),
+			epochs:    reg.Counter(MetricEpochs),
+			snapshots: reg.Counter(MetricSnapshots),
+			estErrors: reg.Counter(MetricEstimators),
+			retained:  reg.Gauge(MetricRetained),
+		}
+	}
+	e.shards = make([]*shard, cfg.Shards)
+	for i := range e.shards {
+		s := newShard(e, i)
+		e.shards[i] = s
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			s.loop()
+		}()
+	}
+	return e, nil
+}
+
+// EstimatorName reports the selected analytical model.
+func (e *Engine) EstimatorName() string { return e.estimator.Name() }
+
+// Observe routes one observed record to its server's shard. It blocks when
+// the shard's channel is full (backpressure) and fails after Close.
+func (e *Engine) Observe(rec trace.ObservedRecord) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return fmt.Errorf("stream: engine closed")
+	}
+	e.shards[shardIndex(rec.Server, len(e.shards))].ch <- rec
+	return nil
+}
+
+// shardIndex hashes a server name onto a shard (FNV-1a).
+func shardIndex(server string, shards int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(server); i++ {
+		h ^= uint32(server[i])
+		h *= prime32
+	}
+	return int(h % uint32(shards))
+}
+
+// Stats merges the per-shard tallies.
+func (e *Engine) Stats() Stats {
+	var out Stats
+	out.Watermark = math.MaxInt64
+	for _, s := range e.shards {
+		s.mu.Lock()
+		out.Ingested += s.stats.Ingested
+		out.Matched += s.stats.Matched
+		out.Unmatched += s.stats.Unmatched
+		out.DroppedLate += s.stats.DroppedLate
+		out.ReorderEvictions += s.stats.ReorderEvictions
+		out.EpochsClosed += s.stats.EpochsClosed
+		out.Retained += s.retained
+		out.PeakRetained += s.peakRetained
+		if s.hasData && s.watermark < out.Watermark {
+			out.Watermark = s.watermark
+			out.WatermarkValid = true
+		}
+		s.mu.Unlock()
+	}
+	if !out.WatermarkValid {
+		out.Watermark = math.MinInt64
+	}
+	return out
+}
+
+// Snapshot assembles the current landscape: closed epochs contribute their
+// finalised estimates, open epochs a provisional estimate over what has
+// been observed so far. The returned landscape is an independent copy.
+func (e *Engine) Snapshot() (*core.Landscape, error) {
+	e.m.snapshots.Inc()
+	first, last, ok := e.epochSpan()
+	land := &core.Landscape{
+		Family:    e.cfg.Core.Family.Name,
+		Model:     e.cfg.Core.Family.ModelName(),
+		Estimator: e.estimator.Name(),
+	}
+	if !ok {
+		return land, nil
+	}
+	land.Window = sim.Window{
+		Start: sim.Time(first) * e.cfg.Core.EpochLen,
+		End:   sim.Time(last+1) * e.cfg.Core.EpochLen,
+	}
+	var firstErr error
+	for _, s := range e.shards {
+		s.mu.Lock()
+		servers := make([]string, 0, len(s.servers))
+		for name := range s.servers {
+			servers = append(servers, name)
+		}
+		sort.Strings(servers)
+		for _, name := range servers {
+			est, err := s.estimateServer(name, s.servers[name], first, last)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			land.Servers = append(land.Servers, est)
+			land.Total += est.Population
+			land.MatchedLookups += est.MatchedLookups
+		}
+		s.mu.Unlock()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	sort.Slice(land.Servers, func(i, j int) bool {
+		if land.Servers[i].Population != land.Servers[j].Population {
+			return land.Servers[i].Population > land.Servers[j].Population
+		}
+		return land.Servers[i].Server < land.Servers[j].Server
+	})
+	return land, nil
+}
+
+// LandscapeJSON renders the current snapshot with core.Landscape's stable
+// JSON schema — the payload behind the obs mux's /landscape endpoint.
+func (e *Engine) LandscapeJSON() ([]byte, error) {
+	land, err := e.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := land.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// epochSpan resolves the analysis window to an inclusive epoch range.
+func (e *Engine) epochSpan() (first, last int, ok bool) {
+	if e.cfg.Window.Len() > 0 {
+		return int(e.cfg.Window.Start / e.cfg.Core.EpochLen),
+			int((e.cfg.Window.End - 1) / e.cfg.Core.EpochLen), true
+	}
+	minT, maxT := sim.Time(math.MaxInt64), sim.Time(math.MinInt64)
+	for _, s := range e.shards {
+		s.mu.Lock()
+		if s.hasData {
+			if s.minT < minT {
+				minT = s.minT
+			}
+			if s.maxT > maxT {
+				maxT = s.maxT
+			}
+		}
+		s.mu.Unlock()
+	}
+	if minT > maxT {
+		return 0, 0, false
+	}
+	return int(minT / e.cfg.Core.EpochLen), int(maxT / e.cfg.Core.EpochLen), true
+}
+
+// Close drains the shards — every buffered record is emitted in timestamp
+// order, every open epoch is finalised — and returns the final landscape.
+// Observe fails after Close; Close is idempotent on failure but must be
+// called once.
+func (e *Engine) Close() (*core.Landscape, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("stream: engine already closed")
+	}
+	e.closed = true
+	e.mu.Unlock()
+	for _, s := range e.shards {
+		close(s.ch)
+	}
+	e.wg.Wait()
+	for _, s := range e.shards {
+		s.mu.Lock()
+		s.flushLocked()
+		s.mu.Unlock()
+	}
+	if err := e.firstShardErr(); err != nil {
+		return nil, err
+	}
+	return e.Snapshot()
+}
+
+// firstShardErr returns the first estimator error recorded by any shard
+// (lowest shard index — deterministic).
+func (e *Engine) firstShardErr() error {
+	for _, s := range e.shards {
+		s.mu.Lock()
+		err := s.err
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -115,15 +115,11 @@ func ReadObservedCSV(r io.Reader) (Observed, error) {
 }
 
 // ReadObservedCSVOpts parses an observable dataset with the given
-// malformed-line policy.
+// malformed-line policy. It is the materialising form of StreamObservedCSV.
 func ReadObservedCSVOpts(r io.Reader, opt ReadOptions) (Observed, ReadResult, error) {
 	var out Observed
-	res, err := readCSV(r, 3, opt, func(row []string, line int) error {
-		t, err := strconv.ParseInt(row[0], 10, 64)
-		if err != nil {
-			return fmt.Errorf("trace: row %d timestamp: %w", line, err)
-		}
-		out = append(out, ObservedRecord{T: sim.Time(t), Server: row[1], Domain: row[2]})
+	res, err := StreamObservedCSV(r, opt, func(rec ObservedRecord) error {
+		out = append(out, rec)
 		return nil
 	})
 	if err != nil {
@@ -200,14 +196,7 @@ func ReadObservedJSONL(r io.Reader) (Observed, error) {
 // too, since truncation can leave syntactically valid but incomplete JSON.
 func ReadObservedJSONLOpts(r io.Reader, opt ReadOptions) (Observed, ReadResult, error) {
 	var out Observed
-	res, err := readJSONL(r, opt, func(data []byte, line int) error {
-		var rec ObservedRecord
-		if err := json.Unmarshal(data, &rec); err != nil {
-			return fmt.Errorf("trace: line %d: %w", line, err)
-		}
-		if rec.Domain == "" {
-			return fmt.Errorf("trace: line %d: record has no domain", line)
-		}
+	res, err := StreamObservedJSONL(r, opt, func(rec ObservedRecord) error {
 		out = append(out, rec)
 		return nil
 	})

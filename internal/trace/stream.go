@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"botmeter/internal/sim"
+)
+
+// ObservedFunc consumes one observed record during incremental reads. A
+// non-nil error aborts the stream and is returned to the caller.
+type ObservedFunc func(ObservedRecord) error
+
+// StreamObservedJSONL incrementally parses a JSON-lines observable
+// dataset, invoking fn for every well-formed record as soon as its line is
+// read — the bounded-memory counterpart of ReadObservedJSONLOpts, which
+// materialises the whole slice. Combined with a TailReader this turns a
+// live vantage capture into an online record source for the streaming
+// landscape engine.
+func StreamObservedJSONL(r io.Reader, opt ReadOptions, fn ObservedFunc) (ReadResult, error) {
+	return readJSONL(r, opt, func(data []byte, line int) error {
+		var rec ObservedRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if rec.Domain == "" {
+			return fmt.Errorf("trace: line %d: record has no domain", line)
+		}
+		return fn(rec)
+	})
+}
+
+// StreamObservedCSV incrementally parses a CSV observable dataset written
+// by WriteObservedCSV, invoking fn per record.
+func StreamObservedCSV(r io.Reader, opt ReadOptions, fn ObservedFunc) (ReadResult, error) {
+	return readCSV(r, 3, opt, func(row []string, line int) error {
+		t, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("trace: row %d timestamp: %w", line, err)
+		}
+		return fn(ObservedRecord{T: sim.Time(t), Server: row[1], Domain: row[2]})
+	})
+}
+
+// StreamObserved dispatches on the format names used across the cmd
+// binaries ("jsonl" or "csv").
+func StreamObserved(r io.Reader, format string, opt ReadOptions, fn ObservedFunc) (ReadResult, error) {
+	switch format {
+	case "jsonl":
+		return StreamObservedJSONL(r, opt, fn)
+	case "csv", "":
+		return StreamObservedCSV(r, opt, fn)
+	default:
+		return ReadResult{}, fmt.Errorf("trace: unsupported streaming format %q", format)
+	}
+}
+
+// TailReader adapts a growing file to io.Reader semantics suitable for the
+// incremental parsers above: a read that hits EOF blocks, polling for new
+// data, until the context is cancelled — at which point EOF is finally
+// surfaced and the parser terminates cleanly on whatever was read. This is
+// `tail -f` as a composable reader: the line framing above it guarantees a
+// torn final line (appender crashed mid-record) is only ever seen at
+// shutdown, where lenient mode skips and counts it.
+type TailReader struct {
+	ctx  context.Context
+	r    io.Reader
+	poll time.Duration
+}
+
+// NewTailReader wraps r. poll <= 0 defaults to 200ms.
+func NewTailReader(ctx context.Context, r io.Reader, poll time.Duration) *TailReader {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &TailReader{ctx: ctx, r: r, poll: poll}
+}
+
+// Read implements io.Reader with EOF-as-wait semantics.
+func (t *TailReader) Read(p []byte) (int, error) {
+	for {
+		n, err := t.r.Read(p)
+		if n > 0 || err == nil {
+			// Pass data (and a possible io.EOF alongside it) through; the
+			// EOF will be re-seen on the next call with n == 0.
+			if err == io.EOF {
+				err = nil
+			}
+			return n, err
+		}
+		if err != io.EOF {
+			return 0, err
+		}
+		select {
+		case <-t.ctx.Done():
+			return 0, io.EOF
+		case <-time.After(t.poll):
+		}
+	}
+}
