@@ -18,6 +18,7 @@ import (
 	"botmeter/internal/matcher"
 	"botmeter/internal/sim"
 	"botmeter/internal/stats"
+	"botmeter/internal/symtab"
 	"botmeter/internal/trace"
 )
 
@@ -282,6 +283,34 @@ func BenchmarkAblationMatcher(b *testing.B) {
 			_ = hits
 		})
 	}
+}
+
+// BenchmarkSetMatchID measures the ID kernel's bitset matcher on the same
+// Conficker-scale workload as BenchmarkAblationMatcher (500 in-pool + 500
+// benign probes): compare `set` there (string hashing per probe) against the
+// two-compare-plus-bit-test ID path here.
+func BenchmarkSetMatchID(b *testing.B) {
+	tab := symtab.Get()
+	defer tab.Release()
+	pool := dga.ConfickerC().Pool.PoolFor(1, 0)
+	pool.Intern(tab)
+	probe := make([]symtab.ID, 0, 1000)
+	probe = append(probe, pool.IDs[:500]...)
+	for i := 0; i < 500; i++ {
+		probe = append(probe, tab.Intern(fmt.Sprintf("benign-%04d.example.com", i)))
+	}
+	m := matcher.NewIDMatcher("conficker", pool.IDs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		for _, id := range probe {
+			if m.MatchID(id) {
+				hits++
+			}
+		}
+	}
+	_ = hits
 }
 
 // BenchmarkAblationPoissonClustering compares MP against the naive visible-

@@ -47,6 +47,7 @@ func run(args []string) error {
 	timings := fs.Bool("timings", false, "print a per-stage wall/alloc timing table to stderr after the artifact")
 	workers := fs.Int("workers", 0, "parallel workers for trial loops (0 = one per CPU, 1 = sequential); any value renders identical artifacts")
 	benchJSON := fs.String("bench-json", "", "append a benchmark record (wall time, ns/trial, allocs/trial, workers) for this invocation to the given JSON file")
+	benchNote := fs.String("bench-note", "", "free-form comment stored on the -bench-json record (e.g. machine caveats)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,7 +95,7 @@ func run(args []string) error {
 	if err := generate(g); err != nil {
 		return err
 	}
-	return appendBenchRecord(*benchJSON, *artifact, *workers, reg, t0, m0)
+	return appendBenchRecord(*benchJSON, *artifact, *workers, *benchNote, reg, t0, m0)
 }
 
 // genOpts carries one artifact invocation's settings.
@@ -238,11 +239,27 @@ type BenchRecord struct {
 	AllocsPerTrial uint64  `json:"allocs_per_trial"`
 	AllocMB        float64 `json:"alloc_mb"`
 	RecordedAt     string  `json:"recorded_at"`
+	// Comment carries free-form measurement caveats (e.g. "1-core CI
+	// container: engine overhead dominates, not speedup").
+	Comment string `json:"comment,omitempty"`
+}
+
+// canonicalKey is a record's identity within one measurement batch: the
+// worker flag is resolved before keying, so `-workers 0` and `-workers 1` on
+// a 1-core host (both resolving to one worker) produce ONE canonical record
+// instead of two redundant trajectory entries.
+func (r BenchRecord) canonicalKey() string {
+	return fmt.Sprintf("%s|w%d|c%d|%s|t%d", r.Artifact, r.ResolvedW, r.CPUs, r.GoVersion, r.Trials)
 }
 
 // appendBenchRecord measures the run just completed and appends it to the
-// JSON array at path (created when absent).
-func appendBenchRecord(path, artifact string, workers int, reg *obs.Registry, t0 time.Time, m0 runtime.MemStats) error {
+// JSON array at path (created when absent). Emission is deduplicated by
+// resolved worker count: when the file's trailing record carries the same
+// canonical key (artifact, resolved_workers, cpus, go version, trials), the
+// new measurement replaces it rather than appending — back-to-back
+// `-workers 0` / `-workers 1` runs therefore leave one canonical record,
+// while historical (non-adjacent) trajectory entries are preserved.
+func appendBenchRecord(path, artifact string, workers int, note string, reg *obs.Registry, t0 time.Time, m0 runtime.MemStats) error {
 	wall := time.Since(t0)
 	var m1 runtime.MemStats
 	runtime.ReadMemStats(&m1)
@@ -257,6 +274,7 @@ func appendBenchRecord(path, artifact string, workers int, reg *obs.Registry, t0
 		WallNS:     wall.Nanoseconds(),
 		AllocMB:    float64(m1.TotalAlloc-m0.TotalAlloc) / (1 << 20),
 		RecordedAt: time.Now().UTC().Format(time.RFC3339),
+		Comment:    note,
 	}
 	if trials > 0 {
 		rec.NSPerTrial = wall.Nanoseconds() / int64(trials)
@@ -270,7 +288,13 @@ func appendBenchRecord(path, artifact string, workers int, reg *obs.Registry, t0
 	} else if !os.IsNotExist(err) {
 		return err
 	}
-	records = append(records, rec)
+	if n := len(records); n > 0 && records[n-1].canonicalKey() == rec.canonicalKey() {
+		// Same batch, same resolved shape (e.g. -workers 0 after -workers 1
+		// on a 1-core host): latest measurement wins, one canonical record.
+		records[n-1] = rec
+	} else {
+		records = append(records, rec)
+	}
 	out, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {
 		return err

@@ -15,6 +15,7 @@ import (
 	"botmeter/internal/dga"
 	"botmeter/internal/dnssim"
 	"botmeter/internal/sim"
+	"botmeter/internal/symtab"
 )
 
 // Config describes one botnet simulation.
@@ -39,6 +40,13 @@ type Config struct {
 	// MaxActivations bounds the per-epoch attempts when ReactivateEvery is
 	// set (default 4).
 	MaxActivations int
+	// Pools, when non-nil, supplies the trial-shared (typically symbolized)
+	// pool cache, letting the simulator, the matcher and the estimators all
+	// reuse one pool object per epoch and letting bot queries carry interned
+	// domain IDs end-to-end. It must wrap the same (Spec.Pool, Seed) pair as
+	// this config; nil makes the runner build a private cache over a fresh
+	// pooled intern table (released on Close).
+	Pools *dga.PoolCache
 }
 
 // Result captures a completed run.
@@ -69,8 +77,20 @@ type Runner struct {
 	cfg Config
 	net *dnssim.Network
 
-	pools     map[int]*dga.Pool
-	poolValid map[int][]string
+	pools *dga.PoolCache
+	// ownTable is the intern table the runner created when no shared pool
+	// cache was supplied; Close returns it to the symtab pool.
+	ownTable *symtab.Table
+	// ids reports whether this runner's traffic may carry interned IDs:
+	// true only when the pool cache is symbolized AND the network's ID
+	// space is bound to the same table (Network.BindTable — first runner
+	// wins). A runner whose table lost the bind is demoted to the string
+	// paths wholesale, because its IDs would collide with the bound
+	// table's in the shared registry bitset and caches.
+	ids bool
+
+	poolValid    map[int][]string
+	poolValidIDs map[int][]symtab.ID
 	// uniformBarrels caches the one barrel a Uniform model produces per
 	// epoch. Uniform bots all query the identical generation-order prefix
 	// and the model ignores its RNG, so sharing one positions slice across
@@ -102,13 +122,34 @@ func NewRunner(cfg Config, net *dnssim.Network) (*Runner, error) {
 			return nil, fmt.Errorf("botnet: negative population for %q", server)
 		}
 	}
-	return &Runner{
+	r := &Runner{
 		cfg:            cfg,
 		net:            net,
-		pools:          make(map[int]*dga.Pool),
+		pools:          cfg.Pools,
 		poolValid:      make(map[int][]string),
+		poolValidIDs:   make(map[int][]symtab.ID),
 		uniformBarrels: make(map[int][]int),
-	}, nil
+	}
+	if r.pools == nil {
+		r.ownTable = symtab.Get()
+		r.pools = dga.NewPoolCache(cfg.Spec.Pool, cfg.Seed, r.ownTable)
+	}
+	// The network's ID space admits exactly one intern table (IDs are only
+	// unique per table); if another runner already bound a different table,
+	// this runner is demoted to the string paths end-to-end.
+	r.ids = net.BindTable(r.pools.Table())
+	return r, nil
+}
+
+// Close releases the runner's privately-owned intern table back to the
+// symtab pool (no-op when a shared pool cache was supplied via Config.Pools
+// — its owner releases the table). The runner must not be used afterwards.
+func (r *Runner) Close() {
+	if r.ownTable != nil {
+		r.ownTable.Release()
+		r.ownTable = nil
+		r.pools = nil
+	}
 }
 
 // barrelFor draws one activation's intended positions, sharing the
@@ -128,16 +169,21 @@ func (r *Runner) barrelFor(epoch int, pool *dga.Pool, rng *sim.RNG) []int {
 
 // Pool returns the (cached) pool for an epoch index.
 func (r *Runner) Pool(epoch int) *dga.Pool {
-	if p, ok := r.pools[epoch]; ok {
-		return p
+	p := r.pools.For(epoch)
+	if _, ok := r.poolValid[epoch]; !ok {
+		valid := make([]string, 0, len(p.ValidPositions))
+		validIDs := make([]symtab.ID, 0, len(p.ValidPositions))
+		for _, pos := range p.ValidPositions {
+			valid = append(valid, p.Domains[pos])
+			if p.IDs != nil {
+				validIDs = append(validIDs, p.IDs[pos])
+			} else {
+				validIDs = append(validIDs, symtab.None)
+			}
+		}
+		r.poolValid[epoch] = valid
+		r.poolValidIDs[epoch] = validIDs
 	}
-	p := r.cfg.Spec.Pool.PoolFor(r.cfg.Seed, epoch)
-	r.pools[epoch] = p
-	valid := make([]string, 0, len(p.ValidPositions))
-	for _, pos := range p.ValidPositions {
-		valid = append(valid, p.Domains[pos])
-	}
-	r.poolValid[epoch] = valid
 	return p
 }
 
@@ -227,7 +273,11 @@ func (r *Runner) rollRegistry(epoch int) {
 		r.net.Registry.Unregister(prev...)
 	}
 	r.Pool(epoch) // ensures poolValid[epoch] is materialised
-	r.net.Registry.Register(r.poolValid[epoch]...)
+	if r.ids {
+		r.net.Registry.RegisterIDs(r.poolValidIDs[epoch], r.poolValid[epoch])
+	} else {
+		r.net.Registry.Register(r.poolValid[epoch]...)
+	}
 }
 
 // botRun drives one bot's activation(s) through the DNS hierarchy.
@@ -272,8 +322,13 @@ func (b *botRun) query(e *sim.Engine) {
 		return
 	}
 	pool := b.runner.Pool(b.epoch)
-	domain := pool.Domains[b.positions[b.step]]
-	ans, err := b.runner.net.ClientQuery(e.Now(), b.client, domain)
+	pos := b.positions[b.step]
+	domain := pool.Domains[pos]
+	var id symtab.ID
+	if b.runner.ids && pool.IDs != nil {
+		id = pool.IDs[pos]
+	}
+	ans, err := b.runner.net.ClientQueryID(e.Now(), b.client, domain, id)
 	if err != nil {
 		return
 	}

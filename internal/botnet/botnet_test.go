@@ -7,6 +7,7 @@ import (
 	"botmeter/internal/dga"
 	"botmeter/internal/dnssim"
 	"botmeter/internal/sim"
+	"botmeter/internal/symtab"
 )
 
 func testNetwork() *dnssim.Network {
@@ -266,5 +267,91 @@ func TestEmptyWindowRejected(t *testing.T) {
 	}
 	if _, err := r.Run(sim.Window{Start: 5, End: 5}); err == nil {
 		t.Error("empty window should error")
+	}
+}
+
+// TestSecondTableDemotedToStrings is the regression for the multi-family
+// ID-collision bug: two runners with private intern tables sharing one
+// network must not both use the ID fast paths — dense symtab IDs are only
+// unique per table, so the second runner's IDs would collide with the
+// first's in the shared registry bitset and caches (false C2 contacts,
+// false cache hits). The network binds to the first table; the second
+// runner is demoted to the string paths and its observed records carry
+// ID == symtab.None.
+func TestSecondTableDemotedToStrings(t *testing.T) {
+	net := testNetwork()
+	specA := smallSpec()
+	specB := smallSpec()
+	specB.Name = "TestDGA-B"
+	specB.Pool = dga.DrainReplenish{NX: 40, C2: 2, Gen: dga.DefaultGenerator}
+
+	ra, err := NewRunner(Config{Spec: specA, Seed: 31, BotsPerServer: map[string]int{"local-00": 5}}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := NewRunner(Config{Spec: specB, Seed: 32, BotsPerServer: map[string]int{"local-00": 5}}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ra.ids {
+		t.Fatal("first runner should own the network's ID space")
+	}
+	if rb.ids {
+		t.Fatal("second runner (different intern table) must be demoted to string paths")
+	}
+	if net.Table() != ra.pools.Table() {
+		t.Fatal("network bound to the wrong table")
+	}
+	if _, err := ra.Run(sim.Window{Start: 0, End: sim.Day}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rb.Run(sim.Window{Start: 0, End: sim.Day}); err != nil {
+		t.Fatal(err)
+	}
+	// Every observed record's ID, when set, must resolve (in the bound
+	// table) to exactly the domain string on the record: the demoted
+	// runner's traffic therefore carries symtab.None.
+	tab := net.Table()
+	var withID, withoutID int
+	for _, rec := range net.Border.Observed() {
+		if rec.ID == 0 {
+			withoutID++
+			continue
+		}
+		withID++
+		if got := tab.Resolve(rec.ID); got != rec.Domain {
+			t.Fatalf("record ID %d resolves to %q, record says %q", rec.ID, got, rec.Domain)
+		}
+	}
+	if withID == 0 || withoutID == 0 {
+		t.Fatalf("expected both ID-carrying and demoted records, got %d/%d", withID, withoutID)
+	}
+}
+
+// TestSharedTableKeepsIDs: two runners sharing one pool-cache table both
+// keep the ID fast path.
+func TestSharedTableKeepsIDs(t *testing.T) {
+	net := testNetwork()
+	tab := symtab.Get()
+	defer tab.Release()
+	specA := smallSpec()
+	specB := smallSpec()
+	specB.Name = "TestDGA-B"
+	ra, err := NewRunner(Config{
+		Spec: specA, Seed: 41, BotsPerServer: map[string]int{"local-00": 3},
+		Pools: dga.NewPoolCache(specA.Pool, 41, tab),
+	}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := NewRunner(Config{
+		Spec: specB, Seed: 42, BotsPerServer: map[string]int{"local-00": 3},
+		Pools: dga.NewPoolCache(specB.Pool, 42, tab),
+	}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ra.ids || !rb.ids {
+		t.Fatalf("runners sharing one table should both keep IDs (got %v, %v)", ra.ids, rb.ids)
 	}
 }

@@ -31,6 +31,13 @@ type Config struct {
 	Family dga.Spec
 	// Seed reconstructs the family's pools.
 	Seed uint64
+	// Pools, when non-nil, supplies the shared per-trial pool cache
+	// (typically symbolized against a symtab intern table). The matcher and
+	// the estimators then reuse one pool object per epoch — and take the
+	// domain-ID fast paths for records that originated in-process — instead
+	// of each regenerating pools from (Family, Seed). Nil keeps the
+	// string-only behaviour; results are identical either way.
+	Pools *dga.PoolCache
 	// EpochLen is δe (default one day).
 	EpochLen sim.Time
 	// NegativeTTL is the local servers' negative-cache TTL δl (default 2 h).
@@ -101,7 +108,7 @@ func New(cfg Config) (*BotMeter, error) {
 	cfg = cfg.withDefaults()
 	return &BotMeter{
 		cfg:      cfg,
-		matchers: NewEpochMatchers(cfg.Family, cfg.Seed, cfg.Detection),
+		matchers: NewEpochMatchers(cfg.Family, cfg.Seed, cfg.Detection, cfg.Pools),
 	}, nil
 }
 
@@ -154,6 +161,7 @@ func (bm *BotMeter) Analyze(obs trace.Observed, w sim.Window) (*Landscape, error
 		NegativeTTL: cfg.NegativeTTL,
 		Granularity: cfg.Granularity,
 		Detection:   cfg.Detection,
+		Pools:       cfg.Pools,
 	}
 
 	// Step 3-4: match the stream per epoch (pools rotate across epochs).
@@ -166,7 +174,7 @@ func (bm *BotMeter) Analyze(obs trace.Observed, w sim.Window) (*Landscape, error
 			continue
 		}
 		epoch := int(rec.T / cfg.EpochLen)
-		if bm.matchers.For(epoch).Match(rec.Domain) {
+		if bm.matchers.For(epoch).MatchRecord(rec) {
 			matched = append(matched, rec)
 		}
 	}

@@ -6,6 +6,8 @@ import (
 	"botmeter/internal/d3"
 	"botmeter/internal/dga"
 	"botmeter/internal/matcher"
+	"botmeter/internal/symtab"
+	"botmeter/internal/trace"
 )
 
 // EpochMatchers builds and caches the per-epoch domain matchers of one
@@ -14,44 +16,102 @@ import (
 // concurrent use, which lets the streaming engine's ingest shards share
 // one instance — pool reconstruction is the expensive part and must happen
 // once per epoch, not once per shard.
+//
+// When constructed over a dga.PoolCache whose pools are symbolized
+// (interned against a symtab table), each epoch additionally gets an ID
+// bitset matcher: records that originated in-process carry interned IDs and
+// match in O(1) without string hashing, while the exact string Set is built
+// lazily, only if a record without an ID (disk traces, benign traffic)
+// actually arrives.
 type EpochMatchers struct {
 	family    dga.Spec
 	seed      uint64
 	detection *d3.Window
+	pools     *dga.PoolCache
 
 	mu      sync.Mutex
-	byEpoch map[int]*matcher.Set
+	byEpoch map[int]*EpochMatcher
 }
 
 // NewEpochMatchers builds the matcher cache. A nil detection window means
-// perfect pool knowledge.
-func NewEpochMatchers(family dga.Spec, seed uint64, detection *d3.Window) *EpochMatchers {
+// perfect pool knowledge. pools, when non-nil, supplies shared (and, when
+// its table is set, symbolized) pools so the matcher, the estimators and
+// the simulator all reuse one pool object per epoch; nil falls back to
+// regenerating pools from the family spec.
+func NewEpochMatchers(family dga.Spec, seed uint64, detection *d3.Window, pools *dga.PoolCache) *EpochMatchers {
 	return &EpochMatchers{
 		family:    family,
 		seed:      seed,
 		detection: detection,
-		byEpoch:   make(map[int]*matcher.Set),
+		pools:     pools,
+		byEpoch:   make(map[int]*EpochMatcher),
 	}
 }
 
+// EpochMatcher matches one epoch's records. Records carrying an interned
+// symtab ID take the bitset fast path; everything else goes through the
+// exact string set, which is built on first need.
+type EpochMatcher struct {
+	ids *matcher.IDMatcher // nil when the epoch's pool is not symbolized
+
+	setOnce  sync.Once
+	set      *matcher.Set
+	buildSet func() *matcher.Set
+}
+
+// MatchRecord reports whether the record is attributed to the DGA.
+func (m *EpochMatcher) MatchRecord(rec trace.ObservedRecord) bool {
+	if m.ids != nil && rec.ID != symtab.None {
+		return m.ids.MatchID(rec.ID)
+	}
+	return m.Set().Match(rec.Domain)
+}
+
+// Match reports whether a bare domain string is attributed to the DGA.
+func (m *EpochMatcher) Match(domain string) bool { return m.Set().Match(domain) }
+
+// Set returns the epoch's exact string matcher, building it on first use.
+func (m *EpochMatcher) Set() *matcher.Set {
+	m.setOnce.Do(func() { m.set = m.buildSet() })
+	return m.set
+}
+
 // For returns the matcher for one epoch, building it on first use. The
-// returned Set must be treated as read-only; concurrent Match calls are
-// safe because the set is never mutated after construction.
-func (em *EpochMatchers) For(epoch int) *matcher.Set {
+// returned matcher must be treated as read-only; concurrent MatchRecord
+// calls are safe because it is never mutated after construction.
+func (em *EpochMatchers) For(epoch int) *EpochMatcher {
 	em.mu.Lock()
 	defer em.mu.Unlock()
 	if m, ok := em.byEpoch[epoch]; ok {
 		return m
 	}
-	pool := em.family.Pool.PoolFor(em.seed, epoch)
-	var domains []string
+	var pool *dga.Pool
+	if em.pools != nil {
+		pool = em.pools.For(epoch)
+	} else {
+		pool = em.family.Pool.PoolFor(em.seed, epoch)
+	}
+	m := &EpochMatcher{}
 	if em.detection != nil {
 		rep := em.detection.Detect(epoch, pool)
-		domains = rep.All()
+		if pool.IDs != nil {
+			// The bitset covers the detected pool positions; collision
+			// domains are synthetic non-pool names that never carry IDs, so
+			// they are handled (identically to the string path) by the lazy
+			// set below.
+			ids := make([]symtab.ID, len(rep.DetectedPositions))
+			for i, pos := range rep.DetectedPositions {
+				ids[i] = pool.IDs[pos]
+			}
+			m.ids = matcher.NewIDMatcher(em.family.Name, ids)
+		}
+		m.buildSet = func() *matcher.Set { return matcher.NewSet(em.family.Name, rep.All()) }
 	} else {
-		domains = pool.Domains
+		if pool.IDs != nil {
+			m.ids = matcher.NewIDMatcher(em.family.Name, pool.IDs)
+		}
+		m.buildSet = func() *matcher.Set { return matcher.NewSet(em.family.Name, pool.Domains) }
 	}
-	m := matcher.NewSet(em.family.Name, domains)
 	em.byEpoch[epoch] = m
 	return m
 }

@@ -2,8 +2,10 @@ package dga
 
 import (
 	"fmt"
+	"sync"
 
 	"botmeter/internal/sim"
+	"botmeter/internal/symtab"
 )
 
 // Pool is the ordered set of domains a DGA emits for one epoch. Order
@@ -11,12 +13,27 @@ import (
 // barrel treats positions as a circle. ValidPositions marks the θ∃ domains
 // the botmaster registered as C2 rendezvous points; every other domain is an
 // NXD.
+//
+// A pool can additionally be symbolized against a symtab.Table (see Intern):
+// IDs then holds the dense interned ID of each domain, PositionID answers
+// membership in O(1) via an offset array, and ValidAt is an O(1) bool-slice
+// read. The string index map is built lazily, only if a string Position /
+// Contains lookup actually happens — all-ID trials never pay for it.
 type Pool struct {
 	Domains        []string
 	ValidPositions []int // sorted positions of registered (C2) domains
 
-	index map[string]int
-	valid map[int]struct{}
+	// IDs is parallel to Domains once Intern has run; nil otherwise.
+	IDs []symtab.ID
+
+	valid []bool // valid[i] == position i holds a registered domain
+
+	indexOnce sync.Once
+	index     map[string]int
+
+	// ID→position offset table: byID[id-baseID] stores pos+1 (0 = absent).
+	baseID symtab.ID
+	byID   []int32
 }
 
 // NewPool builds a pool from an ordered domain list and the positions of
@@ -24,22 +41,79 @@ type Pool struct {
 func NewPool(domains []string, validPositions []int) *Pool {
 	p := &Pool{
 		Domains: domains,
-		index:   make(map[string]int, len(domains)),
-		valid:   make(map[int]struct{}, len(validPositions)),
-	}
-	for i, d := range domains {
-		p.index[d] = i
+		valid:   make([]bool, len(domains)),
 	}
 	for _, v := range validPositions {
 		if v >= 0 && v < len(domains) {
-			if _, dup := p.valid[v]; !dup {
-				p.valid[v] = struct{}{}
+			if !p.valid[v] {
+				p.valid[v] = true
 				p.ValidPositions = append(p.ValidPositions, v)
 			}
 		}
 	}
 	sortInts(p.ValidPositions)
 	return p
+}
+
+// ensureIndex lazily builds the string→position map. Pools on the ID fast
+// path never call this, so symbolized trials skip the map entirely.
+func (p *Pool) ensureIndex() {
+	p.indexOnce.Do(func() {
+		idx := make(map[string]int, len(p.Domains))
+		for i, d := range p.Domains {
+			idx[d] = i
+		}
+		p.index = idx
+	})
+}
+
+// Intern symbolizes the pool against tab: every domain is interned (idempotent
+// — the same string always yields the same ID) and the ID→position offset
+// table is built so PositionID is an O(1) array read. Safe to call once per
+// pool; PoolCache does this automatically.
+func (p *Pool) Intern(tab *symtab.Table) {
+	if tab == nil || p.IDs != nil {
+		return
+	}
+	ids := make([]symtab.ID, len(p.Domains))
+	var lo, hi symtab.ID
+	for i, d := range p.Domains {
+		id := tab.Intern(d)
+		ids[i] = id
+		if i == 0 || id < lo {
+			lo = id
+		}
+		if id > hi {
+			hi = id
+		}
+	}
+	p.IDs = ids
+	if len(ids) == 0 {
+		return
+	}
+	p.baseID = lo
+	p.byID = make([]int32, hi-lo+1)
+	for i, id := range ids {
+		p.byID[id-lo] = int32(i) + 1
+	}
+}
+
+// PositionID returns the pool position of the domain with interned ID id.
+// It is an O(1) array read; id==symtab.None or an ID outside this pool
+// returns false. Valid only after Intern.
+func (p *Pool) PositionID(id symtab.ID) (int, bool) {
+	if id < p.baseID || int(id-p.baseID) >= len(p.byID) {
+		return 0, false
+	}
+	v := p.byID[id-p.baseID]
+	return int(v) - 1, v != 0
+}
+
+// ContainsID reports whether the domain with interned ID id belongs to the
+// pool. Valid only after Intern.
+func (p *Pool) ContainsID(id symtab.ID) bool {
+	_, ok := p.PositionID(id)
+	return ok
 }
 
 func sortInts(xs []int) {
@@ -58,25 +132,26 @@ func (p *Pool) NXCount() int { return len(p.Domains) - len(p.ValidPositions) }
 
 // Position returns the pool position of domain d.
 func (p *Pool) Position(d string) (int, bool) {
+	p.ensureIndex()
 	i, ok := p.index[d]
 	return i, ok
 }
 
 // Contains reports whether d belongs to the pool.
 func (p *Pool) Contains(d string) bool {
+	p.ensureIndex()
 	_, ok := p.index[d]
 	return ok
 }
 
 // ValidAt reports whether position i holds a registered (resolving) domain.
 func (p *Pool) ValidAt(i int) bool {
-	_, ok := p.valid[i]
-	return ok
+	return i >= 0 && i < len(p.valid) && p.valid[i]
 }
 
 // IsValidDomain reports whether d is a registered domain of this pool.
 func (p *Pool) IsValidDomain(d string) bool {
-	i, ok := p.index[d]
+	i, ok := p.Position(d)
 	if !ok {
 		return false
 	}

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"botmeter/internal/sim"
+	"botmeter/internal/symtab"
 )
 
 // Answer is the outcome of a DNS resolution.
@@ -37,6 +38,17 @@ type Cache struct {
 	positiveTTL sim.Time
 	negativeTTL sim.Time
 	entries     map[string]cacheEntry
+
+	// ids is the flat open-addressed fast path for domains that carry an
+	// interned symtab ID (in-process simulated traffic). Externally-injected
+	// names (ID == symtab.None) use the string map above. A given domain is
+	// always queried via the same path within one hierarchy because IDs come
+	// from the single per-trial intern table.
+	ids idTable
+
+	// pooled records whether entries/ids slots came from the shared pools;
+	// after Release the cache keeps working with fresh unpooled storage.
+	pooled bool
 
 	// StaleTTL, when positive, keeps expired entries around for that long
 	// past their expiry so LookupStale can serve them while the upstream
@@ -69,29 +81,47 @@ var entryMaps = sync.Pool{
 	New: func() any { return make(map[string]cacheEntry, 1024) },
 }
 
+// idSlots recycles the ID fast path's slot arrays across simulations, for
+// the same reason entryMaps exists: slot arrays grown for a day of traffic
+// are handed to the next NewCache instead of being re-grown from scratch.
+var idSlots = sync.Pool{
+	New: func() any { return make([]idEntry, 1024) },
+}
+
 // NewCache builds a cache with the given TTLs. Non-positive TTLs disable
 // caching for that answer class.
 func NewCache(positiveTTL, negativeTTL sim.Time) *Cache {
-	return &Cache{
+	c := &Cache{
 		positiveTTL: positiveTTL,
 		negativeTTL: negativeTTL,
 		entries:     entryMaps.Get().(map[string]cacheEntry),
 		sweepEvery:  1 << 14,
+		pooled:      true,
 	}
+	c.ids.adopt(idSlots.Get().([]idEntry))
+	return c
 }
 
-// Release returns the cache's entry map to the shared pool and leaves the
-// cache empty but usable. Call it when a simulated hierarchy is done (see
-// Network.ReleaseCaches); a cache that was never stored into keeps its map,
-// so double releases do not churn the pool.
+// Release returns the cache's pooled storage (entry map and ID slots) to the
+// shared pools. Release is idempotent: the first call donates the storage,
+// later calls are no-ops. The cache stays usable after Release — lookups
+// miss and stores lazily allocate fresh (unpooled) storage — so a stray
+// query after Network.ReleaseCaches is safe and never pollutes the pools
+// with small replacement maps.
 func (c *Cache) Release() {
-	if c.entries == nil || len(c.entries) == 0 {
+	if !c.pooled {
 		return
 	}
-	m := c.entries
-	clear(m)
-	entryMaps.Put(m)
-	c.entries = make(map[string]cacheEntry) // small; the released map is gone
+	c.pooled = false
+	if c.entries != nil {
+		m := c.entries
+		clear(m)
+		entryMaps.Put(m)
+		c.entries = nil
+	}
+	if slots := c.ids.surrender(); slots != nil {
+		idSlots.Put(slots)
+	}
 }
 
 // Lookup consults the cache at virtual time now. On a hit it returns the
@@ -149,6 +179,11 @@ func (c *Cache) Store(now sim.Time, domain string, nx bool) {
 	if ttl <= 0 {
 		return
 	}
+	if c.entries == nil {
+		// Post-Release use: re-allocate unpooled storage (never returned to
+		// the pool, see Release).
+		c.entries = make(map[string]cacheEntry, 64)
+	}
 	c.entries[domain] = cacheEntry{expires: now + ttl, nx: nx}
 	if c.m.stores != nil {
 		c.m.stores.Inc()
@@ -156,9 +191,57 @@ func (c *Cache) Store(now sim.Time, domain string, nx bool) {
 	}
 }
 
+// LookupID is the ID fast path of Lookup for domains carrying an interned
+// symtab ID. Answer semantics are identical to Lookup (same expiry formula,
+// same stale horizon); expired entries are simply skipped rather than
+// deleted, since the ID key space is bounded by the trial's intern table.
+func (c *Cache) LookupID(now sim.Time, id symtab.ID) (Answer, bool) {
+	c.lookups++
+	c.m.lookups.Inc()
+	c.maybeSweep(now)
+	e, ok := c.ids.get(id)
+	if !ok || now >= e.expires {
+		c.m.misses.Inc()
+		return Answer{}, false
+	}
+	c.hits++
+	c.m.hits.Inc()
+	return Answer{NX: e.nx, CacheHit: true}, true
+}
+
+// LookupStaleID is the ID fast path of LookupStale.
+func (c *Cache) LookupStaleID(now sim.Time, id symtab.ID) (Answer, bool) {
+	if c.StaleTTL <= 0 {
+		return Answer{}, false
+	}
+	e, ok := c.ids.get(id)
+	if !ok || now < e.expires || now >= e.expires+c.StaleTTL {
+		return Answer{}, false
+	}
+	c.staleHits++
+	c.m.staleHits.Inc()
+	return Answer{NX: e.nx, CacheHit: true, Stale: true}, true
+}
+
+// StoreID is the ID fast path of Store.
+func (c *Cache) StoreID(now sim.Time, id symtab.ID, nx bool) {
+	ttl := c.positiveTTL
+	if nx {
+		ttl = c.negativeTTL
+	}
+	if ttl <= 0 {
+		return
+	}
+	c.ids.put(id, idEntry{id: id, nx: nx, expires: now + ttl})
+	if c.m.stores != nil {
+		c.m.stores.Inc()
+		c.m.entries.Set(float64(c.Len()))
+	}
+}
+
 // Len returns the number of cached entries including not-yet-swept expired
-// ones.
-func (c *Cache) Len() int { return len(c.entries) }
+// ones, across both the string map and the ID fast path.
+func (c *Cache) Len() int { return len(c.entries) + c.ids.used }
 
 // HitRate returns the fraction of lookups served from cache.
 func (c *Cache) HitRate() float64 {
@@ -188,5 +271,103 @@ func (c *Cache) maybeSweep(now sim.Time) {
 	}
 	if c.m.entries != nil {
 		c.m.entries.Set(float64(len(c.entries)))
+	}
+}
+
+// idEntry is one slot of the ID fast path: a cached answer keyed by interned
+// domain ID. id == symtab.None marks an empty slot.
+type idEntry struct {
+	id      symtab.ID
+	nx      bool
+	expires sim.Time
+}
+
+// idTable is a flat open-addressed (linear probing, power-of-two sized)
+// answer table keyed by symtab.ID. It never deletes: overwrites reuse the
+// slot, expired entries are skipped on read, and the key space is bounded by
+// the trial's intern table, so memory stays bounded without tombstones.
+type idTable struct {
+	slots []idEntry
+	mask  uint32
+	used  int
+}
+
+// adopt installs a (zeroed, power-of-two sized) slot array.
+func (t *idTable) adopt(slots []idEntry) {
+	t.slots = slots
+	t.mask = uint32(len(slots) - 1)
+	t.used = 0
+}
+
+// surrender clears and detaches the slot array for return to a pool.
+func (t *idTable) surrender() []idEntry {
+	s := t.slots
+	for i := range s {
+		s[i] = idEntry{}
+	}
+	t.slots, t.mask, t.used = nil, 0, 0
+	return s
+}
+
+// idHash spreads sequential dense IDs across slots (Fibonacci hashing).
+func idHash(id symtab.ID) uint32 { return uint32(id) * 0x9e3779b1 }
+
+func (t *idTable) get(id symtab.ID) (idEntry, bool) {
+	if t.slots == nil || id == symtab.None {
+		return idEntry{}, false
+	}
+	slot := idHash(id) & t.mask
+	for {
+		e := t.slots[slot]
+		if e.id == symtab.None {
+			return idEntry{}, false
+		}
+		if e.id == id {
+			return e, true
+		}
+		slot = (slot + 1) & t.mask
+	}
+}
+
+func (t *idTable) put(id symtab.ID, e idEntry) {
+	if id == symtab.None {
+		return
+	}
+	if t.slots == nil {
+		// Post-Release use: fresh unpooled storage (see Cache.Release).
+		t.adopt(make([]idEntry, 1024))
+	}
+	slot := idHash(id) & t.mask
+	for {
+		cur := &t.slots[slot]
+		if cur.id == symtab.None {
+			*cur = e
+			t.used++
+			if t.used*4 > len(t.slots)*3 {
+				t.grow()
+			}
+			return
+		}
+		if cur.id == id {
+			*cur = e
+			return
+		}
+		slot = (slot + 1) & t.mask
+	}
+}
+
+func (t *idTable) grow() {
+	old := t.slots
+	t.slots = make([]idEntry, len(old)*2)
+	t.mask = uint32(len(t.slots) - 1)
+	for _, e := range old {
+		if e.id == symtab.None {
+			continue
+		}
+		slot := idHash(e.id) & t.mask
+		for t.slots[slot].id != symtab.None {
+			slot = (slot + 1) & t.mask
+		}
+		t.slots[slot] = e
 	}
 }

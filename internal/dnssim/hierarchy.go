@@ -7,31 +7,76 @@ import (
 
 	"botmeter/internal/obs"
 	"botmeter/internal/sim"
+	"botmeter/internal/symtab"
 	"botmeter/internal/trace"
 )
 
 // Registry is the authoritative name space: the set of domains that
 // currently resolve (registered C2 domains plus the benign zone). Everything
 // else returns NXDomain.
+//
+// Domains registered with an interned symtab ID (RegisterIDs) are
+// additionally tracked in a bitset so the hierarchy's ID fast path answers
+// ResolvesID without hashing the domain string. String-only registrations
+// (benign zones, external test names) keep full string-map semantics; the ID
+// path falls back to the map only while such entries exist.
 type Registry struct {
-	valid map[string]struct{}
+	// valid maps each registered domain to its interned ID (symtab.None for
+	// string-only registrations).
+	valid map[string]symtab.ID
+	// bits is a growable bitset indexed by symtab ID.
+	bits []uint64
+	// stringOnly counts registrations without an ID; while zero, a bitset
+	// miss on the ID path is authoritative.
+	stringOnly int
 }
 
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{valid: make(map[string]struct{})}
+	return &Registry{valid: make(map[string]symtab.ID)}
 }
 
-// Register marks domains as resolving.
+// Register marks domains as resolving (string-only path).
 func (r *Registry) Register(domains ...string) {
 	for _, d := range domains {
-		r.valid[d] = struct{}{}
+		if _, ok := r.valid[d]; ok {
+			continue // keep an existing (possibly ID-carrying) entry
+		}
+		r.valid[d] = symtab.None
+		r.stringOnly++
+	}
+}
+
+// RegisterIDs marks domains as resolving with their interned IDs. ids and
+// domains are parallel; the string map is kept in sync so string-path
+// lookups (Resolves) see the same zone.
+func (r *Registry) RegisterIDs(ids []symtab.ID, domains []string) {
+	for i, d := range domains {
+		id := ids[i]
+		if id == symtab.None {
+			r.Register(d)
+			continue
+		}
+		if prev, ok := r.valid[d]; ok && prev == symtab.None {
+			r.stringOnly--
+		}
+		r.valid[d] = id
+		r.setBit(id)
 	}
 }
 
 // Unregister removes domains (a takedown or expiry).
 func (r *Registry) Unregister(domains ...string) {
 	for _, d := range domains {
+		id, ok := r.valid[d]
+		if !ok {
+			continue
+		}
+		if id == symtab.None {
+			r.stringOnly--
+		} else {
+			r.clearBit(id)
+		}
 		delete(r.valid, d)
 	}
 }
@@ -42,6 +87,42 @@ func (r *Registry) Resolves(domain string) bool {
 	return ok
 }
 
+// ResolvesID is the ID fast path of Resolves. id == symtab.None (an
+// external / uninterned name) always defers to the string map; otherwise a
+// bitset hit is authoritative, and a miss only consults the map while
+// string-only registrations exist.
+func (r *Registry) ResolvesID(id symtab.ID, domain string) bool {
+	if id != symtab.None {
+		if r.bit(id) {
+			return true
+		}
+		if r.stringOnly == 0 {
+			return false
+		}
+	}
+	return r.Resolves(domain)
+}
+
+func (r *Registry) setBit(id symtab.ID) {
+	w := int(id >> 6)
+	for len(r.bits) <= w {
+		r.bits = append(r.bits, 0)
+	}
+	r.bits[w] |= 1 << (id & 63)
+}
+
+func (r *Registry) clearBit(id symtab.ID) {
+	w := int(id >> 6)
+	if w < len(r.bits) {
+		r.bits[w] &^= 1 << (id & 63)
+	}
+}
+
+func (r *Registry) bit(id symtab.ID) bool {
+	w := int(id >> 6)
+	return w < len(r.bits) && r.bits[w]&(1<<(id&63)) != 0
+}
+
 // Size returns the number of registered domains.
 func (r *Registry) Size() int { return len(r.valid) }
 
@@ -50,6 +131,17 @@ func (r *Registry) Size() int { return len(r.valid) }
 // vantage point records.
 type Upstream interface {
 	Resolve(now sim.Time, forwarder, domain string) Answer
+}
+
+// UpstreamID is the ID fast path of Upstream: the query carries both the
+// domain string (for trace emission — the vantage point always records real
+// names) and its interned symtab ID (for O(1) registry/cache work).
+// id == symtab.None must behave exactly like Resolve. Border, Server and
+// faults.FaultyUpstream all implement it; a wrapper that doesn't simply
+// drops the fast path back to strings.
+type UpstreamID interface {
+	Upstream
+	ResolveID(now sim.Time, forwarder, domain string, id symtab.ID) Answer
 }
 
 // Border is the border DNS server and vantage point: it answers from the
@@ -71,13 +163,21 @@ func NewBorder(id string, registry *Registry) *Border {
 
 // Resolve implements Upstream: record, then answer authoritatively.
 func (b *Border) Resolve(now sim.Time, forwarder, domain string) Answer {
+	return b.ResolveID(now, forwarder, domain, symtab.None)
+}
+
+// ResolveID implements UpstreamID: the observed record keeps the real domain
+// string (traces and artifacts are byte-identical with or without IDs) and
+// additionally carries the ID for in-process consumers.
+func (b *Border) ResolveID(now sim.Time, forwarder, domain string, id symtab.ID) Answer {
 	b.observedCtr.Inc()
 	b.observed = append(b.observed, trace.ObservedRecord{
 		T:      now.Truncate(b.Granularity),
 		Server: forwarder,
 		Domain: domain,
+		ID:     id,
 	})
-	return Answer{NX: !b.registry.Resolves(domain)}
+	return Answer{NX: !b.registry.ResolvesID(id, domain)}
 }
 
 // Observed returns the vantage-point dataset collected so far.
@@ -103,6 +203,9 @@ type Server struct {
 
 	cache    *Cache
 	upstream Upstream
+	// upID is upstream's ID fast path when it offers one (cached type
+	// assertion; nil otherwise).
+	upID UpstreamID
 
 	queries     int
 	forwarded   int
@@ -117,7 +220,9 @@ type Server struct {
 
 // NewServer builds a caching server with the given TTLs and upstream.
 func NewServer(id string, positiveTTL, negativeTTL sim.Time, upstream Upstream) *Server {
-	return &Server{ID: id, cache: NewCache(positiveTTL, negativeTTL), upstream: upstream}
+	s := &Server{ID: id, cache: NewCache(positiveTTL, negativeTTL), upstream: upstream}
+	s.upID, _ = upstream.(UpstreamID)
+	return s
 }
 
 // Cache exposes the server's cache (to configure StaleTTL, inspect hit
@@ -127,6 +232,15 @@ func (s *Server) Cache() *Cache { return s.cache }
 // Query handles a client lookup at virtual time now and returns the answer
 // the client sees.
 func (s *Server) Query(now sim.Time, domain string) Answer {
+	return s.QueryID(now, domain, symtab.None)
+}
+
+// QueryID is the ID fast path of Query: when id carries an interned symtab
+// ID the cache consults its flat ID table and the upstream (when it
+// implements UpstreamID) receives the (domain, id) pair, so the whole
+// simulate→cache path does no string hashing. id == symtab.None takes
+// exactly the string paths of Query.
+func (s *Server) QueryID(now sim.Time, domain string, id symtab.ID) Answer {
 	s.queries++
 	s.m.queries.Inc()
 	// The latency histogram is the one instrument that would make the
@@ -134,20 +248,32 @@ func (s *Server) Query(now sim.Time, domain string) Answer {
 	if s.m.latency != nil {
 		defer s.m.observeLatency(time.Now())
 	}
-	if ans, ok := s.cache.Lookup(now, domain); ok {
+	useID := id != symtab.None
+	if useID {
+		if ans, ok := s.cache.LookupID(now, id); ok {
+			return ans
+		}
+	} else if ans, ok := s.cache.Lookup(now, domain); ok {
 		return ans
 	}
 	s.forwarded++
 	s.m.forwarded.Inc()
-	ans := s.upstream.Resolve(now, s.ID, domain)
+	ans := s.resolveUpstream(now, domain, id)
 	for attempt := 0; ans.ServFail && attempt < s.MaxRetries; attempt++ {
 		s.retried++
 		s.m.retried.Inc()
-		ans = s.upstream.Resolve(now, s.ID, domain)
+		ans = s.resolveUpstream(now, domain, id)
 	}
 	if ans.ServFail {
 		if s.ServeStale {
-			if stale, ok := s.cache.LookupStale(now, domain); ok {
+			var stale Answer
+			var ok bool
+			if useID {
+				stale, ok = s.cache.LookupStaleID(now, id)
+			} else {
+				stale, ok = s.cache.LookupStale(now, domain)
+			}
+			if ok {
 				s.staleServed++
 				s.m.staleServed.Inc()
 				return stale
@@ -157,14 +283,35 @@ func (s *Server) Query(now sim.Time, domain string) Answer {
 		s.m.servfails.Inc()
 		return Answer{ServFail: true}
 	}
-	s.cache.Store(now, domain, ans.NX)
+	if useID {
+		s.cache.StoreID(now, id, ans.NX)
+	} else {
+		s.cache.Store(now, domain, ans.NX)
+	}
 	return Answer{NX: ans.NX}
+}
+
+// resolveUpstream forwards one attempt, preferring the upstream's ID fast
+// path when both sides can use it.
+func (s *Server) resolveUpstream(now sim.Time, domain string, id symtab.ID) Answer {
+	if id != symtab.None && s.upID != nil {
+		return s.upID.ResolveID(now, s.ID, domain, id)
+	}
+	return s.upstream.Resolve(now, s.ID, domain)
 }
 
 // Resolve implements Upstream so a Server can act as a mid-tier: a miss is
 // forwarded upward under this server's own identity.
 func (s *Server) Resolve(now sim.Time, _ string, domain string) Answer {
 	ans := s.Query(now, domain)
+	ans.CacheHit = false
+	return ans
+}
+
+// ResolveID implements UpstreamID for mid-tier servers: the (domain, id)
+// pair is forwarded upward under this server's own identity.
+func (s *Server) ResolveID(now sim.Time, _ string, domain string, id symtab.ID) Answer {
+	ans := s.QueryID(now, domain, id)
 	ans.CacheHit = false
 	return ans
 }
@@ -194,6 +341,12 @@ type Network struct {
 	clientHome  map[string]string
 	rawRecorder trace.Raw
 	recordRaw   bool
+
+	// idTable is the intern table this network's ID space is bound to (see
+	// BindTable). symtab IDs are only unique within one table, so the
+	// registry bitset and every tier's ID-keyed cache are coherent only for
+	// IDs drawn from a single table.
+	idTable *symtab.Table
 }
 
 // NetworkConfig sizes a simulated network.
@@ -283,6 +436,30 @@ func NewNetwork(cfg NetworkConfig) *Network {
 	return n
 }
 
+// BindTable claims the network's ID space for tab. Dense symtab IDs are
+// only unique within one intern table, so all ID-carrying traffic into one
+// hierarchy (registry registrations, cache keys, client queries) must come
+// from a single table — otherwise two families' unrelated domains could
+// collide on the same uint32 and falsely share cache entries or registry
+// bits. The first bound table wins: BindTable reports true when tab is now
+// (or already was) the network's table, false when a different table is
+// already bound, in which case the caller must take the string paths
+// (pass symtab.None) for all its traffic on this network.
+func (n *Network) BindTable(tab *symtab.Table) bool {
+	if tab == nil {
+		return false
+	}
+	if n.idTable == nil {
+		n.idTable = tab
+		return true
+	}
+	return n.idTable == tab
+}
+
+// Table returns the intern table the network's ID space is bound to (nil
+// until the first successful BindTable).
+func (n *Network) Table() *symtab.Table { return n.idTable }
+
 // LocalIDs returns the local server names in creation order.
 func (n *Network) LocalIDs() []string {
 	out := make([]string, len(n.localOrder))
@@ -315,13 +492,21 @@ func (n *Network) HomeOf(client string) (string, bool) {
 // ClientQuery issues a lookup from a client through its home local server.
 // Unassigned clients are homed deterministically by hash.
 func (n *Network) ClientQuery(now sim.Time, client, domain string) (Answer, error) {
+	return n.ClientQueryID(now, client, domain, symtab.None)
+}
+
+// ClientQueryID is the ID fast path of ClientQuery: the (domain, id) pair
+// fans out through the home local server so every tier can use its ID-keyed
+// cache and the border's registry bitset. id == symtab.None behaves exactly
+// like ClientQuery.
+func (n *Network) ClientQueryID(now sim.Time, client, domain string, id symtab.ID) (Answer, error) {
 	home, ok := n.clientHome[client]
 	if !ok {
 		home = n.localOrder[fnv32(client)%uint32(len(n.localOrder))]
 		n.clientHome[client] = home
 	}
 	srv := n.locals[home]
-	ans := srv.Query(now, domain)
+	ans := srv.QueryID(now, domain, id)
 	if n.recordRaw {
 		n.rawRecorder = append(n.rawRecorder, trace.RawRecord{
 			T: now, Client: client, Server: home, Domain: domain, NX: ans.NX,

@@ -24,6 +24,7 @@ import (
 	"botmeter/internal/dga"
 	"botmeter/internal/dnssim"
 	"botmeter/internal/sim"
+	"botmeter/internal/symtab"
 	"botmeter/internal/trace"
 )
 
@@ -124,6 +125,22 @@ type Trace struct {
 	Days int
 	// LocalServer is the single forwarding server's identifier.
 	LocalServer string
+	// Pools maps family name to the symbolized pool cache its runners used
+	// while generating the trace. Analysis passes the same cache to
+	// core.Config.Pools so matched records take the domain-ID fast paths;
+	// nil-safe (analysing without it just falls back to string matching).
+	Pools map[string]*dga.PoolCache
+
+	tab *symtab.Table
+}
+
+// Close recycles the trace's intern table. Call after all analysis over
+// the trace (and its Pools) has finished; safe to call more than once.
+func (t *Trace) Close() {
+	if t.tab != nil {
+		t.tab.Release()
+		t.tab = nil
+	}
 }
 
 // Generate builds the trace.
@@ -175,7 +192,13 @@ func Generate(cfg Config) (*Trace, error) {
 
 	// Infections: one botnet runner per family over the full window, with
 	// per-day populations following a log-normal random walk around the
-	// mean.
+	// mean. All families intern their pool domains into one trace-wide
+	// table (cross-family string collisions then share one ID, keeping the
+	// per-family matchers exact), and every family's per-day runners share
+	// one pool cache, so each epoch's pool is generated once per family
+	// rather than once per day.
+	tab := symtab.Get()
+	pools := make(map[string]*dga.PoolCache, len(cfg.Infections))
 	truth := make(map[string][]int, len(cfg.Infections))
 	w := sim.Window{Start: 0, End: sim.Time(cfg.Days) * sim.Day}
 	for i, inf := range cfg.Infections {
@@ -194,8 +217,11 @@ func Generate(cfg Config) (*Trace, error) {
 			}
 			daily = append(daily, n)
 		}
-		got, err := runInfection(net, inf, daily, w)
+		cache := dga.NewPoolCache(inf.Spec.Pool, inf.Seed, tab)
+		pools[inf.Spec.Name] = cache
+		got, err := runInfection(net, inf, cache, daily, w)
 		if err != nil {
+			tab.Release()
 			return nil, err
 		}
 		truth[inf.Spec.Name] = got
@@ -209,12 +235,14 @@ func Generate(cfg Config) (*Trace, error) {
 		GroundTruth: truth,
 		Days:        cfg.Days,
 		LocalServer: local,
+		Pools:       pools,
+		tab:         tab,
 	}, nil
 }
 
 // runInfection simulates a family day by day (populations vary daily) and
 // returns the realised daily active counts.
-func runInfection(net *dnssim.Network, inf Infection, daily []int, w sim.Window) ([]int, error) {
+func runInfection(net *dnssim.Network, inf Infection, pools *dga.PoolCache, daily []int, w sim.Window) ([]int, error) {
 	const local = "local-00"
 	out := make([]int, len(daily))
 	for day, n := range daily {
@@ -226,6 +254,7 @@ func runInfection(net *dnssim.Network, inf Infection, daily []int, w sim.Window)
 			Seed:            inf.Seed,
 			BotsPerServer:   map[string]int{local: n},
 			ReactivateEvery: inf.ReactivateEvery,
+			Pools:           pools,
 		}, net)
 		if err != nil {
 			return nil, fmt.Errorf("enterprise: %s day %d: %w", inf.Spec.Name, day, err)

@@ -142,7 +142,7 @@ func (mb *Bernoulli) EstimateEpoch(obs trace.Observed, epoch int, cfg Config) (f
 	if len(obs) == 0 {
 		return 0, nil
 	}
-	pool := cfg.Spec.Pool.PoolFor(cfg.Seed, epoch)
+	pool := cfg.poolFor(epoch)
 	view, thetaQ := mb.viewFor(pool, epoch, cfg)
 	if view.size() == 0 {
 		return 0, nil
@@ -157,7 +157,7 @@ func (mb *Bernoulli) EstimateEpoch(obs trace.Observed, epoch int, cfg Config) (f
 	epochStart := sim.Time(epoch) * cfg.EpochLen
 	buckets := make([]map[int]struct{}, numBuckets)
 	for _, rec := range obs {
-		pos, ok := pool.Position(rec.Domain)
+		pos, ok := position(pool, rec)
 		if !ok || pool.ValidAt(pos) {
 			continue
 		}

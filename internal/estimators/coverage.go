@@ -50,21 +50,24 @@ func (ce *Coverage) EstimateEpoch(obs trace.Observed, epoch int, cfg Config) (fl
 	if len(obs) == 0 {
 		return 0, nil
 	}
-	pool := cfg.Spec.Pool.PoolFor(cfg.Seed, epoch)
+	pool := cfg.poolFor(epoch)
 	probs := ce.coverProbabilities(pool, cfg.Spec)
 	if len(probs) == 0 {
 		return 0, nil
 	}
 
 	// Partition the epoch into TTL-aligned buckets of distinct positions.
+	// (Within one pool, domain ↔ position is a bijection, so deduplicating
+	// by position is exactly deduplicating by domain — without hashing the
+	// string when the record carries an interned ID.)
 	numBuckets := 1
 	if cfg.NegativeTTL < cfg.EpochLen {
 		numBuckets = int((cfg.EpochLen + cfg.NegativeTTL - 1) / cfg.NegativeTTL)
 	}
 	epochStart := sim.Time(epoch) * cfg.EpochLen
-	counts := make([]map[string]struct{}, numBuckets)
+	counts := make([]map[int]struct{}, numBuckets)
 	for _, rec := range obs {
-		pos, ok := pool.Position(rec.Domain)
+		pos, ok := position(pool, rec)
 		if !ok || pool.ValidAt(pos) {
 			continue
 		}
@@ -79,9 +82,9 @@ func (ce *Coverage) EstimateEpoch(obs trace.Observed, epoch int, cfg Config) (fl
 			}
 		}
 		if counts[b] == nil {
-			counts[b] = make(map[string]struct{})
+			counts[b] = make(map[int]struct{})
 		}
-		counts[b][rec.Domain] = struct{}{}
+		counts[b][pos] = struct{}{}
 	}
 	var total float64
 	for _, set := range counts {

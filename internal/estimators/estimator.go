@@ -16,6 +16,7 @@ import (
 	"botmeter/internal/d3"
 	"botmeter/internal/dga"
 	"botmeter/internal/sim"
+	"botmeter/internal/symtab"
 	"botmeter/internal/trace"
 )
 
@@ -40,6 +41,31 @@ type Config struct {
 	// (undetectable positions must not split segments) and to scale θq by
 	// the realised coverage. Nil means the full pool is detectable.
 	Detection *d3.Window
+	// Pools, when non-nil, supplies the shared (typically symbolized)
+	// per-trial pool cache. Position-aware estimators (MB, Coverage) then
+	// reuse one pool object per epoch instead of regenerating it from
+	// (Spec, Seed) per call, and resolve pool positions of ID-carrying
+	// records with an O(1) array read instead of a string map lookup.
+	// Results are identical with or without it.
+	Pools *dga.PoolCache
+}
+
+// poolFor materialises the pool for one epoch, through the shared cache
+// when available.
+func (c Config) poolFor(epoch int) *dga.Pool {
+	if c.Pools != nil {
+		return c.Pools.For(epoch)
+	}
+	return c.Spec.Pool.PoolFor(c.Seed, epoch)
+}
+
+// position resolves one record's pool position: ID-carrying records use the
+// O(1) array read, everything else falls back to the string index.
+func position(pool *dga.Pool, rec trace.ObservedRecord) (int, bool) {
+	if rec.ID != symtab.None && pool.IDs != nil {
+		return pool.PositionID(rec.ID)
+	}
+	return pool.Position(rec.Domain)
 }
 
 // withDefaults normalises zero fields.

@@ -18,6 +18,7 @@ import (
 	"botmeter/internal/obs"
 	"botmeter/internal/sim"
 	"botmeter/internal/stats"
+	"botmeter/internal/symtab"
 )
 
 // Fig6Config tunes the synthetic evaluation.
@@ -189,6 +190,14 @@ func defaultTrialParams(spec dga.Spec, population int, seed uint64) trialParams 
 // runTrial simulates one configuration and returns each estimator's ARE
 // against the realised ground truth.
 func runTrial(p trialParams, ests []estimators.Estimator) (map[string]float64, error) {
+	// One intern table + pool cache per trial: the simulator, the matcher
+	// and every estimator below share the same symbolized pool objects, so
+	// the ID fast paths apply end-to-end and each epoch's pool is generated
+	// exactly once instead of once per estimator.
+	tab := symtab.Get()
+	defer tab.Release()
+	pools := dga.NewPoolCache(p.spec.Pool, p.seed, tab)
+
 	simStage := p.stages.Start("fig6:simulate")
 	net := dnssim.NewNetwork(dnssim.NetworkConfig{
 		LocalServers: 1,
@@ -201,6 +210,7 @@ func runTrial(p trialParams, ests []estimators.Estimator) (map[string]float64, e
 		Seed:          p.seed,
 		Activation:    sim.ActivationModel{Sigma: p.sigma},
 		BotsPerServer: map[string]int{"local-00": p.population},
+		Pools:         pools,
 	}, net)
 	if err != nil {
 		return nil, err
@@ -230,6 +240,7 @@ func runTrial(p trialParams, ests []estimators.Estimator) (map[string]float64, e
 		bm, err := core.New(core.Config{
 			Family:      p.spec,
 			Seed:        p.seed,
+			Pools:       pools,
 			NegativeTTL: p.negTTL,
 			Granularity: p.granularity,
 			Estimator:   est,

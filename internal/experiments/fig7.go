@@ -108,6 +108,11 @@ func Figure7(cfg Fig7Config) ([]Fig7Series, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig7: %w", err)
 	}
+	// The trace carries each family's symbolized pool cache; per-day
+	// analysis below reuses it so matched records resolve by domain ID and
+	// no day regenerates pools. The intern table is recycled once every
+	// series is built.
+	defer tr.Close()
 
 	var series []Fig7Series
 	for _, inf := range infections {
@@ -133,6 +138,7 @@ func Figure7(cfg Fig7Config) ([]Fig7Series, error) {
 				bm, err := core.New(core.Config{
 					Family:      inf.Spec,
 					Seed:        inf.Seed,
+					Pools:       tr.Pools[inf.Spec.Name],
 					Granularity: sim.Second,
 					Estimator:   mkEst(),
 					Stages:      cfg.Stages,

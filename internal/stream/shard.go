@@ -96,7 +96,7 @@ func (s *shard) ingestLocked(rec trace.ObservedRecord) {
 	}
 
 	epoch := int(rec.T / e.cfg.Core.EpochLen)
-	if !e.matchers.For(epoch).Match(rec.Domain) {
+	if !e.matchers.For(epoch).MatchRecord(rec) {
 		s.stats.Unmatched++
 		e.m.unmatched.Inc()
 		return

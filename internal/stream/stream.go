@@ -200,7 +200,7 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:       cfg,
 		estimator: est,
-		matchers:  core.NewEpochMatchers(cfg.Core.Family, cfg.Core.Seed, cfg.Core.Detection),
+		matchers:  core.NewEpochMatchers(cfg.Core.Family, cfg.Core.Seed, cfg.Core.Detection, cfg.Core.Pools),
 		estCfg: estimators.Config{
 			Spec:        cfg.Core.Family,
 			Seed:        cfg.Core.Seed,
@@ -208,6 +208,7 @@ func New(cfg Config) (*Engine, error) {
 			NegativeTTL: cfg.Core.NegativeTTL,
 			Granularity: cfg.Core.Granularity,
 			Detection:   cfg.Core.Detection,
+			Pools:       cfg.Core.Pools,
 		},
 	}
 	if sc, ok := est.(estimators.StreamCapable); ok {

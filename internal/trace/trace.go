@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"botmeter/internal/sim"
+	"botmeter/internal/symtab"
 )
 
 // RawRecord is one client-level DNS lookup with its resolution outcome.
@@ -28,6 +29,14 @@ type ObservedRecord struct {
 	T      sim.Time `json:"t"`
 	Server string   `json:"server"`
 	Domain string   `json:"domain"`
+
+	// ID is the interned symtab ID of Domain for records that originated
+	// in-process (the border sets it when the query carried one). It is an
+	// in-memory fast-path hint only: never serialised (traces on disk are
+	// strings; readers leave it symtab.None) and never required — ID ==
+	// symtab.None simply routes matching/estimation through the string
+	// paths.
+	ID symtab.ID `json:"-"`
 }
 
 // Raw is an ordered raw dataset.
@@ -59,7 +68,28 @@ func (r Raw) Window(w sim.Window) Raw {
 }
 
 // Window filters records to the half-open interval w.
+//
+// Time-sorted datasets — every in-process trace (the simulation engine
+// emits in virtual-time order) and anything normalized with Sort — take a
+// zero-copy fast path: the interval's bounds are found by binary search and
+// the result is a subslice of o. Unsorted datasets fall back to a filtering
+// copy. Callers must treat the result as read-only either way; the analysis
+// pipeline only ever reads windowed views. Window was the top allocation
+// site of the per-day analysis loop (one epoch-sized copy per estimator
+// call) before the fast path.
 func (o Observed) Window(w sim.Window) Observed {
+	sorted := true
+	for i := 1; i < len(o); i++ {
+		if o[i].T < o[i-1].T {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		lo := sort.Search(len(o), func(i int) bool { return o[i].T >= w.Start })
+		hi := lo + sort.Search(len(o)-lo, func(i int) bool { return o[lo+i].T >= w.End })
+		return o[lo:hi:hi]
+	}
 	out := make(Observed, 0, len(o))
 	for _, rec := range o {
 		if w.Contains(rec.T) {
