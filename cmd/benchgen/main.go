@@ -35,7 +35,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchgen", flag.ContinueOnError)
-	artifact := fs.String("artifact", "all", "artifact to regenerate: all, table1, fig6, fig6a..fig6e, fig7, table2, reactivation, taxonomy, missing, chaos")
+	artifact := fs.String("artifact", "all", "artifact to regenerate: all, table1, fig6, fig6a..fig6e, fig7, table2, reactivation, taxonomy, missing, chaos, stream, stream-checkpoint")
 	trials := fs.Int("trials", 10, "trials per Figure 6 point")
 	population := fs.Int("population", 64, "default bot population N")
 	days := fs.Int("days", 60, "enterprise trace length for fig7/table2")
@@ -180,6 +180,8 @@ func generate(g genOpts) error {
 		}
 		fmt.Print(experiments.RenderReactivation(rows))
 		return nil
+	case "stream", "stream-checkpoint":
+		return streamBench(g, g.artifact == "stream-checkpoint")
 	case "fig7", "table2":
 		series, err := experiments.Figure7(g.f7)
 		if err != nil {

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunStreamArtifacts: the checkpoint-overhead pair must both run, and
+// their -bench-json records must land as separate series (the artifact
+// name is part of the dedup key, so "stream" and "stream-checkpoint" never
+// collapse into one record).
+func TestRunStreamArtifacts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-artifact", "stream", "-scale", "0.5", "-bench-json", path}); err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if err := run([]string{"-artifact", "stream-checkpoint", "-scale", "0.5", "-bench-json", path}); err != nil {
+		t.Fatalf("stream-checkpoint: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []BenchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("want one record per artifact, got %d: %+v", len(recs), recs)
+	}
+	seen := map[string]bool{}
+	for _, rec := range recs {
+		seen[rec.Artifact] = true
+		if rec.Trials == 0 || rec.NSPerTrial <= 0 {
+			t.Errorf("%s: empty measurement: %+v", rec.Artifact, rec)
+		}
+	}
+	if !seen["stream"] || !seen["stream-checkpoint"] {
+		t.Errorf("artifacts recorded = %v", seen)
+	}
+}

@@ -25,6 +25,11 @@ type followConfig struct {
 	reorder time.Duration // reorder window
 	jsonOut bool
 	topK    int
+
+	checkpointDir      string // crash-recovery checkpoint directory ("" disables)
+	checkpointInterval time.Duration
+	checkpointEvery    uint64
+	resume             bool // restore the newest good checkpoint and replay from its offset
 }
 
 // runFollow is `botmeter -follow`: instead of materialising the trace and
@@ -36,6 +41,12 @@ func runFollow(coreCfg core.Config, fc followConfig) error {
 	if fc.format != "csv" && fc.format != "jsonl" {
 		return fmt.Errorf("-follow supports csv and jsonl input, not %q", fc.format)
 	}
+	if (fc.checkpointDir != "" || fc.resume) && fc.in == "" {
+		return fmt.Errorf("-checkpoint-dir/-resume need a replayable input file (-in), not stdin")
+	}
+	if fc.resume && fc.checkpointDir == "" {
+		return fmt.Errorf("-resume needs -checkpoint-dir")
+	}
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
@@ -43,13 +54,60 @@ func runFollow(coreCfg core.Config, fc followConfig) error {
 	if fc.listen != "" {
 		reg = obs.NewRegistry()
 	}
-	eng, err := stream.New(stream.Config{
+	streamCfg := stream.Config{
 		Core:          coreCfg,
 		ReorderWindow: sim.FromDuration(fc.reorder),
 		Registry:      reg,
-	})
-	if err != nil {
-		return err
+	}
+
+	// Resume path: restore the newest good checkpoint (falling back past
+	// torn/corrupt generations) and replay the input from its offset, so
+	// every record is applied exactly once across the crash.
+	var eng *stream.Engine
+	var skip uint64
+	var err error
+	if fc.resume {
+		state, info, loadErr := stream.LoadCheckpoint(fc.checkpointDir)
+		if loadErr != nil {
+			return loadErr
+		}
+		if info.Found {
+			eng, err = stream.Restore(streamCfg, state)
+			if err != nil {
+				return err
+			}
+			skip = state.Source.Records
+			fmt.Fprintf(os.Stderr, "botmeter: %s, replaying input from record %d\n", info, skip)
+		} else {
+			fmt.Fprintln(os.Stderr, "botmeter: no checkpoint found, starting fresh")
+		}
+	}
+	if eng == nil {
+		eng, err = stream.New(streamCfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	var ck *stream.Checkpointer
+	if fc.checkpointDir != "" {
+		ck, err = stream.NewCheckpointer(stream.CheckpointConfig{
+			Dir:          fc.checkpointDir,
+			Interval:     fc.checkpointInterval,
+			EveryRecords: fc.checkpointEvery,
+			Registry:     reg,
+			SourceMeta: func() (string, int64) {
+				fi, statErr := os.Stat(fc.in)
+				if statErr != nil {
+					return fc.in, 0
+				}
+				return fc.in, fi.Size()
+			},
+		})
+		if err != nil {
+			eng.Close() //nolint:errcheck // the checkpointer error wins
+			return err
+		}
 	}
 	if fc.listen != "" {
 		diag, err := obs.StartHTTP(fc.listen, obs.NewMux(obs.MuxConfig{
@@ -64,7 +122,13 @@ func runFollow(coreCfg core.Config, fc followConfig) error {
 		fmt.Fprintf(os.Stderr, "botmeter: live landscape at http://%s/landscape\n", diag.Addr())
 	}
 
-	opt := stream.FollowOptions{Format: fc.format, Lenient: fc.lenient, Live: fc.live}
+	opt := stream.FollowOptions{
+		Format:      fc.format,
+		Lenient:     fc.lenient,
+		Live:        fc.live,
+		SkipRecords: skip,
+		Checkpoint:  ck,
+	}
 	var res trace.ReadResult
 	if fc.in == "" {
 		res, err = eng.Follow(ctx, os.Stdin, opt)
@@ -75,6 +139,11 @@ func runFollow(coreCfg core.Config, fc followConfig) error {
 		eng.Close() //nolint:errcheck // the read error wins
 		return err
 	}
+	if ck != nil {
+		if err := ck.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "botmeter: last checkpoint failed: %v\n", err)
+		}
+	}
 	land, err := eng.Close()
 	if err != nil {
 		return err
@@ -83,8 +152,12 @@ func runFollow(coreCfg core.Config, fc followConfig) error {
 	if res.Skipped > 0 {
 		fmt.Fprintf(os.Stderr, "botmeter: skipped %d malformed line(s)\n", res.Skipped)
 	}
-	fmt.Fprintf(os.Stderr, "botmeter: streamed %d record(s): %d matched, %d late-dropped, %d epoch cell(s) closed\n",
-		stats.Ingested, stats.Matched, stats.DroppedLate, stats.EpochsClosed)
+	fmt.Fprintf(os.Stderr, "botmeter: streamed %d record(s): %d matched, %d late-dropped, %d reorder-evicted, %d epoch cell(s) closed\n",
+		stats.Ingested, stats.Matched, stats.DroppedLate, stats.ReorderEvictions, stats.EpochsClosed)
+	if stats.DroppedLate+stats.ReorderEvictions > 0 {
+		fmt.Fprintf(os.Stderr, "botmeter: WARNING: %d record(s) lost or force-emitted out of order (late drops + reorder evictions) — the landscape may undercount; consider a larger -reorder-window\n",
+			stats.DroppedLate+stats.ReorderEvictions)
+	}
 	if stats.Ingested == 0 {
 		return fmt.Errorf("no observations in input")
 	}

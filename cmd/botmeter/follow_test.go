@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunFollowOneShot(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "obs.csv")
+	writeTestTrace(t, in)
+	if err := run([]string{
+		"-family", "newgoz", "-seed", "1", "-in", in,
+		"-follow", "-json", "-top", "2",
+	}); err != nil {
+		t.Fatalf("follow: %v", err)
+	}
+}
+
+func TestRunFollowWithListen(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "obs.csv")
+	writeTestTrace(t, in)
+	if err := run([]string{
+		"-family", "newgoz", "-seed", "1", "-in", in,
+		"-follow", "-listen", "127.0.0.1:0",
+	}); err != nil {
+		t.Fatalf("follow with /landscape endpoint: %v", err)
+	}
+}
+
+// TestRunFollowCheckpointResume: a -follow run with -checkpoint-dir leaves
+// restorable generations behind; a second run with -resume restores the
+// newest one and replays only the tail, landing on the same landscape.
+func TestRunFollowCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "obs.csv")
+	writeTestTrace(t, in)
+	ckDir := filepath.Join(dir, "ckpt")
+
+	base := []string{
+		"-family", "newgoz", "-seed", "1", "-in", in,
+		"-follow", "-checkpoint-dir", ckDir, "-checkpoint-every", "25",
+	}
+	if err := run(base); err != nil {
+		t.Fatalf("checkpointing run: %v", err)
+	}
+	gens, err := filepath.Glob(filepath.Join(ckDir, "checkpoint-*.ckpt"))
+	if err != nil || len(gens) == 0 {
+		t.Fatalf("no checkpoint generations written: %v, %v", gens, err)
+	}
+	if err := run(append(base, "-resume")); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+
+	// -resume against a directory with no checkpoints starts fresh rather
+	// than failing: a first boot with recovery flags already set.
+	empty := filepath.Join(dir, "empty-ckpt")
+	if err := os.MkdirAll(empty, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{
+		"-family", "newgoz", "-seed", "1", "-in", in,
+		"-follow", "-checkpoint-dir", empty, "-resume",
+	}); err != nil {
+		t.Fatalf("resume with no checkpoint: %v", err)
+	}
+}
+
+func TestRunFollowValidation(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "obs.csv")
+	writeTestTrace(t, in)
+	if err := run([]string{"-family", "newgoz", "-in", in, "-follow", "-format", "bind"}); err == nil {
+		t.Error("-follow with bind input should fail (not streamable)")
+	}
+	if err := run([]string{"-family", "newgoz", "-follow", "-checkpoint-dir", dir}); err == nil {
+		t.Error("-checkpoint-dir over stdin should fail (not replayable)")
+	}
+	if err := run([]string{"-family", "newgoz", "-in", in, "-follow", "-resume"}); err == nil {
+		t.Error("-resume without -checkpoint-dir should fail")
+	}
+}
+
+func TestRunFollowEmptyInput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "empty.csv")
+	if err := os.WriteFile(in, []byte("t_ms,server,domain\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-family", "newgoz", "-in", in, "-follow"}); err == nil {
+		t.Error("empty streamed trace should fail with a clear error")
+	}
+}

@@ -59,6 +59,10 @@ func run(args []string) error {
 	followLive := fs.Bool("live", false, "with -follow: keep tailing the input after EOF (live capture) until interrupted")
 	followListen := fs.String("listen", "", "with -follow: serve the evolving landscape at /landscape (plus /metrics, /debug/pprof) on this address")
 	reorderWindow := fs.Duration("reorder-window", 2*time.Second, "with -follow: how far out of order timestamps may arrive and still be re-sequenced")
+	checkpointDir := fs.String("checkpoint-dir", "", "with -follow: write crash-recovery checkpoints of the engine state to this directory")
+	checkpointInterval := fs.Duration("checkpoint-interval", 30*time.Second, "with -checkpoint-dir: wall-clock checkpoint cadence (0 disables the time trigger)")
+	checkpointEvery := fs.Uint64("checkpoint-every", 0, "with -checkpoint-dir: also checkpoint every N input records (0 disables the count trigger)")
+	resume := fs.Bool("resume", false, "with -checkpoint-dir: restore the newest good checkpoint and replay the input from its offset instead of starting fresh")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -122,6 +126,11 @@ func run(args []string) error {
 			reorder: *reorderWindow,
 			jsonOut: *jsonOut,
 			topK:    *topK,
+
+			checkpointDir:      *checkpointDir,
+			checkpointInterval: *checkpointInterval,
+			checkpointEvery:    *checkpointEvery,
+			resume:             *resume,
 		})
 	}
 

@@ -99,6 +99,10 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	obsAddr := fs.String("obs-addr", "", "HTTP diagnostics address serving /metrics, /healthz, /debug/vars and /debug/pprof (empty disables)")
 	liveFamily := fs.String("live-estimate", "", "maintain a live landscape for this DGA family in-process; served as JSON at /landscape on -obs-addr")
 	liveSeed := fs.Uint64("live-seed", 1, "DGA seed reconstructing the -live-estimate family's pools")
+	checkpointDir := fs.String("checkpoint-dir", "", "with -live-estimate: checkpoint the engine state here and recover it (checkpoint restore + replay of the observed dataset) on startup")
+	checkpointInterval := fs.Duration("checkpoint-interval", 30*time.Second, "with -checkpoint-dir: wall-clock checkpoint cadence (0 disables the time trigger)")
+	checkpointEvery := fs.Uint64("checkpoint-every", 0, "with -checkpoint-dir: also checkpoint every N observed records (0 disables the count trigger)")
+	crashSpec := fs.String("crash", "", "deterministic crash injection for recovery testing, e.g. records=500 or point=checkpoint-write:1")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	logFormat := fs.String("log-format", "logfmt", "log encoding: logfmt or json")
 	if err := fs.Parse(args); err != nil {
@@ -117,29 +121,16 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	if err != nil {
 		return err
 	}
+	crasher, err := parseCrash(*crashSpec)
+	if err != nil {
+		return err
+	}
+	if *checkpointDir != "" && *liveFamily == "" {
+		return fmt.Errorf("-checkpoint-dir needs -live-estimate (there is no engine state to checkpoint)")
+	}
 	var reg *obs.Registry
 	if *obsAddr != "" {
 		reg = obs.NewRegistry()
-	}
-
-	// Live estimation: every observation is ALSO fed to the online
-	// landscape engine, so /landscape serves the evolving chart without a
-	// separate botmeter pass over the dataset.
-	var est *stream.Engine
-	if *liveFamily != "" {
-		spec, err := dga.Lookup(*liveFamily)
-		if err != nil {
-			return err
-		}
-		est, err = stream.New(stream.Config{
-			Core:     core.Config{Family: spec, Seed: *liveSeed},
-			Registry: reg,
-		})
-		if err != nil {
-			return err
-		}
-		logger.Info("live estimation enabled",
-			"family", spec.Name, "estimator", est.EstimatorName(), "seed", *liveSeed)
 	}
 
 	zone, err := loadZone(*zonePath)
@@ -147,13 +138,85 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		return err
 	}
 	reg.Gauge(metricZoneSize).Set(float64(len(zone)))
-	// Crash recovery: drop a torn final line from a previous unclean
-	// shutdown so this run appends on a line boundary.
+	// Crash recovery, part 1: drop a torn final line from a previous
+	// unclean shutdown so this run appends on a line boundary — and so the
+	// checkpoint replay below reads only whole records.
 	if removed, err := trace.TruncateTornTail(*observedPath); err != nil {
 		return fmt.Errorf("recovering %s: %w", *observedPath, err)
 	} else if removed > 0 {
 		logger.Warn("recovered torn observed dataset", "path", *observedPath, "truncated_bytes", removed)
 	}
+
+	// Live estimation: every observation is ALSO fed to the online
+	// landscape engine, so /landscape serves the evolving chart without a
+	// separate botmeter pass over the dataset. With -checkpoint-dir, the
+	// engine state survives crashes: recovery restores the newest good
+	// checkpoint (falling back past torn/corrupt generations), replays the
+	// observed dataset from the checkpoint's record offset — exactly-once:
+	// each record's effect is applied either by the restored state or by
+	// the replay, never both — and quiesces the reorder buffers so
+	// /landscape immediately reflects everything durable.
+	var est *stream.Engine
+	var consumed uint64 // well-formed records durably in the observed dataset
+	var recovery string
+	if *liveFamily != "" {
+		spec, err := dga.Lookup(*liveFamily)
+		if err != nil {
+			return err
+		}
+		streamCfg := stream.Config{
+			Core:     core.Config{Family: spec, Seed: *liveSeed},
+			Registry: reg,
+		}
+		var skip uint64
+		if *checkpointDir != "" {
+			state, info, err := stream.LoadCheckpoint(*checkpointDir)
+			if err != nil {
+				return err
+			}
+			if info.Found {
+				stale := false
+				if state.Source.Bytes > 0 {
+					fi, statErr := os.Stat(*observedPath)
+					stale = statErr != nil || fi.Size() < state.Source.Bytes
+				}
+				if stale {
+					logger.Warn("checkpoint is newer than the observed dataset (rotated or truncated?); starting fresh",
+						"generation", info.Gen)
+				} else {
+					est, err = stream.Restore(streamCfg, state)
+					if err != nil {
+						return err
+					}
+					skip = state.Source.Records
+					recovery = info.String()
+					logger.Info("restored checkpoint",
+						"generation", info.Gen, "records", skip, "corrupt_skipped", info.CorruptSkipped)
+				}
+			}
+		}
+		if est == nil {
+			est, err = stream.New(streamCfg)
+			if err != nil {
+				return err
+			}
+		}
+		if *checkpointDir != "" {
+			consumed, err = replayObserved(est, *observedPath, skip)
+			if err != nil {
+				return fmt.Errorf("replaying %s: %w", *observedPath, err)
+			}
+			if err := est.Quiesce(); err != nil {
+				return err
+			}
+			if consumed > skip {
+				logger.Info("replayed observed dataset", "records", consumed-skip, "resumed_at", skip)
+			}
+		}
+		logger.Info("live estimation enabled",
+			"family", spec.Name, "estimator", est.EstimatorName(), "seed", *liveSeed)
+	}
+
 	out, err := os.OpenFile(*observedPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
@@ -178,12 +241,14 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		"observed", *observedPath)
 
 	srv := &sink{
-		zone:    zone,
-		ttl:     uint32(*ttl),
-		started: time.Now(),
-		inj:     inj,
-		est:     est,
-		log:     logger,
+		zone:     zone,
+		ttl:      uint32(*ttl),
+		started:  time.Now(),
+		inj:      inj,
+		est:      est,
+		crash:    crasher,
+		consumed: consumed,
+		log:      logger,
 		out: trace.NewSafeWriter(out, trace.SafeWriterConfig{
 			FlushInterval: *flushInterval,
 			FlushEvery:    *flushEvery,
@@ -193,10 +258,56 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	if reg != nil {
 		srv.m = newSinkMetrics(reg)
 	}
+	if *checkpointDir != "" {
+		srv.ck, err = stream.NewCheckpointer(stream.CheckpointConfig{
+			Dir:          *checkpointDir,
+			Interval:     *checkpointInterval,
+			EveryRecords: *checkpointEvery,
+			Registry:     reg,
+			Crash:        crasher,
+			// Flush the observed-dataset writer before the state export, so
+			// the durable file prefix covers the cut and a later replay
+			// finds every record the checkpoint claims to have consumed. A
+			// sticky write error blocks checkpointing: a checkpoint ahead
+			// of the durable file would double-apply records on resume.
+			PreSync: func() error {
+				if err := srv.out.Flush(); err != nil {
+					return err
+				}
+				return srv.out.Err()
+			},
+			SourceMeta: func() (string, int64) {
+				fi, statErr := os.Stat(*observedPath)
+				if statErr != nil {
+					return *observedPath, 0
+				}
+				return *observedPath, fi.Size()
+			},
+		})
+		if err != nil {
+			return err
+		}
+		logger.Info("checkpointing enabled",
+			"dir", *checkpointDir, "interval", checkpointInterval.String(), "every_records", *checkpointEvery)
+	}
 	if *obsAddr != "" {
 		muxCfg := obs.MuxConfig{Registry: reg, Health: srv.health}
 		if est != nil {
 			muxCfg.Landscape = est.LandscapeJSON
+		}
+		muxCfg.Status = func() string {
+			var lines []string
+			if recovery != "" {
+				lines = append(lines, recovery)
+			}
+			if srv.ck != nil {
+				st := srv.ck.Stats()
+				if st.Written > 0 {
+					lines = append(lines, fmt.Sprintf("checkpoint generation %d at record %d (%d written, %d skipped, %d errors)",
+						st.Gen, st.LastRecords, st.Written, st.Skipped, st.Errors))
+				}
+			}
+			return strings.Join(lines, "\n")
 		}
 		diag, err := obs.StartHTTP(*obsAddr, obs.NewMux(muxCfg))
 		if err != nil {
@@ -219,6 +330,14 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	}
 	if inj != nil {
 		logger.Info("chaos counters", "counters", inj.Counters().String())
+	}
+	if srv.ck != nil {
+		// Final checkpoint at the clean-shutdown cut, so the next start
+		// restores instead of replaying the whole dataset. Must precede
+		// est.Close(): a closed engine cannot export.
+		if err := srv.ck.Checkpoint(est, srv.consumed); err != nil {
+			logger.Error("final checkpoint failed", "err", err)
+		}
 	}
 	if est != nil {
 		// The serve loop has returned, so no Observe is in flight.
@@ -243,11 +362,19 @@ type sink struct {
 	out     *trace.SafeWriter
 	inj     *faults.Injector
 	est     *stream.Engine
+	ck      *stream.Checkpointer
+	crash   *faults.Crasher
 	log     *obs.Logger
 	m       sinkMetrics
 
+	// consumed counts well-formed records durably appended to the observed
+	// dataset (seeded with the records found at startup). It is the source
+	// position checkpoints cut at — only touched by the serve goroutine.
+	consumed uint64
+
 	mu        sync.Mutex
 	writeErrs int
+	ckErrs    int
 }
 
 // health implements the /healthz probe: unhealthy while the observed-
@@ -315,6 +442,7 @@ func (s *sink) handle(pkt []byte, from net.Addr) []byte {
 		Server: server,
 		Domain: domain,
 	}
+	durable := false
 	if err := s.out.Append(rec); err != nil {
 		// A failing disk must not take the DNS plane down, but it must be
 		// loud: log the first few occurrences, keep counting, and flip the
@@ -331,12 +459,33 @@ func (s *sink) handle(pkt []byte, from net.Addr) []byte {
 		}
 	} else {
 		s.m.observed.Inc()
+		s.consumed++
+		durable = true
 	}
 	if s.est != nil {
 		// Backpressure from the engine's shard channels bounds queuing;
 		// the only possible error is "engine closed" during shutdown.
 		s.est.Observe(rec) //nolint:errcheck
+		// Checkpoint on cadence, keyed to the durable record count — a
+		// record that failed to persist must not advance the cut, or a
+		// later replay would miss it. The state export is a brief in-memory
+		// barrier; file I/O happens off this goroutine.
+		if s.ck != nil && durable {
+			if err := s.ck.Maybe(s.est, s.consumed); err != nil {
+				s.mu.Lock()
+				s.ckErrs++
+				n := s.ckErrs
+				s.mu.Unlock()
+				if n <= 3 {
+					s.log.Error("checkpoint error", "count", n, "err", err)
+				}
+			}
+		}
 	}
+	// Deterministic crash injection ("die after N records") sits at the end
+	// of the observation path, so the Nth record's full effect — durable
+	// append, engine state, any due checkpoint — precedes the crash.
+	s.crash.Record()
 
 	ip := s.zone[domain]
 	resp := dnswire.NewResponse(msg, ip, s.ttl)
@@ -352,6 +501,42 @@ func (s *sink) writeErrors() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.writeErrs
+}
+
+// parseCrash builds the crash injector from the -crash flag (nil when
+// disabled; nil crashers are safe to call).
+func parseCrash(spec string) (*faults.Crasher, error) {
+	s, err := faults.ParseCrashSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return faults.NewCrasher(s), nil
+}
+
+// replayObserved feeds the durable observed dataset through the engine,
+// discarding the first skip records (the restored checkpoint already holds
+// their effects), and returns the total well-formed record count — the
+// starting source position for new checkpoints. Lenient parsing matches
+// the live capture's torn-tail tolerance; a missing file means a first
+// start (0 records).
+func replayObserved(e *stream.Engine, path string, skip uint64) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	var n uint64
+	_, err = trace.StreamObserved(f, "jsonl", trace.ReadOptions{Lenient: true}, func(rec trace.ObservedRecord) error {
+		n++
+		if n <= skip {
+			return nil
+		}
+		return e.Observe(rec)
+	})
+	return n, err
 }
 
 // loadZone reads "domain [ip]" lines; a missing IP defaults to 192.0.2.1

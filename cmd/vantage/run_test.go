@@ -1,0 +1,235 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"botmeter/internal/dnswire"
+)
+
+// freeAddr reserves an ephemeral localhost port of the given network and
+// returns it as host:port. The listener is closed before returning, so
+// there is a tiny reuse window — fine for tests.
+func freeAddr(t *testing.T, network string) string {
+	t.Helper()
+	switch network {
+	case "udp":
+		conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Skipf("loopback UDP unavailable: %v", err)
+		}
+		defer conn.Close()
+		return conn.LocalAddr().String()
+	default:
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Skipf("loopback TCP unavailable: %v", err)
+		}
+		defer ln.Close()
+		return ln.Addr().String()
+	}
+}
+
+// waitHealthz polls the diagnostics endpoint until it answers.
+func waitHealthz(t *testing.T, obsAddr string) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + obsAddr + "/healthz")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return string(body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("vantage never became healthy")
+	return ""
+}
+
+// queryVantage sends one DNS query over UDP and waits for the answer, so
+// the observation is known to have entered the sink before returning.
+func queryVantage(t *testing.T, dnsAddr, domain string, id uint16) {
+	t.Helper()
+	client, err := net.Dial("udp", dnsAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	wire, err := dnswire.NewQuery(id, domain).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	client.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 4096)
+	if _, err := client.Read(buf); err != nil {
+		t.Fatalf("no response for %s: %v", domain, err)
+	}
+}
+
+// TestRunLiveCheckpointLifecycle drives the full daemon through run():
+// serve real UDP DNS with live estimation and checkpointing, stop it, then
+// restart over the same state and verify /healthz reports the recovery.
+func TestRunLiveCheckpointLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	obsPath := filepath.Join(dir, "obs.jsonl")
+	ckDir := filepath.Join(dir, "ckpt")
+	logf, err := os.Create(filepath.Join(dir, "vantage.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer logf.Close()
+	dnsAddr := freeAddr(t, "udp")
+	obsAddr := freeAddr(t, "tcp")
+	args := []string{
+		"-listen", dnsAddr,
+		"-observed", obsPath,
+		"-flush-interval", "20ms", "-flush-every", "1",
+		"-live-estimate", "newgoz", "-live-seed", "7",
+		"-checkpoint-dir", ckDir, "-checkpoint-every", "3",
+		"-obs-addr", obsAddr,
+		// A -crash spec that never fires still arms the injector, which
+		// makes checkpoint writes synchronous — deterministic for the
+		// generation assertions below.
+		"-crash", "records=1000000",
+		"-log-level", "error",
+	}
+	boot := func() (context.CancelFunc, chan error) {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- run(ctx, args, logf) }()
+		waitHealthz(t, obsAddr)
+		return cancel, done
+	}
+
+	cancel, done := boot()
+	for i := 0; i < 10; i++ {
+		queryVantage(t, dnsAddr, fmt.Sprintf("bot-%d.example.com", i), uint16(100+i))
+	}
+	// 10 durable records at an every-3 cadence: at least one generation.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if gens, _ := filepath.Glob(filepath.Join(ckDir, "checkpoint-*.ckpt")); len(gens) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint generation appeared")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	resp, err := http.Get("http://" + obsAddr + "/landscape")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/landscape: %v, %v", resp, err)
+	}
+	resp.Body.Close()
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+
+	// Restart over the same observed dataset and checkpoint directory: the
+	// daemon must restore the newest generation and say so on /healthz.
+	cancel, done = boot()
+	body := waitHealthz(t, obsAddr)
+	if !strings.Contains(body, "recovered from checkpoint generation") {
+		t.Errorf("recovery status missing from /healthz: %q", body)
+	}
+	queryVantage(t, dnsAddr, "bot-after-restart.example.com", 999)
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+}
+
+// TestRunStaleCheckpointStartsFresh: a checkpoint that claims more durable
+// bytes than the observed dataset holds (rotated or truncated capture) must
+// be ignored rather than resumed past the end of the file.
+func TestRunStaleCheckpointStartsFresh(t *testing.T) {
+	dir := t.TempDir()
+	obsPath := filepath.Join(dir, "obs.jsonl")
+	ckDir := filepath.Join(dir, "ckpt")
+	logf, err := os.Create(filepath.Join(dir, "vantage.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer logf.Close()
+	dnsAddr := freeAddr(t, "udp")
+	obsAddr := freeAddr(t, "tcp")
+	args := []string{
+		"-listen", dnsAddr,
+		"-observed", obsPath,
+		"-flush-interval", "20ms", "-flush-every", "1",
+		"-live-estimate", "newgoz", "-live-seed", "7",
+		"-checkpoint-dir", ckDir, "-checkpoint-every", "2",
+		"-obs-addr", obsAddr,
+		"-log-level", "error",
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, args, logf) }()
+	waitHealthz(t, obsAddr)
+	for i := 0; i < 6; i++ {
+		queryVantage(t, dnsAddr, fmt.Sprintf("stale-%d.example.com", i), uint16(200+i))
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+
+	// Simulate a rotation: the dataset restarts empty while the checkpoint
+	// still references the old bytes.
+	if err := os.WriteFile(obsPath, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel = context.WithCancel(context.Background())
+	go func() { done <- run(ctx, args, logf) }()
+	body := waitHealthz(t, obsAddr)
+	if strings.Contains(body, "recovered from checkpoint generation") {
+		t.Error("stale checkpoint was restored over a truncated dataset")
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+}
+
+// TestRunFlagValidation covers the fail-fast paths of run().
+func TestRunFlagValidation(t *testing.T) {
+	cases := map[string][]string{
+		"bad flag":                {"-no-such-flag"},
+		"bad log level":           {"-log-level", "loud"},
+		"bad log format":          {"-log-format", "yaml"},
+		"bad chaos spec":          {"-chaos", "loss=oops"},
+		"bad crash spec":          {"-crash", "sometimes"},
+		"checkpoint without live": {"-checkpoint-dir", t.TempDir()},
+		"unknown live family":     {"-live-estimate", "no-such-family"},
+		"missing zone file":       {"-zone", filepath.Join(t.TempDir(), "nope.txt")},
+		"unwritable observed dir": {"-observed", filepath.Join(t.TempDir(), "missing-dir", "obs.jsonl")},
+		// The last two get a scratch -observed so the failing stage is the
+		// listener, not a stray capture file in the working directory.
+		"malformed listen address": {
+			"-observed", filepath.Join(t.TempDir(), "obs.jsonl"),
+			"-listen", "127.0.0.1:notaport",
+		},
+		"malformed diagnostic address": {
+			"-observed", filepath.Join(t.TempDir(), "obs.jsonl"),
+			"-live-estimate", "newgoz", "-obs-addr", "127.0.0.1:notaport",
+		},
+	}
+	for name, args := range cases {
+		if err := run(context.Background(), args, os.Stderr); err == nil {
+			t.Errorf("%s: run(%v) should fail", name, args)
+		}
+	}
+}

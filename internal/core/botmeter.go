@@ -146,6 +146,20 @@ type Landscape struct {
 	Total float64
 	// MatchedLookups counts all DGA-attributed lookups in the window.
 	MatchedLookups int
+	// Ingest, when non-nil, carries the streaming engine's delivery tallies
+	// so silent data loss (late drops, reorder-buffer evictions) is visible
+	// next to the chart it degraded. Batch analysis sees every record by
+	// construction and leaves it nil.
+	Ingest *IngestStats
+}
+
+// IngestStats is the delivery tally of a streamed landscape (the subset of
+// the engine's counters an operator needs to judge the chart's fidelity).
+type IngestStats struct {
+	Ingested         uint64
+	Matched          uint64
+	DroppedLate      uint64
+	ReorderEvictions uint64
 }
 
 // Analyze charts the landscape from an observable dataset over a window.

@@ -22,7 +22,15 @@ type landscapeJSON struct {
 	WindowEndMS    int64                `json:"window_end_ms"`
 	Total          float64              `json:"total_estimated_population"`
 	MatchedLookups int                  `json:"matched_lookups"`
+	Ingest         *ingestStatsJSON     `json:"ingest,omitempty"`
 	Servers        []serverEstimateJSON `json:"servers"`
+}
+
+type ingestStatsJSON struct {
+	Ingested         uint64 `json:"ingested"`
+	Matched          uint64 `json:"matched"`
+	DroppedLate      uint64 `json:"dropped_late"`
+	ReorderEvictions uint64 `json:"reorder_evictions"`
 }
 
 type serverEstimateJSON struct {
@@ -45,6 +53,14 @@ func (l *Landscape) WriteJSON(w io.Writer) error {
 		WindowEndMS:    int64(l.Window.End),
 		Total:          l.Total,
 		MatchedLookups: l.MatchedLookups,
+	}
+	if l.Ingest != nil {
+		out.Ingest = &ingestStatsJSON{
+			Ingested:         l.Ingest.Ingested,
+			Matched:          l.Ingest.Matched,
+			DroppedLate:      l.Ingest.DroppedLate,
+			ReorderEvictions: l.Ingest.ReorderEvictions,
+		}
 	}
 	for i, s := range l.Servers {
 		out.Servers = append(out.Servers, serverEstimateJSON{

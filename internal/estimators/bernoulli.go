@@ -3,6 +3,7 @@ package estimators
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"botmeter/internal/dga"
@@ -205,6 +206,20 @@ func (mb *Bernoulli) sumSegments(view *circleView, buckets []map[int]struct{}, t
 		counted[s] = struct{}{}
 		total += mb.expectedBots(s, thetaQ)
 	}
+	// Finalize in deterministic (sorted-key) order: float addition is not
+	// associative, so map-order accumulation would perturb the last ulp of
+	// the total from run to run and break the engine's byte-identical
+	// replay guarantees.
+	flush := func(m map[int]segment) {
+		keys := make([]int, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			finalize(m[k])
+		}
+	}
 	for b := 0; b < len(buckets); b++ {
 		distinct += len(buckets[b])
 		segs := extractSegments(view, buckets[b], gapTol)
@@ -220,14 +235,10 @@ func (mb *Bernoulli) sumSegments(view *circleView, buckets []map[int]struct{}, t
 			}
 			next[s.end(circle)] = s
 		}
-		for _, s := range pending {
-			finalize(s)
-		}
+		flush(pending)
 		pending = next
 	}
-	for _, s := range pending {
-		finalize(s)
-	}
+	flush(pending)
 	return total, covered, distinct
 }
 

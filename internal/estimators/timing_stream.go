@@ -1,6 +1,8 @@
 package estimators
 
 import (
+	"sort"
+
 	"botmeter/internal/sim"
 	"botmeter/internal/trace"
 )
@@ -129,3 +131,54 @@ func (s *TimingStream) Estimate() float64 {
 // ActiveCandidates reports how many candidates still hold domain state —
 // the stream's memory footprint, exposed for bounded-memory assertions.
 func (s *TimingStream) ActiveCandidates() int { return len(s.active) }
+
+// TimingState is the serializable state of one TimingStream — everything a
+// checkpoint must persist to resume incremental MT estimation exactly where
+// it stopped. Candidate order is significant (Observe scans candidates in
+// creation order), so Active is a slice, not a set; the domain sets inside
+// each candidate are order-insensitive and exported sorted for stable
+// checkpoint bytes.
+type TimingState struct {
+	Expired int               `json:"expired"`
+	Active  []TimingCandidate `json:"active,omitempty"`
+}
+
+// TimingCandidate is one still-absorbing candidate bot.
+type TimingCandidate struct {
+	First   sim.Time `json:"first"`
+	Domains []string `json:"domains"`
+}
+
+// ExportState snapshots the stream for checkpointing. The stream remains
+// usable; the returned state shares nothing with it.
+func (s *TimingStream) ExportState() TimingState {
+	st := TimingState{Expired: s.expired}
+	if len(s.active) > 0 {
+		st.Active = make([]TimingCandidate, len(s.active))
+	}
+	for i, entry := range s.active {
+		domains := make([]string, 0, len(entry.domains))
+		for d := range entry.domains {
+			domains = append(domains, d)
+		}
+		sort.Strings(domains)
+		st.Active[i] = TimingCandidate{First: entry.first, Domains: domains}
+	}
+	return st
+}
+
+// RestoreState replaces the stream's state with a previously exported one.
+// The stream's configuration (δi, max duration) is NOT part of the state —
+// it is re-derived from the engine config at OpenEpoch, which checkpoint
+// recovery validates via the config fingerprint.
+func (s *TimingStream) RestoreState(st TimingState) {
+	s.expired = st.Expired
+	s.active = s.active[:0]
+	for _, cand := range st.Active {
+		domains := make(map[string]struct{}, len(cand.Domains))
+		for _, d := range cand.Domains {
+			domains[d] = struct{}{}
+		}
+		s.active = append(s.active, &timingEntry{first: cand.First, domains: domains})
+	}
+}

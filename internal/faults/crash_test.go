@@ -1,0 +1,102 @@
+package faults
+
+import "testing"
+
+func TestParseCrashSpec(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    CrashSpec
+		wantErr bool
+	}{
+		{"", CrashSpec{}, false},
+		{"none", CrashSpec{}, false},
+		{"  none  ", CrashSpec{}, false},
+		{"records=500", CrashSpec{AfterRecords: 500}, false},
+		{"point=checkpoint-write", CrashSpec{Point: "checkpoint-write", PointNth: 1}, false},
+		{"point=checkpoint-write:2", CrashSpec{Point: "checkpoint-write", PointNth: 2}, false},
+		{"records=500,point=checkpoint-rename:1", CrashSpec{AfterRecords: 500, Point: "checkpoint-rename", PointNth: 1}, false},
+		{"records=0", CrashSpec{}, true},
+		{"records=abc", CrashSpec{}, true},
+		{"point=", CrashSpec{}, true},
+		{"point=x:0", CrashSpec{}, true},
+		{"point=x:y", CrashSpec{}, true},
+		{"bogus", CrashSpec{}, true},
+		{"what=ever", CrashSpec{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseCrashSpec(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseCrashSpec(%q) error = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseCrashSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCrashSpecRoundTrip(t *testing.T) {
+	for _, in := range []string{"none", "records=500", "point=checkpoint-write:2", "records=500,point=checkpoint-rename:1"} {
+		spec, err := ParseCrashSpec(in)
+		if err != nil {
+			t.Fatalf("ParseCrashSpec(%q): %v", in, err)
+		}
+		if got := spec.String(); got != in {
+			t.Errorf("ParseCrashSpec(%q).String() = %q", in, got)
+		}
+	}
+}
+
+func TestCrasherRecord(t *testing.T) {
+	c := NewCrasher(CrashSpec{AfterRecords: 3})
+	var died []string
+	c.Die = func(reason string) { died = append(died, reason) }
+	for i := 0; i < 10; i++ {
+		c.Record()
+	}
+	if len(died) != 1 {
+		t.Fatalf("Die fired %d times, want exactly once", len(died))
+	}
+	if died[0] != "after 3 records" {
+		t.Errorf("reason = %q", died[0])
+	}
+}
+
+func TestCrasherPoint(t *testing.T) {
+	c := NewCrasher(CrashSpec{Point: "checkpoint-write", PointNth: 2})
+	var fired int
+	c.Die = func(string) { fired++ }
+	c.Point("checkpoint-rename") // different point: never fires
+	c.Point("checkpoint-write")  // 1st occurrence: not yet
+	if fired != 0 {
+		t.Fatalf("fired early (%d)", fired)
+	}
+	c.Point("checkpoint-write") // 2nd occurrence: fires
+	c.Point("checkpoint-write") // fired-once semantics
+	if fired != 1 {
+		t.Fatalf("Die fired %d times, want exactly once", fired)
+	}
+}
+
+func TestCrasherFiresOnceAcrossTriggers(t *testing.T) {
+	c := NewCrasher(CrashSpec{AfterRecords: 1, Point: "p", PointNth: 1})
+	var fired int
+	c.Die = func(string) { fired++ }
+	c.Record()
+	c.Point("p")
+	if fired != 1 {
+		t.Fatalf("Die fired %d times across triggers, want once", fired)
+	}
+}
+
+func TestCrasherNilSafe(t *testing.T) {
+	var c *Crasher
+	c.Record()
+	c.Point("anything")
+	if got := c.Spec(); got.Enabled() {
+		t.Errorf("nil crasher spec = %+v, want disabled", got)
+	}
+	if NewCrasher(CrashSpec{}) != nil {
+		t.Error("NewCrasher(zero spec) should be nil")
+	}
+}

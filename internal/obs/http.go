@@ -17,6 +17,11 @@ type MuxConfig struct {
 	// Health backs /healthz: nil or a nil-returning func is healthy (200);
 	// an error yields 503 with the error text.
 	Health func() error
+	// Status, when non-nil, contributes extra lines to a healthy /healthz
+	// body after the "ok" — e.g. cmd/vantage's crash-recovery status
+	// ("recovered from checkpoint generation 4, replayed 1200 records").
+	// An empty return adds nothing.
+	Status func() string
 	// Tracer backs /debug/spans (nil serves nothing).
 	Tracer *Tracer
 	// Landscape backs /landscape: a function returning the current
@@ -43,6 +48,11 @@ func NewMux(cfg MuxConfig) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+		if cfg.Status != nil {
+			if s := cfg.Status(); s != "" {
+				fmt.Fprintln(w, s)
+			}
+		}
 	})
 	mux.HandleFunc("/landscape", func(w http.ResponseWriter, r *http.Request) {
 		if cfg.Landscape == nil {

@@ -1,0 +1,523 @@
+package stream
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"botmeter/internal/faults"
+	"botmeter/internal/obs"
+)
+
+// Checkpoint metric families (see CheckpointConfig.Registry).
+const (
+	MetricCheckpoints        = "stream_checkpoints_total"
+	MetricCheckpointErrors   = "stream_checkpoint_errors_total"
+	MetricCheckpointSkipped  = "stream_checkpoint_skipped_total"
+	MetricCheckpointGen      = "stream_checkpoint_generation"
+	MetricCheckpointBytes    = "stream_checkpoint_bytes"
+	MetricCheckpointDuration = "stream_checkpoint_duration_ms"
+	MetricCheckpointAge      = "stream_checkpoint_last_unix_ms"
+)
+
+// Checkpoint file format (DESIGN.md §15): a fixed 48-byte header followed
+// by a JSON-encoded EngineState.
+//
+//	offset  size  field
+//	     0     4  magic "BMCP"
+//	     4     4  format version (big-endian uint32)
+//	     8     8  payload length (big-endian uint64)
+//	    16    32  SHA-256 of the payload
+//	    48     …  payload (JSON EngineState)
+//
+// The checksum plus length makes torn or bit-flipped files detectable
+// without trusting the JSON parser; the version makes format evolution an
+// explicit migration instead of a decode surprise. Files are written to a
+// temp name, fsynced, then renamed into place (with a directory fsync), so
+// a final-name checkpoint is complete on any POSIX filesystem — a crash
+// mid-write leaves only a .tmp- file, which recovery ignores and the next
+// successful checkpoint sweeps away.
+const (
+	checkpointMagic   = "BMCP"
+	checkpointVersion = 1
+	checkpointHeader  = 48
+	checkpointPrefix  = "checkpoint-"
+	checkpointExt     = ".ckpt"
+	checkpointTmpPre  = ".tmp-"
+)
+
+// EncodeCheckpoint frames st in the checkpoint file format.
+func EncodeCheckpoint(st *EngineState) ([]byte, error) {
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("stream: encoding checkpoint: %w", err)
+	}
+	buf := make([]byte, checkpointHeader+len(payload))
+	copy(buf[0:4], checkpointMagic)
+	binary.BigEndian.PutUint32(buf[4:8], checkpointVersion)
+	binary.BigEndian.PutUint64(buf[8:16], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(buf[16:48], sum[:])
+	copy(buf[checkpointHeader:], payload)
+	return buf, nil
+}
+
+// DecodeCheckpoint verifies the framing and checksum and unmarshals the
+// state. Any deviation — short file, bad magic, unknown version, length
+// mismatch, checksum mismatch — is an error, which LoadCheckpoint treats
+// as "this generation is torn or corrupt, fall back".
+func DecodeCheckpoint(data []byte) (*EngineState, error) {
+	if len(data) < checkpointHeader {
+		return nil, fmt.Errorf("stream: checkpoint truncated: %d bytes < %d-byte header", len(data), checkpointHeader)
+	}
+	if string(data[0:4]) != checkpointMagic {
+		return nil, fmt.Errorf("stream: bad checkpoint magic %q", data[0:4])
+	}
+	if v := binary.BigEndian.Uint32(data[4:8]); v != checkpointVersion {
+		return nil, fmt.Errorf("stream: unsupported checkpoint version %d (want %d)", v, checkpointVersion)
+	}
+	n := binary.BigEndian.Uint64(data[8:16])
+	if uint64(len(data)-checkpointHeader) != n {
+		return nil, fmt.Errorf("stream: checkpoint payload is %d bytes, header says %d", len(data)-checkpointHeader, n)
+	}
+	sum := sha256.Sum256(data[checkpointHeader:])
+	if string(sum[:]) != string(data[16:48]) {
+		return nil, fmt.Errorf("stream: checkpoint checksum mismatch")
+	}
+	var st EngineState
+	if err := json.Unmarshal(data[checkpointHeader:], &st); err != nil {
+		return nil, fmt.Errorf("stream: decoding checkpoint: %w", err)
+	}
+	return &st, nil
+}
+
+// CheckpointPath names generation gen inside dir.
+func CheckpointPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", checkpointPrefix, gen, checkpointExt))
+}
+
+// parseGen extracts the generation from a checkpoint file name.
+func parseGen(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, checkpointPrefix) || !strings.HasSuffix(name, checkpointExt) {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(name[len(checkpointPrefix):len(name)-len(checkpointExt)], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// RecoveryInfo reports what LoadCheckpoint found.
+type RecoveryInfo struct {
+	// Found reports whether any loadable checkpoint existed.
+	Found bool
+	// Gen and Path identify the generation loaded (when Found).
+	Gen  uint64
+	Path string
+	// CorruptSkipped counts newer generations that were skipped as torn or
+	// corrupt before a good one decoded.
+	CorruptSkipped int
+}
+
+// String renders the info for logs and /healthz.
+func (r RecoveryInfo) String() string {
+	if !r.Found {
+		return "no checkpoint"
+	}
+	s := fmt.Sprintf("recovered from checkpoint generation %d", r.Gen)
+	if r.CorruptSkipped > 0 {
+		s += fmt.Sprintf(" (%d corrupt generation(s) skipped)", r.CorruptSkipped)
+	}
+	return s
+}
+
+// LoadCheckpoint returns the newest decodable checkpoint in dir, falling
+// back generation by generation past torn or corrupt files. A missing or
+// empty directory is not an error — it means "start fresh" (Found false).
+// An error is only returned for environmental failures (unreadable
+// directory) so callers can distinguish "nothing to recover" from "cannot
+// tell".
+func LoadCheckpoint(dir string) (*EngineState, RecoveryInfo, error) {
+	var info RecoveryInfo
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, info, nil
+		}
+		return nil, info, fmt.Errorf("stream: reading checkpoint dir: %w", err)
+	}
+	gens := make([]uint64, 0, len(entries))
+	for _, ent := range entries {
+		if gen, ok := parseGen(ent.Name()); ok {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
+	for _, gen := range gens {
+		path := CheckpointPath(dir, gen)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			info.CorruptSkipped++
+			continue
+		}
+		st, err := DecodeCheckpoint(data)
+		if err != nil {
+			info.CorruptSkipped++
+			continue
+		}
+		info.Found = true
+		info.Gen = gen
+		info.Path = path
+		return st, info, nil
+	}
+	return nil, info, nil
+}
+
+// CheckpointConfig configures a Checkpointer.
+type CheckpointConfig struct {
+	// Dir is where checkpoint generations live. Created if missing.
+	Dir string
+	// Interval triggers a checkpoint when this much wall time has passed
+	// since the last one (0 = no time trigger).
+	Interval time.Duration
+	// EveryRecords triggers a checkpoint every N consumed records
+	// (0 = no count trigger). At least one trigger must be set for Maybe
+	// to ever fire; Checkpoint always fires.
+	EveryRecords uint64
+	// Keep is how many generations to retain (0 = 2: the latest plus the
+	// fallback the corrupt-recovery path needs).
+	Keep int
+	// PreSync, when non-nil, runs before the state is exported — the hook
+	// cmd/vantage uses to flush its SafeWriter so the durable trace prefix
+	// covers the cut, keeping replay-from-offset exactly-once.
+	PreSync func() error
+	// SourceMeta, when non-nil, describes the input file at cut time
+	// (called after PreSync); stored in SourcePos for staleness detection.
+	SourceMeta func() (path string, bytes int64)
+	// Registry exports stream_checkpoint_* metrics when non-nil.
+	Registry *obs.Registry
+	// Crash wires deterministic crash-point injection ("checkpoint-write",
+	// "checkpoint-rename") for the kill–resume tests and the CI crash
+	// smoke. When set, checkpoints are written synchronously so the crash
+	// fires on the triggering record's call stack.
+	Crash *faults.Crasher
+}
+
+// CheckpointStats is a point-in-time tally of checkpointing activity.
+type CheckpointStats struct {
+	// Written counts completed checkpoints.
+	Written uint64
+	// Errors counts failed attempts (export, encode or write).
+	Errors uint64
+	// Skipped counts due checkpoints dropped because the previous write
+	// was still in flight — ingest is never blocked on checkpoint I/O.
+	Skipped uint64
+	// Gen is the last generation written; LastBytes/LastDuration describe
+	// it; LastRecords is the source position it cut at.
+	Gen          uint64
+	LastBytes    int
+	LastDuration time.Duration
+	LastRecords  uint64
+}
+
+// Checkpointer writes generation-numbered checkpoints of one engine on a
+// record-count and/or wall-clock cadence. Maybe is called by the feeding
+// goroutine after each record; the state export is a brief synchronous
+// barrier (microseconds — it copies in-memory state), while file encoding
+// and I/O happen on a background goroutine so ingest never waits on disk.
+// A checkpoint that comes due while the previous write is still in flight
+// is skipped and counted, not queued.
+type Checkpointer struct {
+	cfg CheckpointConfig
+
+	mu          sync.Mutex
+	nextGen     uint64
+	lastAt      time.Time
+	lastRecords uint64
+	writing     bool
+	lastErr     error
+	stats       CheckpointStats
+	wg          sync.WaitGroup
+
+	m struct {
+		written  *obs.Counter
+		errors   *obs.Counter
+		skipped  *obs.Counter
+		gen      *obs.Gauge
+		bytes    *obs.Gauge
+		duration *obs.Gauge
+		lastUnix *obs.Gauge
+	}
+}
+
+// NewCheckpointer prepares dir (creating it if needed) and numbers the
+// next generation after the newest existing file, so a restarted process
+// never overwrites the checkpoint it just recovered from.
+func NewCheckpointer(cfg CheckpointConfig) (*Checkpointer, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("stream: checkpoint dir not set")
+	}
+	if cfg.Keep <= 0 {
+		cfg.Keep = 2
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("stream: creating checkpoint dir: %w", err)
+	}
+	c := &Checkpointer{cfg: cfg, lastAt: time.Now()}
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("stream: reading checkpoint dir: %w", err)
+	}
+	for _, ent := range entries {
+		if gen, ok := parseGen(ent.Name()); ok && gen >= c.nextGen {
+			c.nextGen = gen + 1
+		}
+	}
+	if reg := cfg.Registry; reg != nil {
+		reg.Help(MetricCheckpoints, "Checkpoints written.")
+		reg.Help(MetricCheckpointErrors, "Checkpoint attempts that failed.")
+		reg.Help(MetricCheckpointSkipped, "Due checkpoints skipped because a write was in flight.")
+		reg.Help(MetricCheckpointGen, "Last checkpoint generation written.")
+		reg.Help(MetricCheckpointBytes, "Size of the last checkpoint (bytes).")
+		reg.Help(MetricCheckpointDuration, "Wall time of the last checkpoint write (ms).")
+		reg.Help(MetricCheckpointAge, "Completion time of the last checkpoint (Unix ms).")
+		c.m.written = reg.Counter(MetricCheckpoints)
+		c.m.errors = reg.Counter(MetricCheckpointErrors)
+		c.m.skipped = reg.Counter(MetricCheckpointSkipped)
+		c.m.gen = reg.Gauge(MetricCheckpointGen)
+		c.m.bytes = reg.Gauge(MetricCheckpointBytes)
+		c.m.duration = reg.Gauge(MetricCheckpointDuration)
+		c.m.lastUnix = reg.Gauge(MetricCheckpointAge)
+	}
+	return c, nil
+}
+
+// Maybe checkpoints e if a trigger is due. records is the absolute source
+// position (well-formed records consumed, including any skipped during
+// resume replay) — it becomes SourcePos.Records, the offset a later resume
+// replays from. Call it from the feeding goroutine after each record; it
+// returns nil when nothing is due.
+func (c *Checkpointer) Maybe(e *Engine, records uint64) error {
+	c.mu.Lock()
+	due := (c.cfg.EveryRecords > 0 && records-c.lastRecords >= c.cfg.EveryRecords) ||
+		(c.cfg.Interval > 0 && time.Since(c.lastAt) >= c.cfg.Interval)
+	if !due {
+		c.mu.Unlock()
+		return nil
+	}
+	if c.writing {
+		// One skip per missed opportunity, not per record: re-arm the
+		// cadence so the counter reads "checkpoints not taken", and the
+		// next attempt waits a full period instead of busy-polling the
+		// in-flight write.
+		c.stats.Skipped++
+		c.m.skipped.Inc()
+		c.lastAt = time.Now()
+		c.lastRecords = records
+		c.mu.Unlock()
+		return nil
+	}
+	c.writing = true
+	// Re-arm the triggers at attempt time, not completion time, so a
+	// failing checkpoint retries on the configured cadence instead of on
+	// every record.
+	c.lastAt = time.Now()
+	c.lastRecords = records
+	c.mu.Unlock()
+	return c.run(e, records)
+}
+
+// Checkpoint writes a checkpoint now, synchronously, regardless of
+// triggers — the shutdown and test entry point. It waits out any write in
+// flight first so generations stay ordered.
+func (c *Checkpointer) Checkpoint(e *Engine, records uint64) error {
+	c.wg.Wait()
+	c.mu.Lock()
+	c.writing = true
+	c.mu.Unlock()
+	if err := c.run(e, records); err != nil {
+		return err
+	}
+	c.wg.Wait()
+	return c.Err()
+}
+
+// run exports the state on the caller's goroutine (the consistent cut),
+// then hands the write to a background goroutine — unless crash injection
+// is active, in which case the write is synchronous so the crash fires
+// deterministically on this call stack.
+func (c *Checkpointer) run(e *Engine, records uint64) error {
+	start := time.Now()
+	fail := func(err error) error {
+		c.mu.Lock()
+		c.writing = false
+		c.lastErr = err
+		c.stats.Errors++
+		c.mu.Unlock()
+		c.m.errors.Inc()
+		return err
+	}
+	if c.cfg.PreSync != nil {
+		if err := c.cfg.PreSync(); err != nil {
+			return fail(fmt.Errorf("stream: checkpoint pre-sync: %w", err))
+		}
+	}
+	st, err := e.ExportState()
+	if err != nil {
+		return fail(err)
+	}
+	st.Source.Records = records
+	if c.cfg.SourceMeta != nil {
+		st.Source.Path, st.Source.Bytes = c.cfg.SourceMeta()
+	}
+	c.mu.Lock()
+	gen := c.nextGen
+	c.nextGen++
+	c.mu.Unlock()
+	if c.cfg.Crash != nil {
+		c.write(gen, st, records, start)
+		return c.Err()
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.write(gen, st, records, start)
+	}()
+	return nil
+}
+
+// write encodes and durably writes one generation, then prunes old ones.
+func (c *Checkpointer) write(gen uint64, st *EngineState, records uint64, start time.Time) {
+	err := c.writeFile(gen, st)
+	c.mu.Lock()
+	c.writing = false
+	if err != nil {
+		c.lastErr = err
+		c.stats.Errors++
+		c.mu.Unlock()
+		c.m.errors.Inc()
+		return
+	}
+	c.lastErr = nil
+	c.lastAt = time.Now()
+	c.lastRecords = records
+	c.stats.Written++
+	c.stats.Gen = gen
+	c.stats.LastRecords = records
+	c.stats.LastDuration = time.Since(start)
+	c.mu.Unlock()
+	c.m.written.Inc()
+	c.m.gen.Set(float64(gen))
+	c.m.duration.Set(float64(time.Since(start).Milliseconds()))
+	c.m.lastUnix.Set(float64(time.Now().UnixMilli()))
+}
+
+func (c *Checkpointer) writeFile(gen uint64, st *EngineState) error {
+	data, err := EncodeCheckpoint(st)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.stats.LastBytes = len(data)
+	c.mu.Unlock()
+	c.m.bytes.Set(float64(len(data)))
+	tmp := filepath.Join(c.cfg.Dir, fmt.Sprintf("%scheckpoint-%08d", checkpointTmpPre, gen))
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("stream: creating checkpoint temp: %w", err)
+	}
+	// Write in two halves with a crash point between them, so crash
+	// injection can leave a genuinely torn temp file on disk.
+	half := len(data) / 2
+	if _, err := f.Write(data[:half]); err != nil {
+		f.Close()
+		return fmt.Errorf("stream: writing checkpoint: %w", err)
+	}
+	c.cfg.Crash.Point("checkpoint-write")
+	if _, err := f.Write(data[half:]); err != nil {
+		f.Close()
+		return fmt.Errorf("stream: writing checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("stream: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("stream: closing checkpoint: %w", err)
+	}
+	c.cfg.Crash.Point("checkpoint-rename")
+	final := CheckpointPath(c.cfg.Dir, gen)
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("stream: publishing checkpoint: %w", err)
+	}
+	syncDir(c.cfg.Dir)
+	c.prune(gen)
+	return nil
+}
+
+// prune removes generations older than the Keep newest, plus any leftover
+// temp files from crashed writes (only one write is ever in flight, so
+// every .tmp- file other than the one just renamed is an orphan).
+func (c *Checkpointer) prune(latest uint64) {
+	entries, err := os.ReadDir(c.cfg.Dir)
+	if err != nil {
+		return
+	}
+	var gens []uint64
+	for _, ent := range entries {
+		name := ent.Name()
+		if strings.HasPrefix(name, checkpointTmpPre) {
+			os.Remove(filepath.Join(c.cfg.Dir, name))
+			continue
+		}
+		if gen, ok := parseGen(name); ok && gen <= latest {
+			gens = append(gens, gen)
+		}
+	}
+	if len(gens) <= c.cfg.Keep {
+		return
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
+	for _, gen := range gens[c.cfg.Keep:] {
+		os.Remove(CheckpointPath(c.cfg.Dir, gen))
+	}
+}
+
+// syncDir fsyncs a directory so a rename is durable. Best-effort: some
+// filesystems refuse directory fsync, and the rename is still atomic.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Close waits for any in-flight write. It does NOT take a final
+// checkpoint — callers that want one call Checkpoint first.
+func (c *Checkpointer) Close() error {
+	c.wg.Wait()
+	return c.Err()
+}
+
+// Err returns the most recent checkpoint failure, nil after a success.
+func (c *Checkpointer) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastErr
+}
+
+// Stats returns a point-in-time tally.
+func (c *Checkpointer) Stats() CheckpointStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

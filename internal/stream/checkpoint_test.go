@@ -1,0 +1,684 @@
+package stream_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"botmeter/internal/core"
+	"botmeter/internal/faults"
+	"botmeter/internal/obs"
+	"botmeter/internal/sim"
+	"botmeter/internal/stream"
+	"botmeter/internal/trace"
+)
+
+// landscapeBytes renders a landscape with the stable JSON schema — the
+// byte-identical half of the kill–resume contract.
+func landscapeBytes(tb testing.TB, land *core.Landscape) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := land.WriteJSON(&buf); err != nil {
+		tb.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// runUninterrupted is the reference: one engine, fed start to finish.
+func runUninterrupted(tb testing.TB, cfg stream.Config, delivered trace.Observed) (*core.Landscape, stream.Stats) {
+	tb.Helper()
+	eng, err := stream.New(cfg)
+	if err != nil {
+		tb.Fatalf("stream.New: %v", err)
+	}
+	for _, rec := range delivered {
+		if err := eng.Observe(rec); err != nil {
+			tb.Fatalf("Observe: %v", err)
+		}
+	}
+	land, err := eng.Close()
+	if err != nil {
+		tb.Fatalf("Close: %v", err)
+	}
+	return land, eng.Stats()
+}
+
+// runKilledAndResumed feeds delivered while checkpointing every
+// checkpointEvery records, kills the engine (no flush, no final
+// checkpoint) right after record killAt, then recovers: load the newest
+// good checkpoint, restore an engine from it (shard count adopted from the
+// snapshot), and replay the input from the checkpoint's record offset —
+// checkpointing along the way too, so the second leg writes further
+// generations into the same directory.
+func runKilledAndResumed(tb testing.TB, cfg stream.Config, delivered trace.Observed, dir string, killAt int, checkpointEvery uint64) (*core.Landscape, stream.Stats) {
+	tb.Helper()
+	eng, err := stream.New(cfg)
+	if err != nil {
+		tb.Fatalf("stream.New: %v", err)
+	}
+	ck, err := stream.NewCheckpointer(stream.CheckpointConfig{Dir: dir, EveryRecords: checkpointEvery})
+	if err != nil {
+		tb.Fatalf("NewCheckpointer: %v", err)
+	}
+	for i := 0; i < killAt; i++ {
+		if err := eng.Observe(delivered[i]); err != nil {
+			tb.Fatalf("Observe: %v", err)
+		}
+		if err := ck.Maybe(eng, uint64(i+1)); err != nil {
+			tb.Fatalf("Maybe: %v", err)
+		}
+	}
+	eng.Kill()
+	// A real SIGKILL would also interrupt an in-flight background write —
+	// the torn-file cases are covered by the crash-point and corruption
+	// tests; here we let it land so the recovery point is deterministic.
+	ck.Close() //nolint:errcheck // in-flight write only
+
+	state, info, err := stream.LoadCheckpoint(dir)
+	if err != nil {
+		tb.Fatalf("LoadCheckpoint: %v", err)
+	}
+	var resumed *stream.Engine
+	var skip uint64
+	if info.Found {
+		resumedCfg := cfg
+		resumedCfg.Shards = 0 // adopt the checkpoint's shard count
+		resumed, err = stream.Restore(resumedCfg, state)
+		if err != nil {
+			tb.Fatalf("Restore: %v", err)
+		}
+		skip = state.Source.Records
+		if skip > uint64(killAt) {
+			tb.Fatalf("checkpoint claims %d records consumed, only %d were fed", skip, killAt)
+		}
+	} else {
+		// Killed before the first checkpoint landed: fresh start.
+		resumed, err = stream.New(cfg)
+		if err != nil {
+			tb.Fatalf("stream.New (fresh resume): %v", err)
+		}
+	}
+	ck2, err := stream.NewCheckpointer(stream.CheckpointConfig{Dir: dir, EveryRecords: checkpointEvery})
+	if err != nil {
+		tb.Fatalf("NewCheckpointer (resume): %v", err)
+	}
+	for i := int(skip); i < len(delivered); i++ {
+		if err := resumed.Observe(delivered[i]); err != nil {
+			tb.Fatalf("Observe (resume): %v", err)
+		}
+		if err := ck2.Maybe(resumed, uint64(i+1)); err != nil {
+			tb.Fatalf("Maybe (resume): %v", err)
+		}
+	}
+	if err := ck2.Close(); err != nil {
+		tb.Fatalf("checkpointer close: %v", err)
+	}
+	land, err := resumed.Close()
+	if err != nil {
+		tb.Fatalf("Close (resume): %v", err)
+	}
+	return land, resumed.Stats()
+}
+
+// TestKillResumeDifferential is the headline robustness contract (ISSUE 6,
+// DESIGN.md §15): a run killed at an arbitrary record — losing everything
+// since the last checkpoint — and resumed from the newest checkpoint must
+// produce a landscape byte-identical to the uninterrupted run, for every
+// estimator configuration and at any shard count. Runs under -race in CI.
+func TestKillResumeDifferential(t *testing.T) {
+	const (
+		seed            = uint64(0xC4A5)
+		servers         = 12
+		epochs          = 3
+		reorderWindow   = 5 * sim.Second
+		checkpointEvery = 97 // prime: cuts land mid-epoch, mid-buffer
+	)
+	for _, tc := range diffCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			base := synthTrace(t, tc.spec, seed, servers, epochs, tc.activations)
+			delivered := chunkShuffle(base, reorderWindow, sim.NewRNG(seed+1))
+			if len(delivered) < 500 {
+				t.Fatalf("trace too small for a meaningful differential: %d records", len(delivered))
+			}
+			for _, shards := range []int{1, 4} {
+				coreCfg := core.Config{
+					Family:        tc.spec,
+					Seed:          seed,
+					EpochLen:      testEpochLen,
+					SecondOpinion: tc.secondOpinion,
+				}
+				streamCfg := stream.Config{
+					Core:          coreCfg,
+					Shards:        shards,
+					ReorderWindow: reorderWindow,
+					Registry:      obs.NewRegistry(),
+				}
+				if tc.estimator != nil {
+					streamCfg.Core.Estimator = tc.estimator()
+				}
+				want, wantStats := runUninterrupted(t, streamCfg, delivered)
+				wantBytes := landscapeBytes(t, want)
+
+				// Randomized kill points: early (likely before the first
+				// checkpoint), middle, late.
+				rng := sim.NewRNG(seed + uint64(shards))
+				kills := []int{
+					1 + int(rng.Int64N(checkpointEvery)),
+					len(delivered)/2 + int(rng.Int64N(int64(len(delivered)/4))),
+					len(delivered) - 1 - int(rng.Int64N(checkpointEvery)),
+				}
+				for _, killAt := range kills {
+					t.Run(fmt.Sprintf("shards=%d/kill=%d", shards, killAt), func(t *testing.T) {
+						cfg := streamCfg
+						cfg.Registry = obs.NewRegistry()
+						if tc.estimator != nil {
+							cfg.Core.Estimator = tc.estimator()
+						}
+						got, gotStats := runKilledAndResumed(t, cfg, delivered, t.TempDir(), killAt, checkpointEvery)
+						requireEqualLandscapes(t, want, got)
+						if gotBytes := landscapeBytes(t, got); !bytes.Equal(wantBytes, gotBytes) {
+							t.Fatalf("landscape JSON differs after kill-resume:\nwant %s\ngot  %s", wantBytes, gotBytes)
+						}
+						if wantStats != gotStats {
+							t.Fatalf("stats differ after kill-resume:\nwant %+v\ngot  %+v", wantStats, gotStats)
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestKillMidCheckpoint crashes INSIDE the checkpoint write (deterministic
+// crash point, half the file written) and resumes. The torn temp file must
+// be ignored, recovery must restore the newest completed generation, and
+// the result must still be byte-identical.
+func TestKillMidCheckpoint(t *testing.T) {
+	const (
+		seed            = uint64(0xDEAD)
+		reorderWindow   = 5 * sim.Second
+		checkpointEvery = 83
+	)
+	tc := diffCases()[0] // MP + second opinion: exercises records AND both MT streams
+	delivered := chunkShuffle(synthTrace(t, tc.spec, seed, 10, 3, tc.activations), reorderWindow, sim.NewRNG(seed))
+	streamCfg := stream.Config{
+		Core:          core.Config{Family: tc.spec, Seed: seed, EpochLen: testEpochLen, SecondOpinion: tc.secondOpinion},
+		Shards:        3,
+		ReorderWindow: reorderWindow,
+	}
+	want, _ := runUninterrupted(t, streamCfg, delivered)
+	wantBytes := landscapeBytes(t, want)
+
+	for _, nth := range []uint64{1, 3} { // die writing the 1st / the 3rd checkpoint
+		t.Run(fmt.Sprintf("occurrence=%d", nth), func(t *testing.T) {
+			dir := t.TempDir()
+			crash := faults.NewCrasher(faults.CrashSpec{Point: "checkpoint-write", PointNth: nth})
+			type crashed struct{ reason string }
+			crash.Die = func(reason string) { panic(crashed{reason}) }
+
+			eng, err := stream.New(streamCfg)
+			if err != nil {
+				t.Fatalf("stream.New: %v", err)
+			}
+			ck, err := stream.NewCheckpointer(stream.CheckpointConfig{
+				Dir: dir, EveryRecords: checkpointEvery, Crash: crash,
+			})
+			if err != nil {
+				t.Fatalf("NewCheckpointer: %v", err)
+			}
+			died := func() (died bool) {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(crashed); !ok {
+							panic(r)
+						}
+						died = true
+					}
+				}()
+				for i, rec := range delivered {
+					if err := eng.Observe(rec); err != nil {
+						t.Fatalf("Observe: %v", err)
+					}
+					if err := ck.Maybe(eng, uint64(i+1)); err != nil {
+						t.Fatalf("Maybe: %v", err)
+					}
+				}
+				return false
+			}()
+			if !died {
+				t.Fatalf("crash point never fired (fewer than %d checkpoints?)", nth)
+			}
+			eng.Kill()
+
+			// The torn temp must exist (proof the crash landed mid-write)
+			// and must not be visible to recovery.
+			if !hasTmpCheckpoint(t, dir) {
+				t.Fatal("expected a torn .tmp- checkpoint file after the mid-write crash")
+			}
+			state, info, err := stream.LoadCheckpoint(dir)
+			if err != nil {
+				t.Fatalf("LoadCheckpoint: %v", err)
+			}
+			if nth == 1 {
+				if info.Found {
+					t.Fatalf("no checkpoint ever completed, yet recovery found generation %d", info.Gen)
+				}
+			} else if !info.Found {
+				t.Fatal("expected a completed earlier generation to recover from")
+			}
+
+			var resumed *stream.Engine
+			var skip uint64
+			if info.Found {
+				cfg := streamCfg
+				cfg.Shards = 0
+				resumed, err = stream.Restore(cfg, state)
+				if err != nil {
+					t.Fatalf("Restore: %v", err)
+				}
+				skip = state.Source.Records
+			} else if resumed, err = stream.New(streamCfg); err != nil {
+				t.Fatalf("stream.New: %v", err)
+			}
+			for i := int(skip); i < len(delivered); i++ {
+				if err := resumed.Observe(delivered[i]); err != nil {
+					t.Fatalf("Observe (resume): %v", err)
+				}
+			}
+			land, err := resumed.Close()
+			if err != nil {
+				t.Fatalf("Close (resume): %v", err)
+			}
+			if gotBytes := landscapeBytes(t, land); !bytes.Equal(wantBytes, gotBytes) {
+				t.Fatalf("landscape differs after mid-checkpoint crash:\nwant %s\ngot  %s", wantBytes, gotBytes)
+			}
+		})
+	}
+}
+
+func hasTmpCheckpoint(tb testing.TB, dir string) bool {
+	tb.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		tb.Fatalf("ReadDir: %v", err)
+	}
+	for _, ent := range entries {
+		if strings.HasPrefix(ent.Name(), ".tmp-") {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCorruptCheckpointFallback corrupts the newest generation on disk
+// (bit flip, truncation) and verifies recovery falls back to the previous
+// good generation — and still reproduces the uninterrupted landscape. With
+// every generation corrupted, recovery reports "nothing to restore"
+// rather than failing.
+func TestCorruptCheckpointFallback(t *testing.T) {
+	const (
+		seed            = uint64(0xFA11)
+		reorderWindow   = 5 * sim.Second
+		checkpointEvery = 61
+	)
+	tc := diffCases()[2] // incremental MT
+	delivered := chunkShuffle(synthTrace(t, tc.spec, seed, 10, 3, tc.activations), reorderWindow, sim.NewRNG(seed))
+	streamCfg := stream.Config{
+		Core:          core.Config{Family: tc.spec, Seed: seed, EpochLen: testEpochLen, Estimator: tc.estimator()},
+		Shards:        2,
+		ReorderWindow: reorderWindow,
+	}
+	want, _ := runUninterrupted(t, streamCfg, delivered)
+	wantBytes := landscapeBytes(t, want)
+
+	corruptions := []struct {
+		name    string
+		corrupt func(tb testing.TB, path string)
+	}{
+		{"bit-flip", func(tb testing.TB, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				tb.Fatalf("ReadFile: %v", err)
+			}
+			data[len(data)/2] ^= 0x40
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				tb.Fatalf("WriteFile: %v", err)
+			}
+		}},
+		{"truncated", func(tb testing.TB, path string) {
+			fi, err := os.Stat(path)
+			if err != nil {
+				tb.Fatalf("Stat: %v", err)
+			}
+			if err := os.Truncate(path, fi.Size()/2); err != nil {
+				tb.Fatalf("Truncate: %v", err)
+			}
+		}},
+	}
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := streamCfg
+			cfg.Core.Estimator = tc.estimator()
+			eng, err := stream.New(cfg)
+			if err != nil {
+				t.Fatalf("stream.New: %v", err)
+			}
+			ck, err := stream.NewCheckpointer(stream.CheckpointConfig{Dir: dir, EveryRecords: checkpointEvery})
+			if err != nil {
+				t.Fatalf("NewCheckpointer: %v", err)
+			}
+			killAt := len(delivered) * 3 / 4
+			for i := 0; i < killAt; i++ {
+				if err := eng.Observe(delivered[i]); err != nil {
+					t.Fatalf("Observe: %v", err)
+				}
+				if err := ck.Maybe(eng, uint64(i+1)); err != nil {
+					t.Fatalf("Maybe: %v", err)
+				}
+			}
+			eng.Kill()
+			if err := ck.Close(); err != nil {
+				t.Fatalf("checkpointer close: %v", err)
+			}
+			st := ck.Stats()
+			if st.Written < 2 {
+				t.Fatalf("need at least 2 generations to test fallback, wrote %d", st.Written)
+			}
+			latest := stream.CheckpointPath(dir, st.Gen)
+			c.corrupt(t, latest)
+
+			state, info, err := stream.LoadCheckpoint(dir)
+			if err != nil {
+				t.Fatalf("LoadCheckpoint: %v", err)
+			}
+			if !info.Found {
+				t.Fatal("expected fallback to the previous generation")
+			}
+			if info.Gen != st.Gen-1 {
+				t.Fatalf("recovered generation %d, want fallback generation %d", info.Gen, st.Gen-1)
+			}
+			if info.CorruptSkipped != 1 {
+				t.Fatalf("CorruptSkipped = %d, want 1", info.CorruptSkipped)
+			}
+			cfg2 := streamCfg
+			cfg2.Shards = 0
+			cfg2.Core.Estimator = tc.estimator()
+			resumed, err := stream.Restore(cfg2, state)
+			if err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			for i := int(state.Source.Records); i < len(delivered); i++ {
+				if err := resumed.Observe(delivered[i]); err != nil {
+					t.Fatalf("Observe (resume): %v", err)
+				}
+			}
+			land, err := resumed.Close()
+			if err != nil {
+				t.Fatalf("Close (resume): %v", err)
+			}
+			if gotBytes := landscapeBytes(t, land); !bytes.Equal(wantBytes, gotBytes) {
+				t.Fatalf("landscape differs after corrupt-fallback recovery:\nwant %s\ngot  %s", wantBytes, gotBytes)
+			}
+
+			// Corrupt the fallback too: recovery must degrade to "start
+			// fresh", never to an error or a half-loaded state.
+			c.corrupt(t, stream.CheckpointPath(dir, info.Gen))
+			_, info2, err := stream.LoadCheckpoint(dir)
+			if err != nil {
+				t.Fatalf("LoadCheckpoint (all corrupt): %v", err)
+			}
+			if info2.Found {
+				t.Fatal("every generation is corrupt, yet recovery found one")
+			}
+			if info2.CorruptSkipped != 2 {
+				t.Fatalf("CorruptSkipped = %d, want 2", info2.CorruptSkipped)
+			}
+		})
+	}
+}
+
+// TestRestoreFingerprintMismatch: estimator state under one configuration
+// must not silently seed an engine with another.
+func TestRestoreFingerprintMismatch(t *testing.T) {
+	tc := diffCases()[1]
+	delivered := synthTrace(t, tc.spec, 7, 4, 2, tc.activations)
+	cfg := stream.Config{
+		Core:          core.Config{Family: tc.spec, Seed: 7, EpochLen: testEpochLen},
+		Shards:        2,
+		ReorderWindow: 5 * sim.Second,
+	}
+	eng, err := stream.New(cfg)
+	if err != nil {
+		t.Fatalf("stream.New: %v", err)
+	}
+	for _, rec := range delivered[:200] {
+		if err := eng.Observe(rec); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	state, err := eng.ExportState()
+	if err != nil {
+		t.Fatalf("ExportState: %v", err)
+	}
+	eng.Kill()
+	for name, mutate := range map[string]func(*stream.Config){
+		"seed":           func(c *stream.Config) { c.Core.Seed = 8 },
+		"shards":         func(c *stream.Config) { c.Shards = 3 },
+		"reorder-window": func(c *stream.Config) { c.ReorderWindow = 9 * sim.Second },
+		"second-opinion": func(c *stream.Config) { c.Core.SecondOpinion = true },
+	} {
+		bad := cfg
+		mutate(&bad)
+		if _, err := stream.Restore(bad, state); err == nil {
+			t.Errorf("%s: Restore accepted a state from a different configuration", name)
+		}
+	}
+	if resumed, err := stream.Restore(cfg, state); err != nil {
+		t.Errorf("identical config: Restore failed: %v", err)
+	} else {
+		resumed.Kill()
+	}
+}
+
+// TestExportStateStableBytes: the same engine state must always serialize
+// to the same bytes (maps are exported sorted), so checkpoint generations
+// diff cleanly and the byte-identical guarantee is testable at all.
+func TestExportStateStableBytes(t *testing.T) {
+	tc := diffCases()[0]
+	delivered := synthTrace(t, tc.spec, 11, 6, 2, tc.activations)
+	eng, err := stream.New(stream.Config{
+		Core:          core.Config{Family: tc.spec, Seed: 11, EpochLen: testEpochLen, SecondOpinion: true},
+		Shards:        2,
+		ReorderWindow: 5 * sim.Second,
+	})
+	if err != nil {
+		t.Fatalf("stream.New: %v", err)
+	}
+	for _, rec := range delivered[:300] {
+		if err := eng.Observe(rec); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	first, err := eng.ExportState()
+	if err != nil {
+		t.Fatalf("ExportState: %v", err)
+	}
+	second, err := eng.ExportState()
+	if err != nil {
+		t.Fatalf("ExportState (again): %v", err)
+	}
+	a, err := stream.EncodeCheckpoint(first)
+	if err != nil {
+		t.Fatalf("EncodeCheckpoint: %v", err)
+	}
+	b, err := stream.EncodeCheckpoint(second)
+	if err != nil {
+		t.Fatalf("EncodeCheckpoint: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two exports of an idle engine produced different bytes")
+	}
+	// And a restored engine must re-export the same state it was built
+	// from (round-trip stability).
+	eng.Kill()
+	restored, err := stream.Restore(stream.Config{
+		Core:          core.Config{Family: tc.spec, Seed: 11, EpochLen: testEpochLen, SecondOpinion: true},
+		ReorderWindow: 5 * sim.Second,
+	}, first)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	defer restored.Kill()
+	third, err := restored.ExportState()
+	if err != nil {
+		t.Fatalf("ExportState (restored): %v", err)
+	}
+	c, err := stream.EncodeCheckpoint(third)
+	if err != nil {
+		t.Fatalf("EncodeCheckpoint: %v", err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Fatal("restore→export round trip changed the state bytes")
+	}
+}
+
+// TestQuiesceMatchesBatch: after feeding a whole in-order trace and
+// quiescing, the live Snapshot must equal the batch landscape — the
+// property the vantage crash-recovery smoke relies on when it compares
+// /landscape (post-replay) against `botmeter` over the same file.
+func TestQuiesceMatchesBatch(t *testing.T) {
+	for _, tc := range diffCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			delivered := synthTrace(t, tc.spec, 13, 8, 3, tc.activations)
+			coreCfg := core.Config{
+				Family:        tc.spec,
+				Seed:          13,
+				EpochLen:      testEpochLen,
+				SecondOpinion: tc.secondOpinion,
+			}
+			streamCfg := stream.Config{Core: coreCfg, Shards: 3, ReorderWindow: 5 * sim.Second}
+			if tc.estimator != nil {
+				coreCfg.Estimator = tc.estimator()
+				streamCfg.Core.Estimator = tc.estimator()
+			}
+			want := runBatch(t, coreCfg, delivered)
+			eng, err := stream.New(streamCfg)
+			if err != nil {
+				t.Fatalf("stream.New: %v", err)
+			}
+			defer eng.Kill()
+			for _, rec := range delivered {
+				if err := eng.Observe(rec); err != nil {
+					t.Fatalf("Observe: %v", err)
+				}
+			}
+			if err := eng.Quiesce(); err != nil {
+				t.Fatalf("Quiesce: %v", err)
+			}
+			got, err := eng.Snapshot()
+			if err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			requireEqualLandscapes(t, want, got)
+		})
+	}
+}
+
+// TestCheckpointDecodeRejects covers the framing validations one by one.
+func TestCheckpointDecodeRejects(t *testing.T) {
+	st := &stream.EngineState{Shards: []stream.ShardState{{Seq: 1}}}
+	good, err := stream.EncodeCheckpoint(st)
+	if err != nil {
+		t.Fatalf("EncodeCheckpoint: %v", err)
+	}
+	if _, err := stream.DecodeCheckpoint(good); err != nil {
+		t.Fatalf("DecodeCheckpoint rejected a good frame: %v", err)
+	}
+	cases := map[string]func([]byte) []byte{
+		"short":           func(b []byte) []byte { return b[:20] },
+		"bad-magic":       func(b []byte) []byte { b[0] = 'X'; return b },
+		"bad-version":     func(b []byte) []byte { b[7] = 99; return b },
+		"length-mismatch": func(b []byte) []byte { return b[:len(b)-1] },
+		"payload-flip":    func(b []byte) []byte { b[len(b)-1] ^= 1; return b },
+		"checksum-flip":   func(b []byte) []byte { b[20] ^= 1; return b },
+	}
+	for name, mutate := range cases {
+		data := mutate(append([]byte(nil), good...))
+		if _, err := stream.DecodeCheckpoint(data); err == nil {
+			t.Errorf("%s: DecodeCheckpoint accepted a corrupt frame", name)
+		}
+	}
+}
+
+// TestCheckpointerGenerations: retention keeps Keep generations, numbering
+// continues across restarts, and LoadCheckpoint tolerates a missing dir.
+func TestCheckpointerGenerations(t *testing.T) {
+	if _, info, err := stream.LoadCheckpoint(filepath.Join(t.TempDir(), "never-created")); err != nil || info.Found {
+		t.Fatalf("missing dir: err=%v found=%v, want clean fresh start", err, info.Found)
+	}
+	tc := diffCases()[1]
+	delivered := synthTrace(t, tc.spec, 3, 4, 2, tc.activations)
+	dir := t.TempDir()
+	cfg := stream.Config{
+		Core:          core.Config{Family: tc.spec, Seed: 3, EpochLen: testEpochLen},
+		Shards:        2,
+		ReorderWindow: 5 * sim.Second,
+	}
+	eng, err := stream.New(cfg)
+	if err != nil {
+		t.Fatalf("stream.New: %v", err)
+	}
+	ck, err := stream.NewCheckpointer(stream.CheckpointConfig{Dir: dir, EveryRecords: 50, Keep: 2})
+	if err != nil {
+		t.Fatalf("NewCheckpointer: %v", err)
+	}
+	// Synchronous checkpoints so each call deterministically writes one
+	// generation (Maybe may skip triggers while a background write is in
+	// flight — that path is covered by the differential tests).
+	for i, rec := range delivered[:400] {
+		if err := eng.Observe(rec); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+		if n := uint64(i + 1); n%100 == 0 {
+			if err := ck.Checkpoint(eng, n); err != nil {
+				t.Fatalf("Checkpoint: %v", err)
+			}
+		}
+	}
+	eng.Kill()
+	st := ck.Stats()
+	if st.Written != 4 {
+		t.Fatalf("expected 4 generations, wrote %d", st.Written)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	var files []string
+	for _, ent := range entries {
+		files = append(files, ent.Name())
+	}
+	if len(files) != 2 {
+		t.Fatalf("retention kept %d files (%v), want 2", len(files), files)
+	}
+	// A new checkpointer over the same dir numbers past the survivors.
+	ck2, err := stream.NewCheckpointer(stream.CheckpointConfig{Dir: dir, EveryRecords: 50})
+	if err != nil {
+		t.Fatalf("NewCheckpointer (restart): %v", err)
+	}
+	eng2, err := stream.New(cfg)
+	if err != nil {
+		t.Fatalf("stream.New: %v", err)
+	}
+	defer eng2.Kill()
+	if err := ck2.Checkpoint(eng2, 0); err != nil {
+		t.Fatalf("Checkpoint (restart): %v", err)
+	}
+	if got := ck2.Stats().Gen; got != st.Gen+1 {
+		t.Fatalf("restarted checkpointer wrote generation %d, want %d", got, st.Gen+1)
+	}
+}

@@ -23,6 +23,16 @@ type FollowOptions struct {
 	// Live, when false, stops at the first EOF instead of tailing — the
 	// one-shot replay mode.
 	Live bool
+	// SkipRecords discards the first N well-formed records without feeding
+	// them to the engine — the resume-from-checkpoint replay: the engine
+	// already holds their effects, so re-observing them would double-count.
+	// Malformed lines don't count (they didn't count when the checkpoint's
+	// source position was recorded either).
+	SkipRecords uint64
+	// Checkpoint, when non-nil, checkpoints the engine on the
+	// checkpointer's cadence as records flow, keyed by the absolute source
+	// position (records consumed, including skipped ones).
+	Checkpoint *Checkpointer
 }
 
 // Follow feeds records from r into the engine until the reader is
@@ -37,15 +47,44 @@ func (e *Engine) Follow(ctx context.Context, r io.Reader, opt FollowOptions) (tr
 	if format == "" {
 		format = "csv"
 	}
+	var consumed uint64
 	// Cancellation flows through the TailReader (it surfaces EOF), so
 	// records already buffered by the parser still reach the engine and
 	// Follow returns nil on a clean shutdown.
-	return trace.StreamObserved(r, format, trace.ReadOptions{Lenient: opt.Lenient}, e.Observe)
+	return trace.StreamObserved(r, format, trace.ReadOptions{Lenient: opt.Lenient}, func(rec trace.ObservedRecord) error {
+		consumed++
+		if consumed <= opt.SkipRecords {
+			return nil
+		}
+		if err := e.Observe(rec); err != nil {
+			return err
+		}
+		if opt.Checkpoint != nil {
+			return opt.Checkpoint.Maybe(e, consumed)
+		}
+		return nil
+	})
 }
 
 // FollowFile opens path and Follows it. The file is opened at the start
-// (not the end): a landscape needs the already-captured epochs too.
+// (not the end): a landscape needs the already-captured epochs too. In
+// Live mode the file is tailed rotation-aware (trace.TailFile): an
+// in-place truncation or a rename-and-recreate is survived by reopening
+// and resyncing to a record boundary, counted under
+// stream_source_rotations_total.
 func (e *Engine) FollowFile(ctx context.Context, path string, opt FollowOptions) (trace.ReadResult, error) {
+	if opt.Live {
+		tf, err := trace.NewTailFile(ctx, path, opt.Poll)
+		if err != nil {
+			return trace.ReadResult{}, fmt.Errorf("stream: %w", err)
+		}
+		defer tf.Close()
+		tf.OnRotate = func() { e.m.rotations.Inc() }
+		// TailFile already blocks at EOF; don't double-wrap in a TailReader.
+		inner := opt
+		inner.Live = false
+		return e.Follow(ctx, tf, inner)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return trace.ReadResult{}, fmt.Errorf("stream: %w", err)

@@ -19,6 +19,9 @@ type shard struct {
 	eng *Engine
 	idx int
 	ch  chan trace.ObservedRecord
+	// ctl carries barrier requests (state export, quiesce) into the shard
+	// goroutine, so they serialise with ingest instead of racing it.
+	ctl chan *shardCtl
 
 	mu  sync.Mutex
 	buf reorderHeap
@@ -51,6 +54,7 @@ func newShard(e *Engine, idx int) *shard {
 		eng:             e,
 		idx:             idx,
 		ch:              make(chan trace.ObservedRecord, e.cfg.ShardBuffer),
+		ctl:             make(chan *shardCtl, 1),
 		watermark:       math.MinInt64,
 		maxT:            math.MinInt64,
 		minT:            math.MaxInt64,
@@ -63,13 +67,63 @@ func newShard(e *Engine, idx int) *shard {
 	return s
 }
 
-// loop drains the shard channel until Close.
+// loop drains the shard channel until Close, servicing barrier requests
+// between records.
 func (s *shard) loop() {
-	for rec := range s.ch {
-		s.mu.Lock()
-		s.ingestLocked(rec)
-		s.mu.Unlock()
+	for {
+		select {
+		case rec, ok := <-s.ch:
+			if !ok {
+				return
+			}
+			s.mu.Lock()
+			s.ingestLocked(rec)
+			s.mu.Unlock()
+		case req := <-s.ctl:
+			s.handleCtl(req)
+		}
 	}
+}
+
+// shardCtl is one barrier request: export the shard's serializable state,
+// or quiesce (force-drain the reorder buffer).
+type shardCtl struct {
+	quiesce bool
+	state   ShardState
+	err     error
+	done    chan struct{}
+}
+
+// handleCtl services one barrier request inside the shard goroutine. The
+// requesting producer is paused inside the Engine barrier call, so the data
+// channel drains to empty and stays empty: the cut is exactly the records
+// delivered before the barrier. (With multiple concurrent producers the cut
+// is still consistent — everything delivered is included — just not at a
+// caller-chosen record count; exact cuts require the single-feeder pattern
+// both daemons use.)
+func (s *shard) handleCtl(req *shardCtl) {
+drain:
+	for {
+		select {
+		case rec, ok := <-s.ch:
+			if !ok {
+				break drain
+			}
+			s.mu.Lock()
+			s.ingestLocked(rec)
+			s.mu.Unlock()
+		default:
+			break drain
+		}
+	}
+	s.mu.Lock()
+	if req.quiesce {
+		s.quiesceLocked()
+	} else {
+		req.state, req.err = s.exportLocked()
+	}
+	s.mu.Unlock()
+	close(req.done)
 }
 
 // ingestLocked processes one record: span tracking, matching, reorder
@@ -270,6 +324,32 @@ func (s *shard) flushLocked() {
 		s.emitLocked(entry.rec)
 	}
 	s.closeThroughLocked(math.MaxInt64)
+}
+
+// quiesceLocked force-emits every buffered record in timestamp order,
+// advancing the watermark to the newest emitted record, then applies the
+// normal watermark-driven epoch closing. Unlike flushLocked it leaves the
+// current epochs open, so the shard keeps accepting live traffic — but any
+// later arrival older than the new watermark becomes a late drop, which is
+// why Engine.Quiesce documents the "no older record can still arrive"
+// precondition.
+func (s *shard) quiesceLocked() {
+	e := s.eng
+	for s.buf.len() > 0 {
+		entry := s.buf.pop()
+		s.retainInc(-1)
+		if entry.t > s.watermark {
+			s.watermark = entry.t
+		}
+		s.emitLocked(entry.rec)
+	}
+	if s.watermark != math.MinInt64 && s.watermark >= 0 {
+		s.closeThroughLocked(int(s.watermark/e.cfg.Core.EpochLen) - 1)
+		s.advanceOpenLocked(s.watermark)
+	}
+	if s.wmGauge != nil && s.watermark != math.MinInt64 {
+		s.wmGauge.Set(float64(s.watermark))
+	}
 }
 
 // retainInc adjusts the retained-record gauge and its peak.

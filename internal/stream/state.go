@@ -1,0 +1,494 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"botmeter/internal/estimators"
+	"botmeter/internal/sim"
+	"botmeter/internal/trace"
+)
+
+// This file is the serialization half of checkpoint/recovery (DESIGN.md
+// §15): EngineState captures everything the engine holds in memory —
+// per-shard reorder heaps, watermarks, sequence counters, per-(server,
+// epoch) estimator state, closed-epoch results and ingest tallies — in a
+// form that Restore turns back into a running engine byte-identical to the
+// original. The same shape is what ROADMAP item 1's multi-vantage merge
+// coordinator consumes.
+//
+// Determinism rules the format obeys, so a kill–resume run reproduces the
+// uninterrupted run exactly:
+//
+//   - Order-significant state stays ordered: TimingStream candidates (scan
+//     order), open-epoch micro-batch records (emission order), the reorder
+//     heap (exported in heap-array order; re-pushing a valid heap array in
+//     order rebuilds the identical array) and the per-shard seq counter
+//     (tie order for equal timestamps).
+//   - Order-insensitive state (domain sets, per-epoch maps, server maps) is
+//     exported sorted, so the same engine state always serializes to the
+//     same bytes and checkpoints diff cleanly.
+//   - symtab IDs are process-local and never serialized: buffered records
+//     are stored as strings and restored with ID symtab.None, which routes
+//     through the string paths with identical results (the PR 5 contract).
+
+// Fingerprint pins the configuration a checkpoint was taken under. Restore
+// refuses a state whose fingerprint differs from the restoring engine's:
+// estimator state is only meaningful under the exact analysis parameters
+// that produced it (a different seed means different pools, a different
+// reorder window a different drop pattern, a different shard count a
+// different record partition and tie order).
+type Fingerprint struct {
+	Family           string   `json:"family"`
+	Model            string   `json:"model"`
+	Estimator        string   `json:"estimator"`
+	Seed             uint64   `json:"seed"`
+	EpochLen         sim.Time `json:"epoch_len"`
+	NegativeTTL      sim.Time `json:"negative_ttl"`
+	Granularity      sim.Time `json:"granularity,omitempty"`
+	SecondOpinion    bool     `json:"second_opinion,omitempty"`
+	Detection        bool     `json:"detection,omitempty"`
+	DetectMiss       float64  `json:"detect_miss,omitempty"`
+	DetectCollisions int      `json:"detect_collisions,omitempty"`
+	DetectSeed       uint64   `json:"detect_seed,omitempty"`
+	Shards           int      `json:"shards"`
+	ReorderWindow    sim.Time `json:"reorder_window"`
+	MaxReorder       int      `json:"max_reorder"`
+	WindowStart      sim.Time `json:"window_start,omitempty"`
+	WindowEnd        sim.Time `json:"window_end,omitempty"`
+}
+
+// fingerprint derives the engine's fingerprint from its (defaulted) config.
+func (e *Engine) fingerprint() Fingerprint {
+	c := e.cfg
+	fp := Fingerprint{
+		Family:        c.Core.Family.Name,
+		Model:         c.Core.Family.ModelName(),
+		Estimator:     e.estimator.Name(),
+		Seed:          c.Core.Seed,
+		EpochLen:      c.Core.EpochLen,
+		NegativeTTL:   c.Core.NegativeTTL,
+		Granularity:   c.Core.Granularity,
+		SecondOpinion: c.Core.SecondOpinion,
+		Shards:        c.Shards,
+		ReorderWindow: c.ReorderWindow,
+		MaxReorder:    c.MaxReorder,
+		WindowStart:   c.Window.Start,
+		WindowEnd:     c.Window.End,
+	}
+	if d := c.Core.Detection; d != nil {
+		fp.Detection = true
+		fp.DetectMiss = d.MissRate
+		fp.DetectCollisions = d.Collisions
+		fp.DetectSeed = d.Seed
+	}
+	return fp
+}
+
+// SourcePos locates the checkpoint cut in the input stream: how many
+// well-formed records the feeder had consumed (skipped or observed) when
+// the state was exported. Resume replays the source, discarding the first
+// Records records, so every record is applied exactly once across the
+// crash — including its effect on epoch close.
+type SourcePos struct {
+	// Records is the number of well-formed records consumed from the
+	// source. Malformed lines skipped by lenient parsing are not counted,
+	// so the count is stable across re-parses.
+	Records uint64 `json:"records"`
+	// Path and Bytes describe the source file at checkpoint time when
+	// known. A current file smaller than Bytes means the source was
+	// truncated or replaced since the checkpoint — the state is stale and
+	// recovery must fall back to a fresh start.
+	Path  string `json:"path,omitempty"`
+	Bytes int64  `json:"bytes,omitempty"`
+}
+
+// EngineState is the complete serializable state of a streaming engine.
+type EngineState struct {
+	Fingerprint Fingerprint `json:"fingerprint"`
+	Source      SourcePos   `json:"source"`
+	// Symtab is the pool cache's intern table (Config.Core.Pools), exported
+	// so a restored process reproduces the exact domain-ID assignment.
+	Symtab []string     `json:"symtab,omitempty"`
+	Shards []ShardState `json:"shards"`
+}
+
+// ShardState is one ingest shard's state.
+type ShardState struct {
+	Seq             uint64        `json:"seq"`
+	Watermark       int64         `json:"watermark"`
+	MinT            int64         `json:"min_t"`
+	MaxT            int64         `json:"max_t"`
+	HasData         bool          `json:"has_data,omitempty"`
+	MaxEmittedEpoch int           `json:"max_emitted_epoch"`
+	PeakRetained    int           `json:"peak_retained,omitempty"`
+	Stats           ShardStats    `json:"stats"`
+	Buffer          []RecordEntry `json:"buffer,omitempty"`
+	Servers         []ServerState `json:"servers,omitempty"`
+}
+
+// ShardStats is the shard's ingest tally (the counter fields of Stats).
+type ShardStats struct {
+	Ingested         uint64 `json:"ingested"`
+	Matched          uint64 `json:"matched"`
+	Unmatched        uint64 `json:"unmatched"`
+	DroppedLate      uint64 `json:"dropped_late,omitempty"`
+	ReorderEvictions uint64 `json:"reorder_evictions,omitempty"`
+	EpochsClosed     uint64 `json:"epochs_closed,omitempty"`
+}
+
+// RecordEntry is one retained record. Reorder-buffer entries carry their
+// arrival sequence (tie order) and server; open-epoch micro-batch records
+// omit both — order is positional and the server is the enclosing
+// ServerState's.
+type RecordEntry struct {
+	T      sim.Time `json:"t"`
+	Seq    uint64   `json:"seq,omitempty"`
+	Server string   `json:"server,omitempty"`
+	Domain string   `json:"domain"`
+}
+
+// ServerState is one forwarding server's accumulated landscape state.
+type ServerState struct {
+	Name     string           `json:"name"`
+	Matched  int              `json:"matched"`
+	Domains  []string         `json:"domains,omitempty"`
+	Closed   []EpochValue     `json:"closed,omitempty"`
+	ClosedMT []EpochValue     `json:"closed_mt,omitempty"`
+	Open     []EpochCellState `json:"open,omitempty"`
+}
+
+// EpochValue is one closed epoch's finalised estimate.
+type EpochValue struct {
+	Epoch int     `json:"epoch"`
+	Value float64 `json:"value"`
+}
+
+// EpochCellState is one open (server, epoch) cell: either the streaming
+// estimator's incremental state or the retained micro-batch records, plus
+// the second-opinion MT state when enabled.
+type EpochCellState struct {
+	Epoch   int                     `json:"epoch"`
+	Records []RecordEntry           `json:"records,omitempty"`
+	Timing  *estimators.TimingState `json:"timing,omitempty"`
+	Second  *estimators.TimingState `json:"second,omitempty"`
+}
+
+// streamStateCodec is the serialization hook a StreamCapable estimator's
+// EpochStream must provide to be checkpointable. TimingStream — the only
+// streaming estimator today — implements it; a future streaming estimator
+// with different sufficient statistics would generalise the state type.
+type streamStateCodec interface {
+	ExportState() estimators.TimingState
+	RestoreState(estimators.TimingState)
+}
+
+// ExportState captures the engine's complete serializable state through a
+// per-shard barrier: each shard drains its already-delivered records, then
+// exports under its own mutex, all while the engine is guaranteed open.
+// Called from the feeding goroutine (the single-feeder pattern of Follow
+// and cmd/vantage) the cut is exact — precisely the records fed so far.
+// The engine keeps running; the returned state shares nothing with it.
+//
+// Source is left zero: the caller (Checkpointer, federation coordinator)
+// knows where the feed stands, the engine does not.
+func (e *Engine) ExportState() (*EngineState, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, fmt.Errorf("stream: engine closed")
+	}
+	reqs := make([]*shardCtl, len(e.shards))
+	for i, s := range e.shards {
+		req := &shardCtl{done: make(chan struct{})}
+		reqs[i] = req
+		s.ctl <- req
+	}
+	st := &EngineState{
+		Fingerprint: e.fingerprint(),
+		Shards:      make([]ShardState, len(e.shards)),
+	}
+	for i, req := range reqs {
+		<-req.done
+		if req.err != nil {
+			return nil, req.err
+		}
+		st.Shards[i] = req.state
+	}
+	if pools := e.cfg.Core.Pools; pools != nil {
+		if tab := pools.Table(); tab != nil {
+			st.Symtab = tab.Export()
+		}
+	}
+	return st, nil
+}
+
+// Quiesce forces every buffered record out of the reorder buffers in
+// timestamp order and advances each shard's watermark to its newest
+// emitted record, without closing the current epochs. It is only correct
+// when no record older than the buffered maximum can still arrive —
+// e.g. after replaying a historical file, before switching to live traffic
+// stamped with the current time. cmd/vantage calls it after crash-recovery
+// replay so /landscape immediately reflects every replayed record instead
+// of lagging one reorder window behind.
+func (e *Engine) Quiesce() error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return fmt.Errorf("stream: engine closed")
+	}
+	reqs := make([]*shardCtl, len(e.shards))
+	for i, s := range e.shards {
+		req := &shardCtl{quiesce: true, done: make(chan struct{})}
+		reqs[i] = req
+		s.ctl <- req
+	}
+	for _, req := range reqs {
+		<-req.done
+	}
+	return nil
+}
+
+// Restore builds and starts an engine from a previously exported state.
+// cfg must describe the same deployment that produced the state (enforced
+// via the fingerprint); cfg.Shards may be left 0 to adopt the checkpoint's
+// shard count — the only safe choice, since the shard count determines the
+// record partition. The caller then replays the source from
+// st.Source.Records to catch up.
+func Restore(cfg Config, st *EngineState) (*Engine, error) {
+	if st == nil {
+		return nil, fmt.Errorf("stream: nil checkpoint state")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = st.Fingerprint.Shards
+	}
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if fp := e.fingerprint(); fp != st.Fingerprint {
+		return nil, fmt.Errorf("stream: checkpoint fingerprint mismatch (checkpoint %+v, engine %+v)", st.Fingerprint, fp)
+	}
+	if len(st.Shards) != len(e.shards) {
+		return nil, fmt.Errorf("stream: checkpoint has %d shard states for %d shards", len(st.Shards), len(e.shards))
+	}
+	if len(st.Symtab) > 0 && cfg.Core.Pools != nil {
+		if tab := cfg.Core.Pools.Table(); tab != nil {
+			if err := tab.Import(st.Symtab); err != nil {
+				return nil, fmt.Errorf("stream: restoring intern table: %w", err)
+			}
+		}
+	}
+	for i, s := range e.shards {
+		if err := s.importState(st.Shards[i]); err != nil {
+			return nil, fmt.Errorf("stream: shard %d: %w", i, err)
+		}
+	}
+	e.start()
+	return e, nil
+}
+
+// exportLocked serialises the shard. Holding mu inside the shard goroutine,
+// nothing can mutate concurrently; everything is deep-copied.
+func (s *shard) exportLocked() (ShardState, error) {
+	if s.err != nil {
+		return ShardState{}, fmt.Errorf("stream: shard %d carries an estimator error, refusing to checkpoint: %w", s.idx, s.err)
+	}
+	st := ShardState{
+		Seq:             s.seq,
+		Watermark:       int64(s.watermark),
+		MinT:            int64(s.minT),
+		MaxT:            int64(s.maxT),
+		HasData:         s.hasData,
+		MaxEmittedEpoch: s.maxEmittedEpoch,
+		PeakRetained:    s.peakRetained,
+		Stats: ShardStats{
+			Ingested:         s.stats.Ingested,
+			Matched:          s.stats.Matched,
+			Unmatched:        s.stats.Unmatched,
+			DroppedLate:      s.stats.DroppedLate,
+			ReorderEvictions: s.stats.ReorderEvictions,
+			EpochsClosed:     s.stats.EpochsClosed,
+		},
+	}
+	if n := s.buf.len(); n > 0 {
+		st.Buffer = make([]RecordEntry, n)
+		for i, en := range s.buf.entries {
+			st.Buffer[i] = RecordEntry{T: en.t, Seq: en.seq, Server: en.rec.Server, Domain: en.rec.Domain}
+		}
+	}
+	names := make([]string, 0, len(s.servers))
+	for name := range s.servers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sv := s.servers[name]
+		ss := ServerState{
+			Name:     name,
+			Matched:  sv.matched,
+			Domains:  sortedKeys(sv.domains),
+			Closed:   sortedEpochValues(sv.perEpoch),
+			ClosedMT: sortedEpochValues(sv.perEpochMT),
+		}
+		epochs := make([]int, 0, len(sv.open))
+		for ep := range sv.open {
+			epochs = append(epochs, ep)
+		}
+		sort.Ints(epochs)
+		for _, ep := range epochs {
+			cell := sv.open[ep]
+			cs := EpochCellState{Epoch: ep}
+			if cell.prim != nil {
+				codec, ok := cell.prim.(streamStateCodec)
+				if !ok {
+					return ShardState{}, fmt.Errorf("stream: estimator stream %T is not checkpointable", cell.prim)
+				}
+				ts := codec.ExportState()
+				cs.Timing = &ts
+			} else {
+				cs.Records = make([]RecordEntry, len(cell.recs))
+				for i, rec := range cell.recs {
+					cs.Records[i] = RecordEntry{T: rec.T, Domain: rec.Domain}
+				}
+			}
+			if cell.second != nil {
+				codec, ok := cell.second.(streamStateCodec)
+				if !ok {
+					return ShardState{}, fmt.Errorf("stream: second-opinion stream %T is not checkpointable", cell.second)
+				}
+				ts := codec.ExportState()
+				cs.Second = &ts
+			}
+			ss.Open = append(ss.Open, cs)
+		}
+		st.Servers = append(st.Servers, ss)
+	}
+	return st, nil
+}
+
+// importState loads one shard's state. Called before the shard goroutine
+// starts; the mutex is held for form (Stats/Snapshot are already callable).
+func (s *shard) importState(st ShardState) error {
+	e := s.eng
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq = st.Seq
+	s.watermark = sim.Time(st.Watermark)
+	s.minT = sim.Time(st.MinT)
+	s.maxT = sim.Time(st.MaxT)
+	s.hasData = st.HasData
+	s.maxEmittedEpoch = st.MaxEmittedEpoch
+	s.stats = Stats{
+		Ingested:         st.Stats.Ingested,
+		Matched:          st.Stats.Matched,
+		Unmatched:        st.Stats.Unmatched,
+		DroppedLate:      st.Stats.DroppedLate,
+		ReorderEvictions: st.Stats.ReorderEvictions,
+		EpochsClosed:     st.Stats.EpochsClosed,
+	}
+	for _, en := range st.Buffer {
+		s.buf.push(reorderEntry{t: en.T, seq: en.Seq, rec: trace.ObservedRecord{
+			T: en.T, Server: en.Server, Domain: en.Domain,
+		}})
+	}
+	retained := s.buf.len()
+	for _, ss := range st.Servers {
+		sv := &serverState{
+			matched:  ss.Matched,
+			domains:  make(map[string]struct{}, len(ss.Domains)),
+			perEpoch: make(map[int]float64, len(ss.Closed)),
+			open:     make(map[int]*epochCell, len(ss.Open)),
+		}
+		for _, d := range ss.Domains {
+			sv.domains[d] = struct{}{}
+		}
+		for _, ev := range ss.Closed {
+			sv.perEpoch[ev.Epoch] = ev.Value
+		}
+		if e.secondSrc != nil {
+			sv.perEpochMT = make(map[int]float64, len(ss.ClosedMT))
+			for _, ev := range ss.ClosedMT {
+				sv.perEpochMT[ev.Epoch] = ev.Value
+			}
+		} else if len(ss.ClosedMT) > 0 {
+			return fmt.Errorf("server %s carries second-opinion state but the engine has none", ss.Name)
+		}
+		for _, cs := range ss.Open {
+			cell := &epochCell{}
+			if e.streaming != nil {
+				if cs.Timing == nil {
+					return fmt.Errorf("server %s epoch %d: missing streaming estimator state", ss.Name, cs.Epoch)
+				}
+				prim := e.streaming.OpenEpoch(cs.Epoch, e.estCfg)
+				codec, ok := prim.(streamStateCodec)
+				if !ok {
+					return fmt.Errorf("estimator stream %T is not checkpointable", prim)
+				}
+				codec.RestoreState(*cs.Timing)
+				cell.prim = prim
+			} else {
+				if cs.Timing != nil {
+					return fmt.Errorf("server %s epoch %d: streaming state for a micro-batch estimator", ss.Name, cs.Epoch)
+				}
+				cell.recs = make(trace.Observed, len(cs.Records))
+				for i, en := range cs.Records {
+					cell.recs[i] = trace.ObservedRecord{T: en.T, Server: ss.Name, Domain: en.Domain}
+				}
+				retained += len(cell.recs)
+			}
+			if e.secondSrc != nil {
+				if cs.Second == nil {
+					return fmt.Errorf("server %s epoch %d: missing second-opinion state", ss.Name, cs.Epoch)
+				}
+				second := e.secondSrc.OpenEpoch(cs.Epoch, e.estCfg)
+				codec, ok := second.(streamStateCodec)
+				if !ok {
+					return fmt.Errorf("second-opinion stream %T is not checkpointable", second)
+				}
+				codec.RestoreState(*cs.Second)
+				cell.second = second
+			}
+			sv.open[cs.Epoch] = cell
+		}
+		s.servers[ss.Name] = sv
+	}
+	s.retained = retained
+	s.peakRetained = st.PeakRetained
+	if retained > s.peakRetained {
+		s.peakRetained = retained
+	}
+	// The retained gauge tracks this process's holdings; counters
+	// (ingested, matched, …) are NOT replayed into the registry — metrics
+	// count this process's work, Stats() stays cumulative across restores.
+	e.m.retained.Add(float64(retained))
+	if s.wmGauge != nil && s.watermark != math.MinInt64 {
+		s.wmGauge.Set(float64(s.watermark))
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]struct{}) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedEpochValues(m map[int]float64) []EpochValue {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]EpochValue, 0, len(m))
+	for ep, v := range m {
+		out = append(out, EpochValue{Epoch: ep, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Epoch < out[j].Epoch })
+	return out
+}

@@ -61,6 +61,7 @@ const (
 	MetricWatermark  = "stream_watermark_ms"
 	MetricSnapshots  = "stream_snapshots_total"
 	MetricEstimators = "stream_estimator_errors_total"
+	MetricRotations  = "stream_source_rotations_total"
 )
 
 // Config configures one streaming deployment for one target DGA family.
@@ -174,12 +175,25 @@ type engineMetrics struct {
 	epochs    *obs.Counter
 	snapshots *obs.Counter
 	estErrors *obs.Counter
+	rotations *obs.Counter
 	retained  *obs.Gauge
 }
 
 // New builds and starts the engine: shards spin up immediately and wait
 // for records.
 func New(cfg Config) (*Engine, error) {
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.start()
+	return e, nil
+}
+
+// newEngine builds the engine without starting the shard goroutines —
+// shared by New and by checkpoint Restore, which must import shard state
+// before any record can race it.
+func newEngine(cfg Config) (*Engine, error) {
 	if err := cfg.Core.Validate(); err != nil {
 		return nil, fmt.Errorf("stream: %w", err)
 	}
@@ -228,6 +242,7 @@ func New(cfg Config) (*Engine, error) {
 		reg.Help(MetricWatermark, "Per-shard watermark (virtual ms).")
 		reg.Help(MetricSnapshots, "Landscape snapshots served.")
 		reg.Help(MetricEstimators, "Estimator failures during epoch close or snapshot.")
+		reg.Help(MetricRotations, "Source-file rotations/truncations survived while tailing.")
 		e.m = engineMetrics{
 			ingested:  reg.Counter(MetricIngested),
 			matched:   reg.Counter(MetricMatched),
@@ -237,20 +252,27 @@ func New(cfg Config) (*Engine, error) {
 			epochs:    reg.Counter(MetricEpochs),
 			snapshots: reg.Counter(MetricSnapshots),
 			estErrors: reg.Counter(MetricEstimators),
+			rotations: reg.Counter(MetricRotations),
 			retained:  reg.Gauge(MetricRetained),
 		}
 	}
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
-		s := newShard(e, i)
-		e.shards[i] = s
+		e.shards[i] = newShard(e, i)
+	}
+	return e, nil
+}
+
+// start spins up the shard goroutines.
+func (e *Engine) start() {
+	for _, s := range e.shards {
+		s := s
 		e.wg.Add(1)
 		go func() {
 			defer e.wg.Done()
 			s.loop()
 		}()
 	}
-	return e, nil
 }
 
 // EstimatorName reports the selected analytical model.
@@ -358,11 +380,21 @@ func (e *Engine) Snapshot() (*core.Landscape, error) {
 }
 
 // LandscapeJSON renders the current snapshot with core.Landscape's stable
-// JSON schema — the payload behind the obs mux's /landscape endpoint.
+// JSON schema — the payload behind the obs mux's /landscape endpoint. The
+// snapshot is annotated with the engine's ingest tallies ("ingest" block)
+// so operators can see late drops and reorder evictions — silent data loss
+// — next to the chart they degraded.
 func (e *Engine) LandscapeJSON() ([]byte, error) {
 	land, err := e.Snapshot()
 	if err != nil {
 		return nil, err
+	}
+	stats := e.Stats()
+	land.Ingest = &core.IngestStats{
+		Ingested:         stats.Ingested,
+		Matched:          stats.Matched,
+		DroppedLate:      stats.DroppedLate,
+		ReorderEvictions: stats.ReorderEvictions,
 	}
 	var buf bytes.Buffer
 	if err := land.WriteJSON(&buf); err != nil {
@@ -421,6 +453,24 @@ func (e *Engine) Close() (*core.Landscape, error) {
 		return nil, err
 	}
 	return e.Snapshot()
+}
+
+// Kill abandons the engine without flushing: shard goroutines stop where
+// they are, buffered records and open epochs are discarded, no landscape is
+// produced — the in-process analogue of `kill -9` for crash tests. The
+// engine is unusable afterwards; recovery goes through Restore.
+func (e *Engine) Kill() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	for _, s := range e.shards {
+		close(s.ch)
+	}
+	e.wg.Wait()
 }
 
 // firstShardErr returns the first estimator error recorded by any shard

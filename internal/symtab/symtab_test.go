@@ -208,3 +208,66 @@ func FuzzIntern(f *testing.F) {
 		}
 	})
 }
+
+func TestExportImportRoundTrip(t *testing.T) {
+	tab := New()
+	for i := 0; i < 100; i++ {
+		tab.Intern(fmt.Sprintf("d%03d.example", i))
+	}
+	snap := tab.Export()
+	if len(snap) != 100 {
+		t.Fatalf("Export length = %d, want 100", len(snap))
+	}
+	// Export is a copy: interning more must not alias into the snapshot.
+	tab.Intern("later.example")
+	if len(snap) != 100 {
+		t.Fatalf("Export aliased the live table")
+	}
+
+	restored := New()
+	if err := restored.Import(snap); err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	if restored.Len() != 100 {
+		t.Fatalf("Len after Import = %d, want 100", restored.Len())
+	}
+	// Every string keeps its original dense ID, so interned references in
+	// a restored checkpoint resolve to the same strings.
+	for i, s := range snap {
+		id, ok := restored.Lookup(s)
+		if !ok || int(id) != i+1 {
+			t.Fatalf("Lookup(%q) = %d,%v, want %d", s, id, ok, i+1)
+		}
+		if got := restored.Resolve(id); got != s {
+			t.Fatalf("Resolve(%d) = %q, want %q", id, got, s)
+		}
+	}
+	// Import replaces, not merges.
+	if err := restored.Import([]string{"only.example"}); err != nil {
+		t.Fatalf("re-Import: %v", err)
+	}
+	if restored.Len() != 1 {
+		t.Fatalf("Len after re-Import = %d, want 1", restored.Len())
+	}
+	if _, ok := restored.Lookup("d000.example"); ok {
+		t.Fatal("re-Import kept an entry from the previous snapshot")
+	}
+}
+
+func TestImportRejectsDuplicates(t *testing.T) {
+	tab := New()
+	if err := tab.Import([]string{"a.example", "b.example", "a.example"}); err == nil {
+		t.Fatal("Import accepted a duplicate entry")
+	}
+}
+
+func TestImportEmpty(t *testing.T) {
+	tab := New()
+	tab.Intern("pre.example")
+	if err := tab.Import(nil); err != nil {
+		t.Fatalf("Import(nil): %v", err)
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("Len after Import(nil) = %d, want 0", tab.Len())
+	}
+}

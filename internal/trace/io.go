@@ -168,6 +168,7 @@ func readCSV(r io.Reader, wantFields int, opt ReadOptions, parse func(row []stri
 			}
 			return res, err
 		}
+		res.Records++
 	}
 }
 
@@ -268,6 +269,7 @@ func readJSONL(r io.Reader, opt ReadOptions, parse func(data []byte, line int) e
 			}
 			return res, err
 		}
+		res.Records++
 	}
 	if err := sc.Err(); err != nil {
 		return res, fmt.Errorf("trace: scan: %w", err)

@@ -382,3 +382,105 @@ func TestSafeWriterTruncateRoundTrip(t *testing.T) {
 		t.Errorf("records = %d, want 4", len(obs))
 	}
 }
+
+// TestSafeWriterStickyErrorStopsWrites: once the sticky error is set, the
+// underlying writer must never see another byte — even via Flush or Close.
+// cmd/vantage's checkpoint gate (PreSync = Flush + Err) relies on this: a
+// poisoned writer cannot let a checkpoint record progress the durable file
+// never made.
+func TestSafeWriterStickyErrorStopsWrites(t *testing.T) {
+	w := &failingWriter{failAfter: 1}
+	sw := NewSafeWriter(w, SafeWriterConfig{FlushInterval: -1, FlushEvery: 1})
+	if err := sw.Append(rec(0)); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	sw.Append(rec(1)) //nolint:errcheck // poisons the writer
+	callsAtPoison := w.calls
+	sw.Append(rec(2)) //nolint:errcheck // rejected, must not retry the write
+	sw.Flush()        //nolint:errcheck
+	sw.Close()        //nolint:errcheck
+	if w.calls != callsAtPoison {
+		t.Fatalf("underlying writer saw %d calls after poisoning, want none (was %d, now %d)",
+			w.calls-callsAtPoison, callsAtPoison, w.calls)
+	}
+	// Stats counts appended records (record 1 was accepted before its
+	// flush failed); record 2 was rejected outright.
+	if records, _, _ := sw.Stats(); records != 2 {
+		t.Errorf("records = %d, want 2 appended", records)
+	}
+}
+
+// TestTruncateTornTailChunkBoundaries: the backward newline scan works in
+// 32 KiB chunks; exercise torn tails that span chunks and land exactly on
+// chunk edges.
+func TestTruncateTornTailChunkBoundaries(t *testing.T) {
+	const chunk = 32 * 1024
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		keep int // bytes of intact, newline-terminated prefix
+		torn int // bytes of torn tail after the last newline
+	}{
+		{"tail-spans-two-chunks", 100, chunk + 17},
+		{"tail-exactly-one-chunk", 100, chunk},
+		{"newline-at-chunk-edge", chunk, chunk},
+		{"one-byte-tail", chunk + 1, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join(dir, c.name+".jsonl")
+			prefix := bytes.Repeat([]byte("x"), c.keep-1)
+			prefix = append(prefix, '\n')
+			data := append(prefix, bytes.Repeat([]byte("y"), c.torn)...)
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			n, err := TruncateTornTail(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != int64(c.torn) {
+				t.Errorf("removed %d bytes, want %d", n, c.torn)
+			}
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Size() != int64(c.keep) {
+				t.Errorf("size after repair = %d, want %d", st.Size(), c.keep)
+			}
+		})
+	}
+}
+
+// TestTruncateTornTailTwice: crash, repair, append, crash again — the
+// second repair must only drop the second torn tail.
+func TestTruncateTornTailTwice(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obs.jsonl")
+	line1 := `{"t":1,"server":"s0","domain":"a.example"}` + "\n"
+	if err := os.WriteFile(path, []byte(line1+`{"t":2,"ser`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := TruncateTornTail(path); err != nil || n != 11 {
+		t.Fatalf("first repair: %d, %v", n, err)
+	}
+	line2 := `{"t":2,"server":"s0","domain":"b.example"}` + "\n"
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(line2 + `{"t":3`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if n, err := TruncateTornTail(path); err != nil || n != 6 {
+		t.Fatalf("second repair: %d, %v", n, err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != line1+line2 {
+		t.Errorf("after double repair = %q", got)
+	}
+}
