@@ -30,6 +30,11 @@ type followConfig struct {
 	checkpointInterval time.Duration
 	checkpointEvery    uint64
 	resume             bool // restore the newest good checkpoint and replay from its offset
+
+	watch        time.Duration // periodic status line cadence (0 disables)
+	sloFreshness time.Duration // watermark-lag SLO (0 disables)
+	sloLoss      float64       // lossy-ingest ratio SLO (0 disables)
+	sloDisagree  float64       // estimator relative-spread SLO (0 disables)
 }
 
 // runFollow is `botmeter -follow`: instead of materialising the trace and
@@ -109,17 +114,59 @@ func runFollow(coreCfg core.Config, fc followConfig) error {
 			return err
 		}
 	}
+	// The observatory samples ingest health and landscape history in the
+	// background. It is only worth running when something consumes it: a
+	// -watch status line, a -listen endpoint, or an armed SLO rule.
+	var obsy *stream.Observatory
+	if fc.watch > 0 || fc.listen != "" || fc.sloFreshness > 0 || fc.sloLoss > 0 || fc.sloDisagree > 0 {
+		obsy, err = stream.NewObservatory(stream.ObservatoryConfig{
+			Engine:          eng,
+			Checkpoints:     ck,
+			Registry:        reg,
+			FreshnessSLO:    fc.sloFreshness,
+			LossRateSLO:     fc.sloLoss,
+			DisagreementSLO: fc.sloDisagree,
+		})
+		if err != nil {
+			eng.Close() //nolint:errcheck // the observatory error wins
+			return err
+		}
+		obsy.Start()
+		defer obsy.Stop()
+	}
 	if fc.listen != "" {
-		diag, err := obs.StartHTTP(fc.listen, obs.NewMux(obs.MuxConfig{
+		muxCfg := obs.MuxConfig{
 			Registry:  reg,
 			Landscape: eng.LandscapeJSON,
-		}))
+		}
+		if obsy != nil {
+			muxCfg.Series = obsy.Store()
+			muxCfg.History = obsy.HistoryJSON
+			muxCfg.Health = obsy.Health
+		}
+		diag, err := obs.StartHTTP(fc.listen, obs.NewMux(muxCfg))
 		if err != nil {
 			eng.Close() //nolint:errcheck // the listen error wins
 			return err
 		}
 		defer diag.Close()
 		fmt.Fprintf(os.Stderr, "botmeter: live landscape at http://%s/landscape\n", diag.Addr())
+	}
+	if fc.watch > 0 && obsy != nil {
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			tick := time.NewTicker(fc.watch)
+			defer tick.Stop()
+			for {
+				select {
+				case <-watchDone:
+					return
+				case <-tick.C:
+					fmt.Fprintf(os.Stderr, "botmeter: %s\n", obsy.StatusLine())
+				}
+			}
+		}()
 	}
 
 	opt := stream.FollowOptions{
@@ -129,12 +176,15 @@ func runFollow(coreCfg core.Config, fc followConfig) error {
 		SkipRecords: skip,
 		Checkpoint:  ck,
 	}
+	started := time.Now()
 	var res trace.ReadResult
 	if fc.in == "" {
 		res, err = eng.Follow(ctx, os.Stdin, opt)
 	} else {
 		res, err = eng.FollowFile(ctx, fc.in, opt)
 	}
+	elapsed := time.Since(started)
+	finalLag := eng.WatermarkLagSeconds()
 	if err != nil {
 		eng.Close() //nolint:errcheck // the read error wins
 		return err
@@ -152,8 +202,9 @@ func runFollow(coreCfg core.Config, fc followConfig) error {
 	if res.Skipped > 0 {
 		fmt.Fprintf(os.Stderr, "botmeter: skipped %d malformed line(s)\n", res.Skipped)
 	}
-	fmt.Fprintf(os.Stderr, "botmeter: streamed %d record(s): %d matched, %d late-dropped, %d reorder-evicted, %d epoch cell(s) closed\n",
-		stats.Ingested, stats.Matched, stats.DroppedLate, stats.ReorderEvictions, stats.EpochsClosed)
+	fmt.Fprintf(os.Stderr, "botmeter: streamed %d record(s): %d matched, %d late-dropped, %d reorder-evicted, %d epoch cell(s) closed, %s, final watermark lag %s\n",
+		stats.Ingested, stats.Matched, stats.DroppedLate, stats.ReorderEvictions, stats.EpochsClosed,
+		formatRate(stats.Ingested, elapsed), formatLag(finalLag))
 	if stats.DroppedLate+stats.ReorderEvictions > 0 {
 		fmt.Fprintf(os.Stderr, "botmeter: WARNING: %d record(s) lost or force-emitted out of order (late drops + reorder evictions) — the landscape may undercount; consider a larger -reorder-window\n",
 			stats.DroppedLate+stats.ReorderEvictions)
@@ -169,4 +220,23 @@ func runFollow(coreCfg core.Config, fc followConfig) error {
 	}
 	fmt.Print(land.String())
 	return nil
+}
+
+// formatRate renders an end-of-run ingest rate, guarding the zero-length
+// runs that one-shot tests produce.
+func formatRate(ingested uint64, elapsed time.Duration) string {
+	if elapsed <= 0 {
+		return "0 records/s"
+	}
+	return fmt.Sprintf("%.0f records/s", float64(ingested)/elapsed.Seconds())
+}
+
+// formatLag renders the final watermark lag. Replays of simulated traces
+// carry virtual timestamps that are arbitrarily far from the wall clock,
+// so an absurd lag is reported as such instead of as a huge number.
+func formatLag(seconds float64) string {
+	if seconds > 48*60*60 {
+		return "n/a (virtual timestamps)"
+	}
+	return fmt.Sprintf("%.1fs", seconds)
 }

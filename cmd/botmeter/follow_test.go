@@ -1,9 +1,12 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunFollowOneShot(t *testing.T) {
@@ -80,6 +83,53 @@ func TestRunFollowValidation(t *testing.T) {
 	}
 	if err := run([]string{"-family", "newgoz", "-in", in, "-follow", "-resume"}); err == nil {
 		t.Error("-resume without -checkpoint-dir should fail")
+	}
+}
+
+// TestRunFollowWatch: -watch prints periodic status lines while streaming
+// and the exit summary reports the ingest rate and final watermark lag.
+func TestRunFollowWatch(t *testing.T) {
+	inR, inW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errR, errW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStdin, oldStderr := os.Stdin, os.Stderr
+	os.Stdin, os.Stderr = inR, errW
+	defer func() { os.Stdin, os.Stderr = oldStdin, oldStderr }()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-family", "newgoz", "-seed", "1", "-follow", "-json",
+			"-watch", "5ms", "-slo-freshness", "1h",
+		})
+	}()
+	if _, err := io.WriteString(inW, "t_ms,server,domain\n1000,ns1,example.com\n2000,ns1,example.com\n"); err != nil {
+		t.Fatal(err)
+	}
+	// Keep the stream open long enough for several -watch ticks to fire.
+	time.Sleep(60 * time.Millisecond)
+	inW.Close()
+	runErr := <-done
+	errW.Close()
+	out, readErr := io.ReadAll(errR)
+	os.Stdin, os.Stderr = oldStdin, oldStderr
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if runErr != nil {
+		t.Fatalf("follow with -watch: %v", runErr)
+	}
+	s := string(out)
+	if !strings.Contains(s, "rec/s") {
+		t.Errorf("no -watch status line on stderr:\n%s", s)
+	}
+	if !strings.Contains(s, "records/s") || !strings.Contains(s, "final watermark lag") {
+		t.Errorf("exit summary missing rate or watermark lag:\n%s", s)
 	}
 }
 

@@ -63,6 +63,10 @@ func run(args []string) error {
 	checkpointInterval := fs.Duration("checkpoint-interval", 30*time.Second, "with -checkpoint-dir: wall-clock checkpoint cadence (0 disables the time trigger)")
 	checkpointEvery := fs.Uint64("checkpoint-every", 0, "with -checkpoint-dir: also checkpoint every N input records (0 disables the count trigger)")
 	resume := fs.Bool("resume", false, "with -checkpoint-dir: restore the newest good checkpoint and replay the input from its offset instead of starting fresh")
+	watch := fs.Duration("watch", 0, "with -follow: print a periodic status line (watermark lag, ingest rate, SLO state) to stderr at this cadence (0 disables)")
+	sloFreshness := fs.Duration("slo-freshness", 0, "with -follow: flag the run degraded when any shard's watermark lags the wall clock by more than this (0 disables)")
+	sloLoss := fs.Float64("slo-loss", 0, "with -follow: flag the run degraded when the lossy-ingest ratio exceeds this (0 disables)")
+	sloDisagree := fs.Float64("slo-disagreement", 0, "with -follow: flag the run degraded when the estimators' relative spread exceeds this (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -131,6 +135,11 @@ func run(args []string) error {
 			checkpointInterval: *checkpointInterval,
 			checkpointEvery:    *checkpointEvery,
 			resume:             *resume,
+
+			watch:        *watch,
+			sloFreshness: *sloFreshness,
+			sloLoss:      *sloLoss,
+			sloDisagree:  *sloDisagree,
 		})
 	}
 

@@ -39,6 +39,7 @@ import (
 	"botmeter/internal/dnswire"
 	"botmeter/internal/faults"
 	"botmeter/internal/obs"
+	"botmeter/internal/obs/series"
 	"botmeter/internal/sim"
 	"botmeter/internal/stream"
 	"botmeter/internal/trace"
@@ -103,6 +104,12 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	checkpointInterval := fs.Duration("checkpoint-interval", 30*time.Second, "with -checkpoint-dir: wall-clock checkpoint cadence (0 disables the time trigger)")
 	checkpointEvery := fs.Uint64("checkpoint-every", 0, "with -checkpoint-dir: also checkpoint every N observed records (0 disables the count trigger)")
 	crashSpec := fs.String("crash", "", "deterministic crash injection for recovery testing, e.g. records=500 or point=checkpoint-write:1")
+	sloFreshness := fs.Duration("slo-freshness", 0, "with -live-estimate: degrade /healthz when any shard's watermark lags the wall clock by more than this (0 disables)")
+	sloLoss := fs.Float64("slo-loss", 0, "with -live-estimate: degrade /healthz when the lossy-ingest ratio (late drops + reorder evictions over ingested) exceeds this (0 disables)")
+	sloDisagree := fs.Float64("slo-disagreement", 0, "with -live-estimate: degrade /healthz when the estimators' relative spread exceeds this (0 disables)")
+	historyInterval := fs.Duration("history-interval", 10*time.Second, "with -live-estimate: landscape history sampling cadence")
+	historyPoints := fs.Int("history-points", 512, "with -live-estimate: points kept per series and in /landscape/history")
+	historyStep := fs.Duration("history-step", time.Second, "with -live-estimate: time-series downsampling step for /debug/series")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	logFormat := fs.String("log-format", "logfmt", "log encoding: logfmt or json")
 	if err := fs.Parse(args); err != nil {
@@ -290,10 +297,48 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		logger.Info("checkpointing enabled",
 			"dir", *checkpointDir, "interval", checkpointInterval.String(), "every_records", *checkpointEvery)
 	}
+	// The Landscape Observatory samples the live engine into a bounded
+	// time-series store, keeps the /landscape/history ring and evaluates the
+	// SLO rules that degrade /healthz (DESIGN.md §16).
+	var obsy *stream.Observatory
+	if est != nil {
+		obsy, err = stream.NewObservatory(stream.ObservatoryConfig{
+			Engine:          est,
+			Checkpoints:     srv.ck,
+			Store:           series.NewStore(series.Config{Capacity: *historyPoints, Step: *historyStep}),
+			Registry:        reg,
+			Logger:          logger,
+			HistoryInterval: *historyInterval,
+			HistoryPoints:   *historyPoints,
+			FreshnessSLO:    *sloFreshness,
+			LossRateSLO:     *sloLoss,
+			DisagreementSLO: *sloDisagree,
+		})
+		if err != nil {
+			return err
+		}
+		obsy.Start()
+		defer obsy.Stop()
+		if obsy.Rules().Len() > 0 {
+			logger.Info("slo rules armed",
+				"freshness", sloFreshness.String(), "loss", *sloLoss, "disagreement", *sloDisagree)
+		}
+	}
 	if *obsAddr != "" {
 		muxCfg := obs.MuxConfig{Registry: reg, Health: srv.health}
 		if est != nil {
 			muxCfg.Landscape = est.LandscapeJSON
+		}
+		if obsy != nil {
+			muxCfg.Series = obsy.Store()
+			muxCfg.History = obsy.HistoryJSON
+			// /healthz degrades on a sticky writer error OR a firing SLO rule.
+			muxCfg.Health = func() error {
+				if err := srv.health(); err != nil {
+					return err
+				}
+				return obsy.Health()
+			}
 		}
 		muxCfg.Status = func() string {
 			var lines []string

@@ -28,6 +28,14 @@ type MuxConfig struct {
 	// landscape snapshot as JSON bytes (e.g. stream.Engine.LandscapeJSON).
 	// Nil yields 404; an error yields 500 with the error text.
 	Landscape func() ([]byte, error)
+	// Series backs /debug/series: the Landscape Observatory's time-series
+	// store (a *series.Store — passed as a plain handler so obs does not
+	// import its own subpackage). Nil yields 404.
+	Series http.Handler
+	// History backs /landscape/history: the observatory's landscape history
+	// (per-family totals, deltas, estimator disagreement) as JSON bytes.
+	// Nil yields 404; an error yields 500.
+	History func() ([]byte, error)
 }
 
 // NewMux builds the diagnostic mux: /metrics (Prometheus text), /healthz,
@@ -66,6 +74,26 @@ func NewMux(cfg MuxConfig) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(body) //nolint:errcheck // client gone
+	})
+	mux.HandleFunc("/landscape/history", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.History == nil {
+			http.NotFound(w, r)
+			return
+		}
+		body, err := cfg.History()
+		if err != nil {
+			http.Error(w, fmt.Sprintf("history: %v", err), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body) //nolint:errcheck // client gone
+	})
+	mux.HandleFunc("/debug/series", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Series == nil {
+			http.NotFound(w, r)
+			return
+		}
+		cfg.Series.ServeHTTP(w, r)
 	})
 	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")

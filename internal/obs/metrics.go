@@ -85,6 +85,25 @@ func (g *Gauge) Value() float64 {
 
 func (g *Gauge) sortKey() string { return seriesName(g.name, g.labels) }
 
+// GaugeFunc is a callback gauge: its value is computed by a function at
+// exposition time (see Registry.GaugeFunc). The function is evaluated
+// outside the registry lock.
+type GaugeFunc struct {
+	fn     func() float64
+	name   string
+	labels []string
+}
+
+// Value evaluates the callback. Nil-safe (0).
+func (g *GaugeFunc) Value() float64 {
+	if g == nil || g.fn == nil {
+		return 0
+	}
+	return g.fn()
+}
+
+func (g *GaugeFunc) sortKey() string { return seriesName(g.name, g.labels) }
+
 // Default bucket bounds. LatencyBuckets are seconds (Prometheus
 // convention); SizeBuckets are powers of four, suiting both byte sizes and
 // cardinalities.

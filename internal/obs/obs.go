@@ -37,6 +37,7 @@ type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
+	gaugeFuncs map[string]*GaugeFunc
 	histograms map[string]*Histogram
 	help       map[string]string // metric family name → HELP text
 }
@@ -46,6 +47,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]*GaugeFunc),
 		histograms: make(map[string]*Histogram),
 		help:       make(map[string]string),
 	}
@@ -159,6 +161,31 @@ func (r *Registry) Gauge(name string, labels ...string) *Gauge {
 	return g
 }
 
+// GaugeFunc registers a callback gauge: fn is evaluated at exposition
+// time, so values that age between samples — watermark lag vs. wall clock,
+// checkpoint age — are always fresh at scrape instead of as stale as the
+// last Set. fn runs outside the registry lock and must be safe for
+// concurrent calls. Registration is first-wins: a name+labels key already
+// held by a callback or plain gauge keeps its first registration. Nil
+// registry or nil fn is a no-op.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...string) *GaugeFunc {
+	if r == nil || fn == nil {
+		return nil
+	}
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gaugeFuncs[key]; ok {
+		return g
+	}
+	if _, ok := r.gauges[key]; ok {
+		return nil
+	}
+	g := &GaugeFunc{fn: fn, name: name, labels: append([]string(nil), labels...)}
+	r.gaugeFuncs[key] = g
+	return g
+}
+
 // Histogram returns (creating on first use) the histogram for name plus
 // labels, with the given upper bucket bounds (strictly increasing; a +Inf
 // bucket is implicit). Bounds are fixed at first creation; later calls with
@@ -191,21 +218,28 @@ func (r *Registry) CounterValue(name string, labels ...string) uint64 {
 	return c.Value()
 }
 
-// GaugeValue reports the current value of the named gauge series (0 when
-// absent).
+// GaugeValue reports the current value of the named gauge series — plain
+// or callback — (0 when absent). Callback gauges are evaluated outside the
+// registry lock.
 func (r *Registry) GaugeValue(name string, labels ...string) float64 {
 	if r == nil {
 		return 0
 	}
+	key := metricKey(name, labels)
 	r.mu.Lock()
-	g := r.gauges[metricKey(name, labels)]
+	g := r.gauges[key]
+	gf := r.gaugeFuncs[key]
 	r.mu.Unlock()
-	return g.Value()
+	if g != nil {
+		return g.Value()
+	}
+	return gf.Value()
 }
 
 // snapshot returns the instruments sorted by (family, label block) for
-// deterministic exposition.
-func (r *Registry) snapshot() (counters []*Counter, gauges []*Gauge, histograms []*Histogram, help map[string]string) {
+// deterministic exposition. Callback gauges are returned unevaluated —
+// the caller evaluates them outside the registry lock.
+func (r *Registry) snapshot() (counters []*Counter, gauges []*Gauge, gaugeFuncs []*GaugeFunc, histograms []*Histogram, help map[string]string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, c := range r.counters {
@@ -213,6 +247,9 @@ func (r *Registry) snapshot() (counters []*Counter, gauges []*Gauge, histograms 
 	}
 	for _, g := range r.gauges {
 		gauges = append(gauges, g)
+	}
+	for _, g := range r.gaugeFuncs {
+		gaugeFuncs = append(gaugeFuncs, g)
 	}
 	for _, h := range r.histograms {
 		histograms = append(histograms, h)
@@ -223,8 +260,9 @@ func (r *Registry) snapshot() (counters []*Counter, gauges []*Gauge, histograms 
 	}
 	sort.Slice(counters, func(i, j int) bool { return counters[i].sortKey() < counters[j].sortKey() })
 	sort.Slice(gauges, func(i, j int) bool { return gauges[i].sortKey() < gauges[j].sortKey() })
+	sort.Slice(gaugeFuncs, func(i, j int) bool { return gaugeFuncs[i].sortKey() < gaugeFuncs[j].sortKey() })
 	sort.Slice(histograms, func(i, j int) bool { return histograms[i].sortKey() < histograms[j].sortKey() })
-	return counters, gauges, histograms, help
+	return counters, gauges, gaugeFuncs, histograms, help
 }
 
 // seriesName renders "name{labels}" for exposition.

@@ -1,0 +1,303 @@
+// Package rules is the Landscape Observatory's threshold rule engine
+// (DESIGN.md §16): a small set of named rules — freshness SLO, estimator
+// disagreement, lossy-ingest rate — evaluated against periodic samples,
+// with Prometheus-alert-style semantics: a rule must breach its threshold
+// for N consecutive evaluations before it fires ("for"), and once firing
+// it clears only when the signal crosses a separate clear level
+// (hysteresis), so a value oscillating at the threshold cannot flap the
+// /healthz state.
+//
+// The engine is deliberately tiny: it holds no history (the series store
+// does), evaluates synchronously on the sampler's goroutine, and exposes
+// the aggregate as an error for /healthz plus per-transition callbacks for
+// structured log events.
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Op orients a rule's comparison.
+type Op int
+
+// Orientations.
+const (
+	// Above breaches when value >= Threshold (lag, loss, disagreement).
+	Above Op = iota
+	// Below breaches when value <= Threshold (rates that must stay up).
+	Below
+)
+
+// String returns the comparison glyph ("≥" / "≤").
+func (o Op) String() string {
+	if o == Below {
+		return "<="
+	}
+	return ">="
+}
+
+// Rule is one threshold rule.
+type Rule struct {
+	// Name identifies the rule ("freshness", "disagreement", "loss").
+	Name string
+	// Op orients the comparison (default Above).
+	Op Op
+	// Threshold is the breach level: Above fires at value >= Threshold,
+	// Below at value <= Threshold — the boundary sample itself breaches.
+	Threshold float64
+	// Clear is the hysteresis level a firing rule must cross to return to
+	// OK: Above clears at value < Clear, Below at value > Clear. Zero means
+	// Clear = Threshold (no hysteresis band). Must not sit on the breaching
+	// side of Threshold.
+	Clear float64
+	// For is how many consecutive breaching evaluations arm the rule
+	// before it fires (0 or 1 = the first breach fires). A non-breaching
+	// sample while pending resets the count — transient spikes shorter
+	// than For samples never fire.
+	For int
+	// Unit annotates values in messages ("s", "ratio"); optional.
+	Unit string
+}
+
+// withDefaults normalises zero fields.
+func (r Rule) withDefaults() Rule {
+	if r.Clear == 0 {
+		r.Clear = r.Threshold
+	}
+	if r.For <= 0 {
+		r.For = 1
+	}
+	return r
+}
+
+// State is a rule's lifecycle position.
+type State int
+
+// States, healthiest first.
+const (
+	// OK: not breaching.
+	OK State = iota
+	// Pending: breaching, but for fewer than For consecutive samples.
+	Pending
+	// Firing: breached For consecutive samples and not yet cleared.
+	Firing
+)
+
+// String returns the lowercase state name.
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Firing:
+		return "firing"
+	default:
+		return "ok"
+	}
+}
+
+// Transition is one state change, delivered to the OnTransition callback.
+type Transition struct {
+	Rule  string
+	From  State
+	To    State
+	Value float64
+}
+
+// Violation is one firing rule, for /healthz bodies and status lines.
+type Violation struct {
+	Rule      string
+	Op        Op
+	Value     float64
+	Threshold float64
+	Unit      string
+}
+
+// String renders "freshness: 12.3s >= 5s".
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s%s %s %s%s",
+		v.Rule, trimFloat(v.Value), v.Unit, v.Op.String(), trimFloat(v.Threshold), v.Unit)
+}
+
+func trimFloat(f float64) string {
+	return fmt.Sprintf("%.3g", f)
+}
+
+type ruleState struct {
+	rule     Rule
+	state    State
+	breaches int
+	value    float64
+}
+
+// Engine evaluates rules against samples. Safe for concurrent use; the
+// sampler evaluates, /healthz reads.
+type Engine struct {
+	mu           sync.Mutex
+	rules        map[string]*ruleState
+	names        []string // insertion order for deterministic iteration
+	onTransition func(Transition)
+}
+
+// New builds an empty engine.
+func New() *Engine {
+	return &Engine{rules: make(map[string]*ruleState)}
+}
+
+// OnTransition installs a callback invoked (synchronously, outside the
+// engine lock) on every state change — the hook for structured log events.
+func (e *Engine) OnTransition(fn func(Transition)) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.onTransition = fn
+	e.mu.Unlock()
+}
+
+// Add registers a rule. Duplicate names and hysteresis levels on the
+// breaching side of the threshold are errors.
+func (e *Engine) Add(r Rule) error {
+	if e == nil {
+		return fmt.Errorf("rules: nil engine")
+	}
+	if r.Name == "" {
+		return fmt.Errorf("rules: rule needs a name")
+	}
+	r = r.withDefaults()
+	switch r.Op {
+	case Above:
+		if r.Clear > r.Threshold {
+			return fmt.Errorf("rules: %s: clear %v above threshold %v would never clear", r.Name, r.Clear, r.Threshold)
+		}
+	case Below:
+		if r.Clear < r.Threshold {
+			return fmt.Errorf("rules: %s: clear %v below threshold %v would never clear", r.Name, r.Clear, r.Threshold)
+		}
+	default:
+		return fmt.Errorf("rules: %s: unknown op %d", r.Name, r.Op)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.rules[r.Name]; dup {
+		return fmt.Errorf("rules: duplicate rule %q", r.Name)
+	}
+	e.rules[r.Name] = &ruleState{rule: r}
+	e.names = append(e.names, r.Name)
+	return nil
+}
+
+// Len reports the number of registered rules (0 for nil).
+func (e *Engine) Len() int {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.rules)
+}
+
+// Eval feeds one sample to the named rule and returns its new state.
+// Unknown rules are OK (the sampler may observe signals no rule watches).
+// Nil-safe.
+func (e *Engine) Eval(name string, value float64) State {
+	if e == nil {
+		return OK
+	}
+	e.mu.Lock()
+	rs, ok := e.rules[name]
+	if !ok {
+		e.mu.Unlock()
+		return OK
+	}
+	from := rs.state
+	rs.value = value
+	r := rs.rule
+	breach := value >= r.Threshold
+	cleared := value < r.Clear
+	if r.Op == Below {
+		breach = value <= r.Threshold
+		cleared = value > r.Clear
+	}
+	switch rs.state {
+	case Firing:
+		// Hysteresis: only a crossing of Clear releases a firing rule; the
+		// band between Clear and Threshold keeps it firing.
+		if cleared {
+			rs.state = OK
+			rs.breaches = 0
+		}
+	default:
+		if breach {
+			rs.breaches++
+			if rs.breaches >= r.For {
+				rs.state = Firing
+			} else {
+				rs.state = Pending
+			}
+		} else {
+			rs.state = OK
+			rs.breaches = 0
+		}
+	}
+	to := rs.state
+	fn := e.onTransition
+	e.mu.Unlock()
+	if fn != nil && from != to {
+		fn(Transition{Rule: name, From: from, To: to, Value: value})
+	}
+	return to
+}
+
+// State reports a rule's current state (OK for unknown names and nil).
+func (e *Engine) State(name string) State {
+	if e == nil {
+		return OK
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if rs, ok := e.rules[name]; ok {
+		return rs.state
+	}
+	return OK
+}
+
+// Firing returns the firing rules in registration order.
+func (e *Engine) Firing() []Violation {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []Violation
+	for _, name := range e.names {
+		rs := e.rules[name]
+		if rs.state == Firing {
+			out = append(out, Violation{
+				Rule:      name,
+				Op:        rs.rule.Op,
+				Value:     rs.value,
+				Threshold: rs.rule.Threshold,
+				Unit:      rs.rule.Unit,
+			})
+		}
+	}
+	return out
+}
+
+// Err aggregates the firing rules into one error for /healthz: nil when
+// nothing is firing, otherwise "degraded: rule: value >= threshold; …".
+func (e *Engine) Err() error {
+	firing := e.Firing()
+	if len(firing) == 0 {
+		return nil
+	}
+	parts := make([]string, len(firing))
+	for i, v := range firing {
+		parts[i] = v.String()
+	}
+	sort.Strings(parts)
+	return fmt.Errorf("degraded: %s", strings.Join(parts, "; "))
+}

@@ -1,0 +1,189 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRuleLifecycle is the table test for the state machine, with
+// particular attention to the threshold and clear boundaries: a sample
+// exactly at the threshold breaches; a sample exactly at the clear level
+// does NOT clear (clearing needs a strict crossing); the band between
+// Clear and Threshold keeps a firing rule firing but never arms an OK one.
+func TestRuleLifecycle(t *testing.T) {
+	cases := []struct {
+		name    string
+		rule    Rule
+		samples []float64
+		want    []State
+	}{
+		{
+			name:    "fires at exact threshold",
+			rule:    Rule{Name: "r", Threshold: 5},
+			samples: []float64{4.999, 5.0, 4.999},
+			want:    []State{OK, Firing, OK},
+		},
+		{
+			name: "clear boundary is exclusive",
+			rule: Rule{Name: "r", Threshold: 5, Clear: 3},
+			// 5.0 fires; 3.0 (== Clear) keeps firing; 2.999 clears.
+			samples: []float64{5.0, 3.0, 2.999},
+			want:    []State{Firing, Firing, OK},
+		},
+		{
+			name: "hysteresis band holds but never arms",
+			rule: Rule{Name: "r", Threshold: 5, Clear: 3},
+			// 4 (inside the band) from OK: stays OK. 6 fires. 4 inside the
+			// band while firing: holds. 2 clears. 4 again from OK: stays OK.
+			samples: []float64{4, 6, 4, 2, 4},
+			want:    []State{OK, Firing, Firing, OK, OK},
+		},
+		{
+			name: "for=3 needs consecutive breaches",
+			rule: Rule{Name: "r", Threshold: 1, For: 3},
+			// Two breaches, a dip (resets), then three in a row.
+			samples: []float64{1, 1, 0, 1, 1, 1},
+			want:    []State{Pending, Pending, OK, Pending, Pending, Firing},
+		},
+		{
+			name: "for with hysteresis: no re-arming while firing",
+			rule: Rule{Name: "r", Threshold: 10, Clear: 5, For: 2},
+			// 10,10 fires; 7 (band) holds; 4.999 clears; 10 is pending again.
+			samples: []float64{10, 10, 7, 4.999, 10},
+			want:    []State{Pending, Firing, Firing, OK, Pending},
+		},
+		{
+			name:    "below op fires at exact threshold",
+			rule:    Rule{Name: "r", Op: Below, Threshold: 2, Clear: 4},
+			samples: []float64{2.001, 2.0, 4.0, 4.001},
+			want:    []State{OK, Firing, Firing, OK},
+		},
+		{
+			name: "zero threshold above rule",
+			rule: Rule{Name: "r", Threshold: 0, Clear: 0},
+			// Loss-rate rule with threshold 0 would fire on every sample ≥ 0;
+			// the engine must honour that literally (callers pick thresholds).
+			samples: []float64{0, -1},
+			want:    []State{Firing, OK},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := New()
+			if err := e.Add(tc.rule); err != nil {
+				t.Fatalf("Add: %v", err)
+			}
+			for i, v := range tc.samples {
+				got := e.Eval(tc.rule.Name, v)
+				if got != tc.want[i] {
+					t.Fatalf("sample %d (%v): state %v, want %v", i, v, got, tc.want[i])
+				}
+				if st := e.State(tc.rule.Name); st != got {
+					t.Fatalf("State() = %v disagrees with Eval() = %v", st, got)
+				}
+			}
+		})
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	e := New()
+	if err := e.Add(Rule{Threshold: 1}); err == nil {
+		t.Fatal("nameless rule must be rejected")
+	}
+	if err := e.Add(Rule{Name: "bad", Threshold: 5, Clear: 6}); err == nil {
+		t.Fatal("Above rule with Clear above Threshold must be rejected")
+	}
+	if err := e.Add(Rule{Name: "bad2", Op: Below, Threshold: 5, Clear: 4}); err == nil {
+		t.Fatal("Below rule with Clear below Threshold must be rejected")
+	}
+	if err := e.Add(Rule{Name: "ok", Threshold: 5}); err != nil {
+		t.Fatalf("valid rule rejected: %v", err)
+	}
+	if err := e.Add(Rule{Name: "ok", Threshold: 7}); err == nil {
+		t.Fatal("duplicate rule name must be rejected")
+	}
+	if e.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", e.Len())
+	}
+}
+
+func TestFiringAndErr(t *testing.T) {
+	e := New()
+	for _, r := range []Rule{
+		{Name: "freshness", Threshold: 5, Unit: "s"},
+		{Name: "loss", Threshold: 0.01},
+		{Name: "disagreement", Threshold: 0.5},
+	} {
+		if err := e.Add(r); err != nil {
+			t.Fatalf("Add(%s): %v", r.Name, err)
+		}
+	}
+	if err := e.Err(); err != nil {
+		t.Fatalf("empty engine must be healthy, got %v", err)
+	}
+	e.Eval("freshness", 12.5)
+	e.Eval("loss", 0.005)
+	e.Eval("disagreement", 0.75)
+	firing := e.Firing()
+	if len(firing) != 2 || firing[0].Rule != "freshness" || firing[1].Rule != "disagreement" {
+		t.Fatalf("Firing = %+v, want freshness+disagreement in registration order", firing)
+	}
+	err := e.Err()
+	if err == nil {
+		t.Fatal("firing rules must degrade Err")
+	}
+	for _, want := range []string{"degraded:", "freshness: 12.5s >= 5s", "disagreement: 0.75 >= 0.5"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("Err %q missing %q", err, want)
+		}
+	}
+	e.Eval("freshness", 1)
+	e.Eval("disagreement", 0.1)
+	if err := e.Err(); err != nil {
+		t.Fatalf("cleared engine must be healthy, got %v", err)
+	}
+}
+
+func TestTransitionsAndUnknownRules(t *testing.T) {
+	e := New()
+	if err := e.Add(Rule{Name: "r", Threshold: 5, Clear: 3, For: 2}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	var seen []Transition
+	e.OnTransition(func(tr Transition) { seen = append(seen, tr) })
+	for _, v := range []float64{6, 6, 6, 4, 2, 1} {
+		e.Eval("r", v)
+	}
+	// OK→Pending, Pending→Firing, Firing→OK. No event for the held states.
+	want := []Transition{
+		{Rule: "r", From: OK, To: Pending, Value: 6},
+		{Rule: "r", From: Pending, To: Firing, Value: 6},
+		{Rule: "r", From: Firing, To: OK, Value: 2},
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("transitions: %+v, want %+v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transition %d: %+v, want %+v", i, seen[i], want[i])
+		}
+	}
+	if st := e.Eval("no-such-rule", 99); st != OK {
+		t.Fatalf("unknown rule must evaluate OK, got %v", st)
+	}
+	if st := e.State("no-such-rule"); st != OK {
+		t.Fatalf("unknown rule state must be OK, got %v", st)
+	}
+}
+
+func TestNilEngine(t *testing.T) {
+	var e *Engine
+	if err := e.Add(Rule{Name: "r"}); err == nil {
+		t.Fatal("nil engine must refuse Add")
+	}
+	e.OnTransition(nil)
+	if e.Eval("r", 1) != OK || e.State("r") != OK || e.Firing() != nil || e.Err() != nil || e.Len() != 0 {
+		t.Fatal("nil engine must be inert and healthy")
+	}
+}

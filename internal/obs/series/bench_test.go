@@ -1,0 +1,43 @@
+package series
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSeriesRecord is the hot-path overhead proof the Landscape
+// Observatory rides on: one Record on a live handle — clock read, step
+// truncation, ring write — must stay under 100 ns/sample, so per-shard
+// sampling at any realistic cadence is invisible next to record ingest.
+// CI runs it as a smoke; the threshold is asserted by the numbers recorded
+// in BENCH_fig.json reviews, not by a flaky in-test timer.
+func BenchmarkSeriesRecord(b *testing.B) {
+	st := NewStore(Config{Capacity: 512, Step: time.Second})
+	se := st.Series("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		se.Record(float64(i))
+	}
+}
+
+// BenchmarkSeriesRecordDisabled is the nil-handle branch — the cost when
+// observability is off.
+func BenchmarkSeriesRecordDisabled(b *testing.B) {
+	var se *Series
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		se.Record(float64(i))
+	}
+}
+
+// BenchmarkStoreRecord includes the name lookup — the convenience path.
+func BenchmarkStoreRecord(b *testing.B) {
+	st := NewStore(Config{Capacity: 512, Step: time.Second})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Record("bench", float64(i))
+	}
+}

@@ -1,0 +1,232 @@
+package series
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for deterministic sampling tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.UnixMilli(1_700_000_000_000)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestStepAlignedDownsampling(t *testing.T) {
+	clock := newFakeClock()
+	st := NewStore(Config{Capacity: 8, Step: time.Second, Clock: clock.Now})
+	se := st.Series("x")
+	// Three samples inside one step: last value wins, one point.
+	se.Record(1)
+	clock.Advance(100 * time.Millisecond)
+	se.Record(2)
+	clock.Advance(100 * time.Millisecond)
+	se.Record(3)
+	if pts := se.Points(0); len(pts) != 1 || pts[0].V != 3 {
+		t.Fatalf("same-step samples must collapse to the last value, got %+v", pts)
+	}
+	// Next step appends.
+	clock.Advance(time.Second)
+	se.Record(4)
+	pts := se.Points(0)
+	if len(pts) != 2 || pts[1].V != 4 {
+		t.Fatalf("next-step sample must append, got %+v", pts)
+	}
+	if pts[0].T%1000 != 0 || pts[1].T-pts[0].T != 1000 {
+		t.Fatalf("timestamps must be step-aligned, got %+v", pts)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	clock := newFakeClock()
+	st := NewStore(Config{Capacity: 4, Step: time.Second, Clock: clock.Now})
+	se := st.Series("x")
+	for i := 0; i < 10; i++ {
+		se.Record(float64(i))
+		clock.Advance(time.Second)
+	}
+	pts := se.Points(0)
+	if len(pts) != 4 {
+		t.Fatalf("capacity 4 ring holds %d points", len(pts))
+	}
+	for i, p := range pts {
+		if want := float64(6 + i); p.V != want {
+			t.Fatalf("point %d: value %v, want %v (oldest evicted first)", i, p.V, want)
+		}
+		if i > 0 && pts[i].T <= pts[i-1].T {
+			t.Fatalf("points must be time-ordered after wraparound: %+v", pts)
+		}
+	}
+	if last, ok := se.Last(); !ok || last.V != 9 {
+		t.Fatalf("Last = %+v, %v", last, ok)
+	}
+}
+
+func TestClockSkewClampsToNewestBucket(t *testing.T) {
+	clock := newFakeClock()
+	st := NewStore(Config{Capacity: 8, Step: time.Second, Clock: clock.Now})
+	se := st.Series("x")
+	se.Record(1)
+	clock.Advance(2 * time.Second)
+	se.Record(2)
+	// A sample stamped before the newest bucket must not reorder the ring.
+	se.RecordAt(clock.Now().Add(-5*time.Second), 99)
+	pts := se.Points(0)
+	if len(pts) != 2 || pts[1].V != 99 {
+		t.Fatalf("older-than-newest sample must clamp onto the newest bucket, got %+v", pts)
+	}
+}
+
+func TestSinceFilter(t *testing.T) {
+	clock := newFakeClock()
+	st := NewStore(Config{Capacity: 8, Step: time.Second, Clock: clock.Now})
+	se := st.Series("x")
+	var cut int64
+	for i := 0; i < 6; i++ {
+		se.Record(float64(i))
+		if i == 2 {
+			cut = clock.Now().UnixMilli() - clock.Now().UnixMilli()%1000
+		}
+		clock.Advance(time.Second)
+	}
+	pts := se.Points(cut)
+	if len(pts) != 3 || pts[0].V != 3 {
+		t.Fatalf("since filter: got %+v, want values 3..5", pts)
+	}
+}
+
+func TestMaxSeriesBound(t *testing.T) {
+	st := NewStore(Config{MaxSeries: 2})
+	if st.Series("a") == nil || st.Series("b") == nil {
+		t.Fatal("series under the bound must allocate")
+	}
+	if st.Series("c") != nil {
+		t.Fatal("series past MaxSeries must return a nil handle")
+	}
+	st.Series("c").Record(1) // nil handle must no-op, not panic
+	if st.Series("a") == nil {
+		t.Fatal("existing series must stay reachable at the bound")
+	}
+	if st.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2 (one per rejected creation)", st.Dropped())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var st *Store
+	st.Record("x", 1)
+	if st.Series("x") != nil || st.Snapshot("", 0) != nil || st.Dropped() != 0 || st.Step() != 0 {
+		t.Fatal("nil store must hand out nils and zeros")
+	}
+	var se *Series
+	se.Record(1)
+	se.RecordAt(time.Now(), 1)
+	if se.Points(0) != nil {
+		t.Fatal("nil series must return nil points")
+	}
+	if _, ok := se.Last(); ok {
+		t.Fatal("nil series has no last point")
+	}
+	rec := httptest.NewRecorder()
+	st.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/series", nil))
+	if rec.Code != 404 {
+		t.Fatalf("nil store must 404, got %d", rec.Code)
+	}
+}
+
+func TestName(t *testing.T) {
+	if got := Name("stream_watermark_lag_seconds"); got != "stream_watermark_lag_seconds" {
+		t.Fatalf("bare name mangled: %q", got)
+	}
+	if got, want := Name("x", "shard", "3"), `x{shard="3"}`; got != want {
+		t.Fatalf("Name = %q, want %q", got, want)
+	}
+	if got, want := Name("x", "a", `q"o\te`+"\n"), `x{a="q\"o\\te\n"}`; got != want {
+		t.Fatalf("Name escape = %q, want %q", got, want)
+	}
+}
+
+func TestSnapshotAndHTTP(t *testing.T) {
+	clock := newFakeClock()
+	st := NewStore(Config{Capacity: 8, Step: time.Second, Clock: clock.Now})
+	st.Record("stream_lag", 1.5)
+	st.Record("landscape_total", 42)
+	clock.Advance(time.Second)
+	st.Record("stream_lag", 2.5)
+
+	dumps := st.Snapshot("stream_", 0)
+	if len(dumps) != 1 || dumps[0].Name != "stream_lag" || len(dumps[0].Points) != 2 {
+		t.Fatalf("prefix snapshot: %+v", dumps)
+	}
+	all := st.Snapshot("", 0)
+	if len(all) != 2 || all[0].Name != "landscape_total" {
+		t.Fatalf("full snapshot must be name-sorted: %+v", all)
+	}
+
+	rec := httptest.NewRecorder()
+	st.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/series?name=stream_lag", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var body struct {
+		StepMS int64  `json:"step_ms"`
+		Series []Dump `json:"series"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("response not JSON: %v\n%s", err, rec.Body)
+	}
+	if body.StepMS != 1000 || len(body.Series) != 1 || body.Series[0].Points[1].V != 2.5 {
+		t.Fatalf("response: %+v", body)
+	}
+
+	rec = httptest.NewRecorder()
+	st.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/series?since=notanumber", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad since must 400, got %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	st.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/series?name=absent", nil))
+	if rec.Code != 200 {
+		t.Fatalf("absent name is an empty result, not an error: %d", rec.Code)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	st := NewStore(Config{Capacity: 64, Step: time.Millisecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			se := st.Series("shared")
+			own := st.Series(Name("per", "g", string(rune('a'+g))))
+			for i := 0; i < 1000; i++ {
+				se.Record(float64(i))
+				own.Record(float64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(st.Snapshot("", 0)) != 9 {
+		t.Fatalf("want 9 series, got %d", len(st.Snapshot("", 0)))
+	}
+}

@@ -26,6 +26,11 @@ const (
 	MetricCheckpointBytes    = "stream_checkpoint_bytes"
 	MetricCheckpointDuration = "stream_checkpoint_duration_ms"
 	MetricCheckpointAge      = "stream_checkpoint_last_unix_ms"
+	// MetricCheckpointAgeSeconds is a callback gauge: seconds since the last
+	// successful checkpoint completed (since the Checkpointer was created,
+	// before the first) — the recovery-point-objective signal, evaluated at
+	// scrape time so it ages even when checkpoints stall.
+	MetricCheckpointAgeSeconds = "stream_checkpoint_age_seconds"
 )
 
 // Checkpoint file format (DESIGN.md §15): a fixed 48-byte header followed
@@ -205,6 +210,10 @@ type CheckpointConfig struct {
 	SourceMeta func() (path string, bytes int64)
 	// Registry exports stream_checkpoint_* metrics when non-nil.
 	Registry *obs.Registry
+	// Clock overrides the wall-clock source behind the checkpoint-age gauge
+	// (tests inject a fake). Nil = time.Now. Cadence triggers keep using the
+	// real clock.
+	Clock func() time.Time
 	// Crash wires deterministic crash-point injection ("checkpoint-write",
 	// "checkpoint-rename") for the kill–resume tests and the CI crash
 	// smoke. When set, checkpoints are written synchronously so the crash
@@ -247,6 +256,10 @@ type Checkpointer struct {
 	lastErr     error
 	stats       CheckpointStats
 	wg          sync.WaitGroup
+	// created/lastDone feed AgeSeconds: lastDone is the completion time of
+	// the last successful checkpoint (zero before the first).
+	created  time.Time
+	lastDone time.Time
 
 	m struct {
 		written  *obs.Counter
@@ -272,7 +285,10 @@ func NewCheckpointer(cfg CheckpointConfig) (*Checkpointer, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("stream: creating checkpoint dir: %w", err)
 	}
-	c := &Checkpointer{cfg: cfg, lastAt: time.Now()}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	c := &Checkpointer{cfg: cfg, lastAt: time.Now(), created: cfg.Clock()}
 	entries, err := os.ReadDir(cfg.Dir)
 	if err != nil {
 		return nil, fmt.Errorf("stream: reading checkpoint dir: %w", err)
@@ -290,6 +306,8 @@ func NewCheckpointer(cfg CheckpointConfig) (*Checkpointer, error) {
 		reg.Help(MetricCheckpointBytes, "Size of the last checkpoint (bytes).")
 		reg.Help(MetricCheckpointDuration, "Wall time of the last checkpoint write (ms).")
 		reg.Help(MetricCheckpointAge, "Completion time of the last checkpoint (Unix ms).")
+		reg.Help(MetricCheckpointAgeSeconds, "Seconds since the last successful checkpoint (since start before the first).")
+		reg.GaugeFunc(MetricCheckpointAgeSeconds, c.AgeSeconds)
 		c.m.written = reg.Counter(MetricCheckpoints)
 		c.m.errors = reg.Counter(MetricCheckpointErrors)
 		c.m.skipped = reg.Counter(MetricCheckpointSkipped)
@@ -409,6 +427,7 @@ func (c *Checkpointer) write(gen uint64, st *EngineState, records uint64, start 
 	}
 	c.lastErr = nil
 	c.lastAt = time.Now()
+	c.lastDone = c.cfg.Clock()
 	c.lastRecords = records
 	c.stats.Written++
 	c.stats.Gen = gen
@@ -513,6 +532,28 @@ func (c *Checkpointer) Err() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lastErr
+}
+
+// AgeSeconds reports seconds since the last successful checkpoint
+// completed — the recovery-point objective. Before the first success it
+// ages from the Checkpointer's creation, so a deployment whose very first
+// checkpoint never lands still trips an age-based alert. Nil-safe (0).
+func (c *Checkpointer) AgeSeconds() float64 {
+	if c == nil {
+		return 0
+	}
+	now := c.cfg.Clock()
+	c.mu.Lock()
+	last := c.lastDone
+	if last.IsZero() {
+		last = c.created
+	}
+	c.mu.Unlock()
+	age := now.Sub(last).Seconds()
+	if age < 0 {
+		return 0
+	}
+	return age
 }
 
 // Stats returns a point-in-time tally.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"botmeter/internal/core"
 	"botmeter/internal/estimators"
@@ -63,8 +64,37 @@ func newShard(e *Engine, idx int) *shard {
 	}
 	if reg := e.cfg.Registry; reg != nil {
 		s.wmGauge = reg.Gauge(MetricWatermark, "shard", fmt.Sprint(idx))
+		// Callback gauges: watermark lag and reorder depth age between
+		// samples, so they are computed at scrape time instead of written on
+		// the ingest path.
+		reg.GaugeFunc(MetricWatermarkLag, func() float64 {
+			now := e.cfg.Clock()
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.lagSecondsLocked(now)
+		}, "shard", fmt.Sprint(idx))
+		reg.GaugeFunc(MetricReorderDepth, func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.buf.len())
+		}, "shard", fmt.Sprint(idx))
 	}
 	return s
+}
+
+// lagSecondsLocked is the wall-clock staleness of the shard's watermark:
+// now − watermark in seconds, clamped at 0 (a watermark ahead of the
+// clock, as in virtual-time replays, reads as fresh). 0 while no
+// watermark has been emitted.
+func (s *shard) lagSecondsLocked(now time.Time) float64 {
+	if s.watermark == math.MinInt64 {
+		return 0
+	}
+	lag := float64(now.UnixMilli()-int64(s.watermark)) / 1000
+	if lag < 0 {
+		return 0
+	}
+	return lag
 }
 
 // loop drains the shard channel until Close, servicing barrier requests
@@ -268,7 +298,17 @@ func (s *shard) closeCellLocked(sv *serverState, epoch int) {
 	if cell == nil {
 		return
 	}
+	// The latency histogram is nil when metrics are off; guard the clock
+	// reads so disabled deployments (and the ns/record benchmarks) pay only
+	// the branch.
+	var t0 time.Time
+	if s.eng.m.epochClose != nil {
+		t0 = s.eng.cfg.Clock()
+	}
 	v, err := s.estimateCellLocked(cell, epoch)
+	if s.eng.m.epochClose != nil {
+		s.eng.m.epochClose.Observe(s.eng.cfg.Clock().Sub(t0).Seconds())
+	}
 	if err != nil {
 		s.eng.m.estErrors.Inc()
 		if s.err == nil {

@@ -41,6 +41,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"botmeter/internal/core"
 	"botmeter/internal/estimators"
@@ -62,6 +63,16 @@ const (
 	MetricSnapshots  = "stream_snapshots_total"
 	MetricEstimators = "stream_estimator_errors_total"
 	MetricRotations  = "stream_source_rotations_total"
+	// MetricWatermarkLag is a per-shard callback gauge: seconds between the
+	// wall clock and the shard's watermark, evaluated at scrape time. Only
+	// meaningful in live deployments, where record timestamps are Unix ms.
+	MetricWatermarkLag = "stream_watermark_lag_seconds"
+	// MetricReorderDepth is a per-shard callback gauge: records currently
+	// held in the shard's reorder heap.
+	MetricReorderDepth = "stream_reorder_depth"
+	// MetricEpochClose is a histogram of the wall time spent finalising one
+	// (server, epoch) cell — the estimation cost paid at each epoch close.
+	MetricEpochClose = "stream_epoch_close_seconds"
 )
 
 // Config configures one streaming deployment for one target DGA family.
@@ -89,6 +100,10 @@ type Config struct {
 	Window sim.Window
 	// Registry exports stream_* metrics when non-nil.
 	Registry *obs.Registry
+	// Clock overrides the wall-clock source behind the watermark-lag and
+	// epoch-close-latency instruments (tests inject a fake). Nil = time.Now.
+	// Virtual record timestamps are never read from it.
+	Clock func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +127,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Core.NegativeTTL <= 0 {
 		c.Core.NegativeTTL = 2 * sim.Hour
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
 	}
 	return c
 }
@@ -167,16 +185,17 @@ type Engine struct {
 // engineMetrics carries pre-resolved instruments; zero value = disabled
 // (obs instruments are nil-safe).
 type engineMetrics struct {
-	ingested  *obs.Counter
-	matched   *obs.Counter
-	unmatched *obs.Counter
-	late      *obs.Counter
-	evictions *obs.Counter
-	epochs    *obs.Counter
-	snapshots *obs.Counter
-	estErrors *obs.Counter
-	rotations *obs.Counter
-	retained  *obs.Gauge
+	ingested   *obs.Counter
+	matched    *obs.Counter
+	unmatched  *obs.Counter
+	late       *obs.Counter
+	evictions  *obs.Counter
+	epochs     *obs.Counter
+	snapshots  *obs.Counter
+	estErrors  *obs.Counter
+	rotations  *obs.Counter
+	retained   *obs.Gauge
+	epochClose *obs.Histogram
 }
 
 // New builds and starts the engine: shards spin up immediately and wait
@@ -243,17 +262,21 @@ func newEngine(cfg Config) (*Engine, error) {
 		reg.Help(MetricSnapshots, "Landscape snapshots served.")
 		reg.Help(MetricEstimators, "Estimator failures during epoch close or snapshot.")
 		reg.Help(MetricRotations, "Source-file rotations/truncations survived while tailing.")
+		reg.Help(MetricWatermarkLag, "Seconds between the wall clock and the shard watermark (live mode).")
+		reg.Help(MetricReorderDepth, "Records held in the shard's reorder heap.")
+		reg.Help(MetricEpochClose, "Wall seconds spent finalising one (server, epoch) cell.")
 		e.m = engineMetrics{
-			ingested:  reg.Counter(MetricIngested),
-			matched:   reg.Counter(MetricMatched),
-			unmatched: reg.Counter(MetricUnmatched),
-			late:      reg.Counter(MetricLate),
-			evictions: reg.Counter(MetricEvictions),
-			epochs:    reg.Counter(MetricEpochs),
-			snapshots: reg.Counter(MetricSnapshots),
-			estErrors: reg.Counter(MetricEstimators),
-			rotations: reg.Counter(MetricRotations),
-			retained:  reg.Gauge(MetricRetained),
+			ingested:   reg.Counter(MetricIngested),
+			matched:    reg.Counter(MetricMatched),
+			unmatched:  reg.Counter(MetricUnmatched),
+			late:       reg.Counter(MetricLate),
+			evictions:  reg.Counter(MetricEvictions),
+			epochs:     reg.Counter(MetricEpochs),
+			snapshots:  reg.Counter(MetricSnapshots),
+			estErrors:  reg.Counter(MetricEstimators),
+			rotations:  reg.Counter(MetricRotations),
+			retained:   reg.Gauge(MetricRetained),
+			epochClose: reg.Histogram(MetricEpochClose, obs.LatencyBuckets),
 		}
 	}
 	e.shards = make([]*shard, cfg.Shards)
@@ -328,6 +351,76 @@ func (e *Engine) Stats() Stats {
 		out.Watermark = math.MinInt64
 	}
 	return out
+}
+
+// ShardStat is one ingest shard's point-in-time state — the per-shard
+// view behind the stream_watermark_lag_seconds / stream_reorder_depth
+// gauges and the Observatory's freshness sampling.
+type ShardStat struct {
+	// Shard is the shard index (the "shard" metric label).
+	Shard int
+	// Watermark is the shard's low-water mark; WatermarkValid reports
+	// whether the shard has emitted one (i.e. has seen matched data).
+	Watermark      sim.Time
+	WatermarkValid bool
+	// LagSeconds is the wall-clock freshness of the watermark: now −
+	// watermark in seconds, clamped at 0, and 0 while the watermark is
+	// invalid. Meaningful in live mode, where record timestamps are Unix ms.
+	LagSeconds float64
+	// ReorderDepth is the number of records in the reorder heap.
+	ReorderDepth int
+	// Retained is the shard's current retained-record count (reorder heap +
+	// open-epoch micro-batch state).
+	Retained int
+	// Ingested/Matched/DroppedLate/EpochsClosed are the shard's share of the
+	// engine tallies.
+	Ingested     uint64
+	Matched      uint64
+	DroppedLate  uint64
+	EpochsClosed uint64
+}
+
+// ShardStats reports every shard's state at the engine clock's current
+// time, in shard order.
+func (e *Engine) ShardStats() []ShardStat {
+	now := e.cfg.Clock()
+	out := make([]ShardStat, len(e.shards))
+	for i, s := range e.shards {
+		s.mu.Lock()
+		out[i] = ShardStat{
+			Shard:          i,
+			Watermark:      s.watermark,
+			WatermarkValid: s.watermark != math.MinInt64,
+			LagSeconds:     s.lagSecondsLocked(now),
+			ReorderDepth:   s.buf.len(),
+			Retained:       s.retained,
+			Ingested:       s.stats.Ingested,
+			Matched:        s.stats.Matched,
+			DroppedLate:    s.stats.DroppedLate,
+			EpochsClosed:   s.stats.EpochsClosed,
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// WatermarkLagSeconds reports the engine's worst-case freshness: the
+// largest watermark lag across shards that have emitted a watermark (0
+// when none has). This is the signal the freshness SLO rule watches — a
+// single stalled shard degrades the whole engine, because the landscape
+// is only as fresh as its stalest shard.
+func (e *Engine) WatermarkLagSeconds() float64 {
+	now := e.cfg.Clock()
+	var worst float64
+	for _, s := range e.shards {
+		s.mu.Lock()
+		lag := s.lagSecondsLocked(now)
+		s.mu.Unlock()
+		if lag > worst {
+			worst = lag
+		}
+	}
+	return worst
 }
 
 // Snapshot assembles the current landscape: closed epochs contribute their
