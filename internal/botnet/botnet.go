@@ -98,6 +98,10 @@ type Runner struct {
 	// per-bot θq-sized allocation — the dominant botnet-side allocation for
 	// AU families.
 	uniformBarrels map[int][]int
+	// permScratch is the pool-sized permutation buffer BarrelWithScratch
+	// reuses across bot activations (Run is single-engine sequential, so one
+	// buffer per runner suffices).
+	permScratch []int
 }
 
 // NewRunner validates the configuration and binds it to a network.
@@ -157,7 +161,7 @@ func (r *Runner) Close() {
 func (r *Runner) barrelFor(epoch int, pool *dga.Pool, rng *sim.RNG) []int {
 	spec := r.cfg.Spec
 	if _, uniform := spec.Barrel.(dga.Uniform); !uniform {
-		return spec.Barrel.Barrel(pool, spec.ThetaQ, rng)
+		return dga.BarrelWithScratch(spec.Barrel, pool, spec.ThetaQ, rng, &r.permScratch)
 	}
 	if b, ok := r.uniformBarrels[epoch]; ok {
 		return b
@@ -290,6 +294,7 @@ type botRun struct {
 	result *Result
 
 	positions   []int
+	pool        *dga.Pool
 	step        int
 	activations int
 
@@ -305,12 +310,17 @@ func (b *botRun) start(e *sim.Engine) {
 		b.queryFn = b.query
 		b.startFn = b.start
 	}
-	pool := b.runner.Pool(b.epoch)
+	if b.pool == nil {
+		// The pool is resolved once per bot: a bot's activations all live in
+		// one epoch, so re-asking the cache per query (mutex + map lookup on
+		// the hottest simulation path) bought nothing.
+		b.pool = b.runner.Pool(b.epoch)
+	}
 	b.activations++
 	if b.positions == nil {
 		// The barrel is drawn once: the DGA is seeded by the date, so a
 		// retry walks the same list (§III).
-		b.positions = b.runner.barrelFor(b.epoch, pool, b.rng)
+		b.positions = b.runner.barrelFor(b.epoch, b.pool, b.rng)
 	}
 	b.step = 0
 	b.query(e)
@@ -321,7 +331,7 @@ func (b *botRun) query(e *sim.Engine) {
 		b.maybeReactivate(e) // aborted after θq attempts without C2 contact
 		return
 	}
-	pool := b.runner.Pool(b.epoch)
+	pool := b.pool
 	pos := b.positions[b.step]
 	domain := pool.Domains[pos]
 	var id symtab.ID

@@ -168,7 +168,10 @@ func (bm *BotMeter) Analyze(obs trace.Observed, w sim.Window) (*Landscape, error
 		return nil, fmt.Errorf("core: empty analysis window")
 	}
 	cfg := bm.cfg
-	estCfg := estimators.Config{
+	// Normalise the estimator config once: every per-(server, epoch)
+	// EstimateEpoch below then takes the fast path instead of re-running
+	// defaults + validation per cell.
+	estCfg, err := estimators.Config{
 		Spec:        cfg.Family,
 		Seed:        cfg.Seed,
 		EpochLen:    cfg.EpochLen,
@@ -176,22 +179,48 @@ func (bm *BotMeter) Analyze(obs trace.Observed, w sim.Window) (*Landscape, error
 		Granularity: cfg.Granularity,
 		Detection:   cfg.Detection,
 		Pools:       cfg.Pools,
+	}.Normalized()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 
 	// Step 3-4: match the stream per epoch (pools rotate across epochs).
+	// Records arrive overwhelmingly in epoch order, so the last epoch's
+	// matcher is memoised locally — the common case skips EpochMatchers.For's
+	// mutex entirely.
 	matchStage := cfg.Stages.Start("match")
 	firstEpoch := int(w.Start / cfg.EpochLen)
 	lastEpoch := int((w.End - 1) / cfg.EpochLen)
-	matched := make(trace.Observed, 0, len(obs))
+	// matched accumulates through a chunked builder: matches can be a small
+	// fraction of the window (one family's lookups inside mixed traffic),
+	// so presizing to len(obs) allocated and zeroed a window-sized array
+	// per Analyze call, while plain append-growth re-copies the prefix
+	// repeatedly when most records match. Sortedness is tracked during the
+	// same pass — it decides whether the per-epoch windowing below can
+	// binary-search instead of re-scanning.
+	var matchedB trace.Builder
+	matchedSorted := true
+	var lastT sim.Time
+	var lastMatcher *EpochMatcher
+	lastMatcherEpoch := 0
 	for _, rec := range obs {
 		if !w.Contains(rec.T) {
 			continue
 		}
 		epoch := int(rec.T / cfg.EpochLen)
-		if bm.matchers.For(epoch).MatchRecord(rec) {
-			matched = append(matched, rec)
+		if lastMatcher == nil || epoch != lastMatcherEpoch {
+			lastMatcher = bm.matchers.For(epoch)
+			lastMatcherEpoch = epoch
+		}
+		if lastMatcher.MatchRecord(rec) {
+			if rec.T < lastT {
+				matchedSorted = false
+			}
+			lastT = rec.T
+			matchedB.Append(rec)
 		}
 	}
+	matched := matchedB.Build()
 	matchStage.End()
 
 	// Step 5-7: per-server estimation. Servers are independent, so they
@@ -216,7 +245,7 @@ func (bm *BotMeter) Analyze(obs trace.Observed, w sim.Window) (*Landscape, error
 	estStage := cfg.Stages.Start("estimate")
 	results, err := parallel.Map(context.Background(), len(servers), bm.workers(),
 		func(_ context.Context, i int) (ServerEstimate, error) {
-			est, err := bm.estimateServer(servers[i], byServer[servers[i]], w, firstEpoch, lastEpoch, estCfg, timing)
+			est, err := bm.estimateServer(servers[i], byServer[servers[i]], w, firstEpoch, lastEpoch, matchedSorted, estCfg, timing)
 			if err != nil {
 				return est, fmt.Errorf("core: %s: %w", servers[i], err)
 			}
@@ -239,19 +268,28 @@ func (bm *BotMeter) Analyze(obs trace.Observed, w sim.Window) (*Landscape, error
 	return land, nil
 }
 
-// estimateServer produces one server's assessment.
-func (bm *BotMeter) estimateServer(server string, serverObs trace.Observed, w sim.Window, firstEpoch, lastEpoch int, estCfg estimators.Config, timing estimators.Estimator) (ServerEstimate, error) {
+// estimateServer produces one server's assessment. sorted reports whether
+// serverObs is in non-decreasing timestamp order (ByServer preserves the
+// matched scan order, so Analyze knows this from the match pass); it routes
+// the per-epoch windowing through the binary-search fast path.
+func (bm *BotMeter) estimateServer(server string, serverObs trace.Observed, w sim.Window, firstEpoch, lastEpoch int, sorted bool, estCfg estimators.Config, timing estimators.Estimator) (ServerEstimate, error) {
 	cfg := bm.cfg
 	est := ServerEstimate{
 		Server:          server,
 		MatchedLookups:  len(serverObs),
-		DistinctDomains: len(serverObs.Domains()),
+		DistinctDomains: serverObs.DistinctDomainCount(),
 	}
 	var total float64
 	epochs := 0
 	for ep := firstEpoch; ep <= lastEpoch; ep++ {
 		ew := sim.Window{Start: sim.Time(ep) * cfg.EpochLen, End: sim.Time(ep+1) * cfg.EpochLen}
-		v, err := cfg.Estimator.EstimateEpoch(serverObs.Window(ew), ep, estCfg)
+		var epochObs trace.Observed
+		if sorted {
+			epochObs = serverObs.WindowSorted(ew)
+		} else {
+			epochObs = serverObs.Window(ew)
+		}
+		v, err := cfg.Estimator.EstimateEpoch(epochObs, ep, estCfg)
 		if err != nil {
 			return est, fmt.Errorf("epoch %d: %w", ep, err)
 		}

@@ -78,6 +78,28 @@ func (Permutation) Barrel(pool *Pool, thetaQ int, rng *sim.RNG) []int {
 	return rng.Perm(pool.Size())[:n]
 }
 
+// BarrelWithScratch draws one activation's barrel exactly like m.Barrel —
+// same RNG draws, same positions — but routes the pool-sized permutation
+// through *scratch and returns only the retained θq-prefix in a fresh,
+// exactly-sized slice. Sampling and Permutation's Barrel returns
+// Perm(size)[:n], which pins a pool-sized backing array for the whole bot
+// activation; with a 50K pool and θq=500 that is a 100× overhead per bot,
+// the dominant simulation allocation for AS/AP families. Unknown models
+// fall back to m.Barrel unchanged.
+func BarrelWithScratch(m BarrelModel, pool *Pool, thetaQ int, rng *sim.RNG, scratch *[]int) []int {
+	switch m.(type) {
+	case Sampling, Permutation:
+		size := pool.Size()
+		n := min(thetaQ, size)
+		*scratch = rng.PermInto(*scratch, size)
+		out := make([]int, n)
+		copy(out, *scratch)
+		return out
+	default:
+		return m.Barrel(pool, thetaQ, rng)
+	}
+}
+
 // ExecuteBarrel truncates an intended barrel at the bot's termination
 // condition: the sequence up to and including the first registered domain,
 // or the whole barrel if every position is an NXD (the bot aborts after θq

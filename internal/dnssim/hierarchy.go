@@ -151,9 +151,15 @@ type Border struct {
 	ID          string
 	Granularity sim.Time
 
-	registry    *Registry
-	observed    trace.Observed
-	observedCtr *obs.Counter
+	registry *Registry
+	// The observable dataset accumulates in fixed-size chunks
+	// (trace.Builder) rather than one append-grown slice: at multi-million-
+	// record scale, slice growth re-copies the whole prefix repeatedly and
+	// leaves the stale arrays to the GC. Observed flattens once on demand
+	// and caches the result until the next record arrives.
+	observed     trace.Builder
+	observedFlat trace.Observed // cached flatten; nil after any append
+	observedCtr  *obs.Counter
 }
 
 // NewBorder builds a border server over the given registry.
@@ -171,20 +177,31 @@ func (b *Border) Resolve(now sim.Time, forwarder, domain string) Answer {
 // additionally carries the ID for in-process consumers.
 func (b *Border) ResolveID(now sim.Time, forwarder, domain string, id symtab.ID) Answer {
 	b.observedCtr.Inc()
-	b.observed = append(b.observed, trace.ObservedRecord{
+	b.observed.Append(trace.ObservedRecord{
 		T:      now.Truncate(b.Granularity),
 		Server: forwarder,
 		Domain: domain,
 		ID:     id,
 	})
+	b.observedFlat = nil
 	return Answer{NX: !b.registry.ResolvesID(id, domain)}
 }
 
-// Observed returns the vantage-point dataset collected so far.
-func (b *Border) Observed() trace.Observed { return b.observed }
+// Observed returns the vantage-point dataset collected so far as one
+// contiguous slice (flattened once and cached; records keep their emission
+// order). Callers must treat the result as read-only up to its length —
+// appending to it is safe, mutating elements would corrupt the cache.
+func (b *Border) Observed() trace.Observed {
+	if b.observedFlat == nil && b.observed.Len() > 0 {
+		b.observedFlat = b.observed.Build()
+	}
+	return b.observedFlat
+}
 
 // ResetObserved clears the collected dataset (between experiment trials).
-func (b *Border) ResetObserved() { b.observed = nil }
+func (b *Border) ResetObserved() {
+	b.observed, b.observedFlat = trace.Builder{}, nil
+}
 
 // Server is a caching-and-forwarding DNS server. It serves answers from its
 // cache and forwards misses to its upstream — a Border or another Server

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"botmeter/internal/dga"
 	"botmeter/internal/sim"
@@ -46,8 +47,13 @@ import (
 // inversion estimator for the affected segment.
 type Bernoulli struct {
 	mu        sync.Mutex
-	cache     map[segKey]float64
 	viewCache map[viewKey]*circleView
+
+	// work counts the (bucket, position) pairs processed by segment
+	// pipeline runs — the O(changed) cost driver of an epoch close. It is
+	// what the large-pool/sparse-activity test asserts scales with observed
+	// activity, not pool size.
+	work atomic.Uint64
 
 	// maxN bounds the n summation (the distribution has geometric tails;
 	// the bound is a safety net, not a tuning knob).
@@ -85,11 +91,23 @@ type Bernoulli struct {
 	AdaptiveGapTolerance bool
 }
 
+// segKey keys the process-global expected-bots cache. The numerical bounds
+// are part of the key so instances with non-default bounds (ablations)
+// never alias default-bound entries.
 type segKey struct {
-	length   int
-	thetaQ   int
-	boundary bool
+	length     int
+	thetaQ     int
+	boundary   bool
+	maxN       int
+	maxSamples int
 }
+
+// segExpCache memoises computeExpectedBots across every Bernoulli instance:
+// the value is a pure function of its key, so sharing it across servers,
+// trials and stream shards is sound — a segment length evaluated for one
+// trial is a cache hit for every later one. (Concurrent misses may compute
+// the value twice; both writers store the identical float64.)
+var segExpCache sync.Map // segKey -> float64
 
 type viewKey struct {
 	seed     uint64
@@ -102,12 +120,16 @@ type viewKey struct {
 // NewBernoulli builds MB with default numerical bounds.
 func NewBernoulli() *Bernoulli {
 	return &Bernoulli{
-		cache:            make(map[segKey]float64),
 		viewCache:        make(map[viewKey]*circleView),
 		maxN:             4096,
 		maxLTildeSamples: 16,
 	}
 }
+
+// SegmentWork reports the cumulative number of (bucket, position) pairs the
+// segment pipeline has processed — the observable behind the O(changed)
+// epoch-close assertion.
+func (mb *Bernoulli) SegmentWork() uint64 { return mb.work.Load() }
 
 // Name implements Estimator. The paper-faithful detection-unaware variant
 // reports as "MB*" so evaluation tables can show both.
@@ -136,9 +158,11 @@ func (mb *Bernoulli) Name() string {
 // — summing sub-window estimates is what lets MB track populations whose
 // full-epoch footprint covers the entire pool.
 func (mb *Bernoulli) EstimateEpoch(obs trace.Observed, epoch int, cfg Config) (float64, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
-		return 0, err
+	if !cfg.normalized {
+		cfg = cfg.withDefaults()
+		if err := cfg.Validate(); err != nil {
+			return 0, err
+		}
 	}
 	if len(obs) == 0 {
 		return 0, nil
@@ -149,48 +173,47 @@ func (mb *Bernoulli) EstimateEpoch(obs trace.Observed, epoch int, cfg Config) (f
 		return 0, nil
 	}
 
-	// Partition the epoch's records into TTL-aligned buckets of observed
-	// pool positions.
-	numBuckets := 1
-	if !mb.DisableTTLPartition && cfg.NegativeTTL < cfg.EpochLen {
-		numBuckets = int((cfg.EpochLen + cfg.NegativeTTL - 1) / cfg.NegativeTTL)
-	}
+	// Partition the epoch's records into TTL-aligned (bucket, position)
+	// pairs — the same sufficient statistic the streaming path accumulates
+	// on ingest, so batch and stream run the identical kernel below.
+	numBuckets := ttlBuckets(cfg, !mb.DisableTTLPartition)
 	epochStart := sim.Time(epoch) * cfg.EpochLen
-	buckets := make([]map[int]struct{}, numBuckets)
+	ps := getPairSet()
+	defer putPairSet(ps)
 	for _, rec := range obs {
 		pos, ok := position(pool, rec)
 		if !ok || pool.ValidAt(pos) {
 			continue
 		}
-		b := 0
-		if numBuckets > 1 {
-			b = int((rec.T - epochStart) / cfg.NegativeTTL)
-			if b < 0 {
-				b = 0
-			}
-			if b >= numBuckets {
-				b = numBuckets - 1
-			}
-		}
-		if buckets[b] == nil {
-			buckets[b] = make(map[int]struct{})
-		}
-		buckets[b][pos] = struct{}{}
+		ps.add(ttlBucketOf(rec.T, epochStart, cfg, numBuckets), pos)
 	}
+	return mb.estimatePairs(view, ps.sorted(), thetaQ), nil
+}
 
+// estimatePairs runs the segment pipeline over the sorted pair log — the
+// shared back half of the batch and streaming paths.
+func (mb *Bernoulli) estimatePairs(view *circleView, pairs []uint64, thetaQ int) float64 {
 	gapTol := mb.GapTolerance
 	if mb.AdaptiveGapTolerance {
-		gapTol = mb.adaptTolerance(view, buckets, thetaQ)
+		gapTol = mb.adaptTolerance(view, pairs, thetaQ)
 	}
-	total, _, _ := mb.sumSegments(view, buckets, thetaQ, gapTol)
-	return total, nil
+	total, _, _ := mb.sumSegments(view, pairs, thetaQ, gapTol)
+	return total
 }
 
 // sumSegments runs the bucket pipeline at a given gap tolerance and
 // returns the total expectation plus the covered-length and distinct-
-// position tallies the adaptive mode needs.
-func (mb *Bernoulli) sumSegments(view *circleView, buckets []map[int]struct{}, thetaQ, gapTol int) (total float64, covered, distinct int) {
+// position tallies the adaptive mode needs. pairs is the sorted (bucket,
+// position) log: bucket-major ascending, positions ascending inside each
+// bucket. Cost is O(len(pairs)) set-up plus segment evaluation — never a
+// function of the pool size — which is what makes watermark-driven epoch
+// close O(changed positions).
+func (mb *Bernoulli) sumSegments(view *circleView, pairs []uint64, thetaQ, gapTol int) (total float64, covered, distinct int) {
+	mb.work.Add(uint64(len(pairs)))
 	circle := view.size()
+	sc := getSegScratch()
+	defer putSegScratch(sc)
+	sc.ensureBits(circle)
 	pending := make(map[int]segment)      // keyed by continuation (end) index
 	counted := make(map[segment]struct{}) // segments already attributed this epoch
 	finalize := func(s segment) {
@@ -220,9 +243,37 @@ func (mb *Bernoulli) sumSegments(view *circleView, buckets []map[int]struct{}, t
 			finalize(m[k])
 		}
 	}
-	for b := 0; b < len(buckets); b++ {
-		distinct += len(buckets[b])
-		segs := extractSegments(view, buckets[b], gapTol)
+	prevBucket := -1
+	for i := 0; i < len(pairs); {
+		b := pairBucket(pairs[i])
+		j := i
+		for j < len(pairs) && pairBucket(pairs[j]) == b {
+			j++
+		}
+		group := pairs[i:j]
+		i = j
+		distinct += len(group)
+		// An empty bucket between groups flushes the pending continuations
+		// (nothing can straddle it), exactly as the historical dense loop
+		// did by iterating every bucket index.
+		if b > prevBucket+1 && len(pending) > 0 {
+			flush(pending)
+			clear(pending)
+		}
+		prevBucket = b
+		// Contract the group's pool positions onto the circle. Positions
+		// ascend within the group and the contraction is monotone, so the
+		// contracted indices come out sorted — no per-bucket sort.
+		sc.idxs = sc.idxs[:0]
+		for _, key := range group {
+			if ci, ok := view.indexOf(pairPos(key)); ok {
+				sc.idxs = append(sc.idxs, int32(ci))
+				sc.bits[ci>>6] |= 1 << (uint(ci) & 63)
+			}
+		}
+		segs := extractSegmentsSorted(view, sc.idxs, gapTol, sc.bits, sc.segs[:0])
+		sc.segs = segs
+		sc.clearBits()
 		next := make(map[int]segment, len(segs))
 		for _, s := range segs {
 			covered += s.length
@@ -245,9 +296,9 @@ func (mb *Bernoulli) sumSegments(view *circleView, buckets []map[int]struct{}, t
 // adaptTolerance probes at G=2, derives the implied record-loss rate from
 // the stridden-hole fraction, and returns the smallest G with under half
 // an expected false split per θq-sweep.
-func (mb *Bernoulli) adaptTolerance(view *circleView, buckets []map[int]struct{}, thetaQ int) int {
+func (mb *Bernoulli) adaptTolerance(view *circleView, pairs []uint64, thetaQ int) int {
 	const probeG = 2
-	_, covered, distinct := mb.sumSegments(view, buckets, thetaQ, probeG)
+	_, covered, distinct := mb.sumSegments(view, pairs, thetaQ, probeG)
 	if covered <= 0 || distinct >= covered {
 		return probeG
 	}
@@ -306,21 +357,17 @@ func (mb *Bernoulli) viewFor(pool *dga.Pool, epoch int, cfg Config) (*circleView
 	return view, thetaQ
 }
 
-// expectedBots returns E(N_L) for one segment, with caching.
+// expectedBots returns E(N_L) for one segment, memoised process-globally.
 func (mb *Bernoulli) expectedBots(s segment, thetaQ int) float64 {
-	key := segKey{length: s.length, thetaQ: thetaQ, boundary: s.boundary}
-	mb.mu.Lock()
-	if v, ok := mb.cache[key]; ok {
-		mb.mu.Unlock()
-		return v
+	key := segKey{
+		length: s.length, thetaQ: thetaQ, boundary: s.boundary,
+		maxN: mb.maxN, maxSamples: mb.maxLTildeSamples,
 	}
-	mb.mu.Unlock()
-
+	if v, ok := segExpCache.Load(key); ok {
+		return v.(float64)
+	}
 	v := mb.computeExpectedBots(s.length, thetaQ, s.boundary)
-
-	mb.mu.Lock()
-	mb.cache[key] = v
-	mb.mu.Unlock()
+	segExpCache.Store(key, v)
 	return v
 }
 
@@ -415,8 +462,12 @@ func gapProbabilities(lt, thetaQ int) []float64 {
 		return g
 	}
 	g[1] = 0 // a single start cannot include both distinct endpoints
+	// Binomial terms come from the shared LogCombTable: bit-identical to
+	// the scalar stats.LogBinomial (pinned by TestLogCombTableBitIdentical),
+	// with the Lgamma calls amortised across every server, trial and shard.
+	comb := stats.Comb
 	for m := 2; m <= lt; m++ {
-		den := stats.LogBinomial(lt-2, m-2)
+		den := comb.LogBinomial(lt-2, m-2)
 		if math.IsInf(den, -1) {
 			g[m] = 0
 			continue
@@ -428,7 +479,7 @@ func gapProbabilities(lt, thetaQ int) []float64 {
 				break
 			}
 			term := stats.SignedFromLog(
-				stats.LogBinomial(m-1, k) + stats.LogBinomial(top, m-2) - den)
+				comb.LogBinomial(m-1, k) + comb.LogBinomial(top, m-2) - den)
 			if k%2 == 1 {
 				term = term.Neg()
 			}

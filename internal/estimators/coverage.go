@@ -43,9 +43,11 @@ func (*Coverage) Name() string { return "MB-C" }
 
 // EstimateEpoch implements Estimator.
 func (ce *Coverage) EstimateEpoch(obs trace.Observed, epoch int, cfg Config) (float64, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
-		return 0, err
+	if !cfg.normalized {
+		cfg = cfg.withDefaults()
+		if err := cfg.Validate(); err != nil {
+			return 0, err
+		}
 	}
 	if len(obs) == 0 {
 		return 0, nil
@@ -56,42 +58,34 @@ func (ce *Coverage) EstimateEpoch(obs trace.Observed, epoch int, cfg Config) (fl
 		return 0, nil
 	}
 
-	// Partition the epoch into TTL-aligned buckets of distinct positions.
-	// (Within one pool, domain ↔ position is a bijection, so deduplicating
-	// by position is exactly deduplicating by domain — without hashing the
-	// string when the record carries an interned ID.)
-	numBuckets := 1
-	if cfg.NegativeTTL < cfg.EpochLen {
-		numBuckets = int((cfg.EpochLen + cfg.NegativeTTL - 1) / cfg.NegativeTTL)
-	}
+	// Partition the epoch into TTL-aligned buckets of distinct positions,
+	// deduplicated through the pooled pair set instead of per-bucket map
+	// churn. (Within one pool, domain ↔ position is a bijection, so
+	// deduplicating by position is exactly deduplicating by domain — without
+	// hashing the string when the record carries an interned ID.)
+	numBuckets := ttlBuckets(cfg, true)
 	epochStart := sim.Time(epoch) * cfg.EpochLen
-	counts := make([]map[int]struct{}, numBuckets)
+	ps := getPairSet()
+	defer putPairSet(ps)
 	for _, rec := range obs {
 		pos, ok := position(pool, rec)
 		if !ok || pool.ValidAt(pos) {
 			continue
 		}
-		b := 0
-		if numBuckets > 1 {
-			b = int((rec.T - epochStart) / cfg.NegativeTTL)
-			if b < 0 {
-				b = 0
-			}
-			if b >= numBuckets {
-				b = numBuckets - 1
-			}
-		}
-		if counts[b] == nil {
-			counts[b] = make(map[int]struct{})
-		}
-		counts[b][pos] = struct{}{}
+		ps.add(ttlBucketOf(rec.T, epochStart, cfg, numBuckets), pos)
 	}
+	// Only the per-bucket distinct counts matter; the sorted pair log walks
+	// as contiguous bucket groups.
 	var total float64
-	for _, set := range counts {
-		if len(set) == 0 {
-			continue
+	pairs := ps.sorted()
+	for i := 0; i < len(pairs); {
+		b := pairBucket(pairs[i])
+		j := i
+		for j < len(pairs) && pairBucket(pairs[j]) == b {
+			j++
 		}
-		total += invertCoverage(probs, float64(len(set)))
+		total += invertCoverage(probs, float64(j-i))
+		i = j
 	}
 	return total, nil
 }

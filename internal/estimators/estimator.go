@@ -48,6 +48,13 @@ type Config struct {
 	// records with an O(1) array read instead of a string map lookup.
 	// Results are identical with or without it.
 	Pools *dga.PoolCache
+
+	// normalized records that withDefaults (and the caller's Validate) has
+	// already run on this value, letting the per-epoch EstimateEpoch hot
+	// path skip re-normalising per (server, epoch). Set by withDefaults;
+	// window- and engine-level callers normalise once and fan the flagged
+	// config out.
+	normalized bool
 }
 
 // poolFor materialises the pool for one epoch, through the shared cache
@@ -68,7 +75,7 @@ func position(pool *dga.Pool, rec trace.ObservedRecord) (int, bool) {
 	return pool.Position(rec.Domain)
 }
 
-// withDefaults normalises zero fields.
+// withDefaults normalises zero fields and marks the config normalized.
 func (c Config) withDefaults() Config {
 	if c.EpochLen <= 0 {
 		c.EpochLen = sim.Day
@@ -76,7 +83,20 @@ func (c Config) withDefaults() Config {
 	if c.NegativeTTL <= 0 {
 		c.NegativeTTL = 2 * sim.Hour
 	}
+	c.normalized = true
 	return c
+}
+
+// Normalized applies defaults, validates once, and returns a config the
+// per-epoch estimator paths accept without re-normalising. Engine-level
+// callers (core.Analyze, the streaming engine) call this once and reuse the
+// result for every (server, epoch) cell.
+func (c Config) Normalized() (Config, error) {
+	c = c.withDefaults()
+	if err := c.Validate(); err != nil {
+		return c, err
+	}
+	return c, nil
 }
 
 // Validate checks the configuration.
@@ -104,8 +124,10 @@ type Estimator interface {
 // averages the per-epoch estimates — the procedure behind the paper's
 // Figure 6(b) ("average the estimates over the number of epochs").
 func EstimateWindow(e Estimator, obs trace.Observed, w sim.Window, cfg Config) (float64, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
+	// Normalise once; the flagged config short-circuits the per-epoch
+	// withDefaults/Validate inside every EstimateEpoch call below.
+	cfg, err := cfg.Normalized()
+	if err != nil {
 		return 0, err
 	}
 	if w.Len() <= 0 {
@@ -113,6 +135,9 @@ func EstimateWindow(e Estimator, obs trace.Observed, w sim.Window, cfg Config) (
 	}
 	firstEpoch := int(w.Start / cfg.EpochLen)
 	lastEpoch := int((w.End - 1) / cfg.EpochLen)
+	// One sortedness pass up front lets every per-epoch slice below come
+	// from the binary-search fast path instead of re-scanning obs per epoch.
+	sorted := obs.IsSorted()
 	var total float64
 	epochs := 0
 	for ep := firstEpoch; ep <= lastEpoch; ep++ {
@@ -123,7 +148,13 @@ func EstimateWindow(e Estimator, obs trace.Observed, w sim.Window, cfg Config) (
 		if ew.End > w.End {
 			ew.End = w.End
 		}
-		est, err := e.EstimateEpoch(obs.Window(ew), ep, cfg)
+		var epochObs trace.Observed
+		if sorted {
+			epochObs = obs.WindowSorted(ew)
+		} else {
+			epochObs = obs.Window(ew)
+		}
+		est, err := e.EstimateEpoch(epochObs, ep, cfg)
 		if err != nil {
 			return 0, fmt.Errorf("estimators: epoch %d: %w", ep, err)
 		}
@@ -168,7 +199,10 @@ func (*Naive) Name() string { return "NC" }
 
 // EstimateEpoch implements Estimator.
 func (n *Naive) EstimateEpoch(obs trace.Observed, _ int, cfg Config) (float64, error) {
-	cfg = cfg.withDefaults()
+	if !cfg.normalized {
+		cfg = cfg.withDefaults()
+	}
 	clusters := n.clusterer.clusters(obs, cfg)
+	defer putClusterScratch(clusters)
 	return float64(len(clusters)), nil
 }

@@ -20,12 +20,33 @@ func Instrumented(e Estimator, stages *obs.StageSet) Estimator {
 	if stages == nil || e == nil {
 		return e
 	}
-	return &instrumented{inner: e, stages: stages}
+	w := &instrumented{inner: e, stages: stages}
+	if sc, ok := e.(StreamCapable); ok {
+		// Preserve the streaming capability: the engine type-asserts the
+		// estimator it is handed, and a wrapper hiding OpenEpoch would
+		// silently demote an incremental estimator to micro-batch.
+		return &instrumentedStream{instrumented: *w, sc: sc}
+	}
+	return w
 }
 
 type instrumented struct {
 	inner  Estimator
 	stages *obs.StageSet
+}
+
+// instrumentedStream additionally forwards OpenEpoch, so wrapping a
+// StreamCapable estimator keeps it StreamCapable. The per-record Observe
+// path is deliberately not timed — a timer per record would dwarf the work
+// being measured.
+type instrumentedStream struct {
+	instrumented
+	sc StreamCapable
+}
+
+// OpenEpoch implements StreamCapable.
+func (i *instrumentedStream) OpenEpoch(epoch int, cfg Config) EpochStream {
+	return i.sc.OpenEpoch(epoch, cfg)
 }
 
 // Name implements Estimator, delegating to the wrapped estimator so model

@@ -2,6 +2,7 @@ package estimators
 
 import (
 	"sort"
+	"sync"
 
 	"botmeter/internal/sim"
 	"botmeter/internal/trace"
@@ -33,9 +34,11 @@ func (*Poisson) Name() string { return "MP" }
 
 // EstimateEpoch implements Estimator.
 func (mp *Poisson) EstimateEpoch(obs trace.Observed, epoch int, cfg Config) (float64, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
-		return 0, err
+	if !cfg.normalized {
+		cfg = cfg.withDefaults()
+		if err := cfg.Validate(); err != nil {
+			return 0, err
+		}
 	}
 	if len(obs) == 0 {
 		return 0, nil
@@ -45,46 +48,48 @@ func (mp *Poisson) EstimateEpoch(obs trace.Observed, epoch int, cfg Config) (flo
 	if len(clusters) == 0 {
 		return 0, nil
 	}
-	deltaL := cfg.NegativeTTL
-	// Equation 1's own premise: a second activation becoming visible
-	// requires the previous one's negative-cache entries to have expired,
-	// so two genuine visible activations cannot start within δl of each
-	// other. Bursts violating that are partial re-queries of the same wave
-	// (staggered per-domain expiry, detector holes) — fold them into the
-	// wave rather than letting them shrink ΣΔ towards zero and blow up the
-	// n²·δl/ΣΔ correction.
-	merged := clusters[:1]
-	for _, c := range clusters[1:] {
-		last := &merged[len(merged)-1]
-		if c.start < last.start+deltaL {
-			last.end = c.end
-			last.count += c.count
-			continue
-		}
-		merged = append(merged, c)
-	}
-	clusters = merged
-	n := len(clusters)
+	est := poissonEquation1(clusters, windowStart, cfg.NegativeTTL, cfg.EpochLen)
+	putClusterScratch(clusters)
+	return est, nil
+}
 
+// poissonEquation1 evaluates Equation 1 over time-ordered visible clusters.
+// It never mutates its input, so the streaming path can hand it a snapshot
+// of live state for provisional estimates.
+//
+// TTL folding happens inline: Equation 1's own premise is that a second
+// activation becoming visible requires the previous one's negative-cache
+// entries to have expired, so two genuine visible activations cannot start
+// within δl of each other. Bursts violating that are partial re-queries of
+// the same wave (staggered per-domain expiry, detector holes) — fold them
+// into the wave rather than letting them shrink ΣΔ towards zero and blow up
+// the n²·δl/ΣΔ correction.
+func poissonEquation1(clusters []cluster, windowStart, deltaL, epochLen sim.Time) float64 {
+	n := 0
 	var sumGaps sim.Time
 	prevTTLEnd := windowStart // Δ₁ counts from the window start
-	for i, c := range clusters {
+	var lastStart sim.Time
+	for _, c := range clusters {
+		if n > 0 && c.start < lastStart+deltaL {
+			continue // folded into the previous visible wave
+		}
 		gap := c.start - prevTTLEnd
 		if gap < 0 {
 			gap = 0
 		}
 		sumGaps += gap
-		_ = i
 		prevTTLEnd = c.start + deltaL
+		lastStart = c.start
+		n++
 	}
 	if sumGaps <= 0 {
 		// Every visible activation was back-to-back with a TTL window: the
 		// rate is effectively unresolvable upward; report the visible
 		// count plus the maximal correction the window admits.
-		return float64(n) * (float64(cfg.EpochLen) / float64(deltaL)), nil
+		return float64(n) * (float64(epochLen) / float64(deltaL))
 	}
 	nf := float64(n)
-	return nf + nf*nf*float64(deltaL)/float64(sumGaps), nil
+	return nf + nf*nf*float64(deltaL)/float64(sumGaps)
 }
 
 // cluster is a visible activation: a burst of forwarded lookups.
@@ -107,14 +112,10 @@ type cluster struct {
 // window is capped at half the TTL so adjacent TTL waves can never fuse.
 type clusterer struct{}
 
-func (clusterer) clusters(obs trace.Observed, cfg Config) []cluster {
-	if len(obs) == 0 {
-		return nil
-	}
-	s := make(trace.Observed, len(obs))
-	copy(s, obs)
-	sort.SliceStable(s, func(i, j int) bool { return s[i].T < s[j].T })
-
+// mergeWindowFor derives the clustering merge window from the family spec
+// and DNS parameters — shared by the batch clusterer and the incremental
+// cluster stream.
+func mergeWindowFor(cfg Config) sim.Time {
 	step := cfg.Spec.QueryInterval
 	if step == 0 {
 		step = cfg.Spec.MaxJitter
@@ -132,8 +133,57 @@ func (clusterer) clusters(obs trace.Observed, cfg Config) []cluster {
 	if floor := 2 * cfg.Granularity; mergeWindow < floor {
 		mergeWindow = floor
 	}
+	return mergeWindow
+}
 
-	var out []cluster
+// Pools recycling the clusterer's per-call scratch: the timestamp-sorted
+// record copy and the output cluster slice. Before pooling, MP's epoch
+// close allocated both per (server, epoch).
+var (
+	recScratchPool     = sync.Pool{New: func() any { return new([]trace.ObservedRecord) }}
+	clusterScratchPool = sync.Pool{New: func() any { return new([]cluster) }}
+)
+
+// putClusterScratch returns a cluster slice obtained from clusters() to the
+// pool. nil (the empty-observation result) is ignored.
+func putClusterScratch(cs []cluster) {
+	if cs == nil {
+		return
+	}
+	cs = cs[:0]
+	clusterScratchPool.Put(&cs)
+}
+
+func (clusterer) clusters(obs trace.Observed, cfg Config) []cluster {
+	if len(obs) == 0 {
+		return nil
+	}
+	s := obs
+	sorted := true
+	for i := 1; i < len(obs); i++ {
+		if obs[i].T < obs[i-1].T {
+			sorted = false
+			break
+		}
+	}
+	// Already-ordered input — every engine-emitted or Sort-normalised trace
+	// — skips the copy entirely: clustering only reads timestamps, and a
+	// stable sort of a sorted slice is the identity.
+	var buf *[]trace.ObservedRecord
+	if !sorted {
+		buf = recScratchPool.Get().(*[]trace.ObservedRecord)
+		if cap(*buf) < len(obs) {
+			*buf = make([]trace.ObservedRecord, len(obs))
+		}
+		*buf = (*buf)[:len(obs)]
+		copy(*buf, obs)
+		sort.SliceStable(*buf, func(i, j int) bool { return (*buf)[i].T < (*buf)[j].T })
+		s = *buf
+	}
+
+	mergeWindow := mergeWindowFor(cfg)
+	outp := clusterScratchPool.Get().(*[]cluster)
+	out := (*outp)[:0]
 	cur := cluster{start: s[0].T, end: s[0].T, count: 1}
 	for _, rec := range s[1:] {
 		if rec.T-cur.start <= mergeWindow {
@@ -145,5 +195,15 @@ func (clusterer) clusters(obs trace.Observed, cfg Config) []cluster {
 		cur = cluster{start: rec.T, end: rec.T, count: 1}
 	}
 	out = append(out, cur)
+	if buf != nil {
+		// Drop the record copies' string references before pooling.
+		clear(*buf)
+		recScratchPool.Put(buf)
+	}
+	// Ownership of the backing array moves to the caller, who hands it back
+	// through putClusterScratch; the Get'd box is not re-used (re-pooling it
+	// here would alias the returned slice with a future Get).
+	*outp = nil
+	clusterScratchPool.Put(outp)
 	return out
 }

@@ -15,9 +15,24 @@ import (
 // degrade gracefully rather than catastrophically as the detection window
 // shrinks (paper Figure 6(e)).
 type circleView struct {
-	orig          []int       // contracted index -> original pool position
-	index         map[int]int // original pool position -> contracted index
-	boundaryAfter []bool      // a registered domain lies between orig[i] and orig[i+1]
+	orig []int // contracted index -> original pool position
+	// index maps original pool position -> contracted index, as a dense
+	// array over the pool (-1 = not on the circle). The kernels resolve one
+	// position per observed pair, so this lookup must be an array read, not
+	// a map probe.
+	index         []int32
+	boundaryAfter []bool // a registered domain lies between orig[i] and orig[i+1]
+}
+
+// indexOf resolves an original pool position to its contracted index.
+func (v *circleView) indexOf(p int) (int, bool) {
+	if p < 0 || p >= len(v.index) {
+		return 0, false
+	}
+	if ci := v.index[p]; ci >= 0 {
+		return int(ci), true
+	}
+	return 0, false
 }
 
 // newCircleView builds the view. detected lists the observable pool
@@ -44,11 +59,14 @@ func newCircleView(pool *dga.Pool, detected []int) *circleView {
 	}
 	v := &circleView{
 		orig:          nxd,
-		index:         make(map[int]int, len(nxd)),
+		index:         make([]int32, size),
 		boundaryAfter: make([]bool, len(nxd)),
 	}
+	for i := range v.index {
+		v.index[i] = -1
+	}
 	for i, p := range nxd {
-		v.index[p] = i
+		v.index[p] = int32(i)
 	}
 	// boundaryAfter[i]: any valid position in the open original interval
 	// (orig[i], orig[i+1 mod n]) going clockwise.
@@ -120,21 +138,39 @@ func extractSegments(view *circleView, observed map[int]struct{}, gapTol int) []
 	if n == 0 || len(observed) == 0 {
 		return nil
 	}
+	idxs := make([]int32, 0, len(observed))
+	for p := range observed {
+		if i, ok := view.indexOf(p); ok {
+			idxs = append(idxs, int32(i))
+		}
+	}
+	if len(idxs) == 0 {
+		return nil
+	}
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	bits := make([]uint64, (n+63)/64)
+	for _, i := range idxs {
+		bits[i>>6] |= 1 << (uint(i) & 63)
+	}
+	return extractSegmentsSorted(view, idxs, gapTol, bits, nil)
+}
+
+// extractSegmentsSorted is the flat-array kernel behind extractSegments:
+// the observed contracted indices arrive pre-sorted (ascending) with a
+// matching membership bitset over the contracted circle, and segments are
+// appended to segs (callers recycle the backing array across buckets). The
+// caller owns bits and must clear the set positions afterwards.
+func extractSegmentsSorted(view *circleView, idxs []int32, gapTol int, bits []uint64, segs []segment) []segment {
+	n := view.size()
+	if n == 0 || len(idxs) == 0 {
+		return segs
+	}
 	if gapTol < 0 {
 		gapTol = 0
 	}
-	idxSet := make(map[int]struct{}, len(observed))
-	for p := range observed {
-		if i, ok := view.index[p]; ok {
-			idxSet[i] = struct{}{}
-		}
-	}
-	if len(idxSet) == 0 {
-		return nil
-	}
 	has := func(i int) bool {
-		_, ok := idxSet[mod(i, n)]
-		return ok
+		i = mod(i, n)
+		return bits[i>>6]&(1<<(uint(i)&63)) != 0
 	}
 	// boundaryBetween reports whether extending from contracted index j by
 	// k steps crosses an arc boundary.
@@ -146,14 +182,10 @@ func extractSegments(view *circleView, observed map[int]struct{}, gapTol int) []
 		}
 		return false
 	}
-	indices := make([]int, 0, len(idxSet))
-	for i := range idxSet {
-		indices = append(indices, i)
-	}
-	sort.Ints(indices)
 
-	var segs []segment
-	for _, i := range indices {
+	base := len(segs)
+	for _, i32 := range idxs {
+		i := int(i32)
 		// A run starts where no observed position within the tolerance
 		// window precedes it on the same arc.
 		isStart := true
@@ -194,9 +226,9 @@ func extractSegments(view *circleView, observed map[int]struct{}, gapTol int) []
 			boundary: view.boundaryAfter[mod(i+length-1, n)],
 		})
 	}
-	if len(segs) == 0 {
+	if len(segs) == base {
 		// Fully observed circle with no arc boundaries: one wrapped run.
-		segs = append(segs, segment{start: indices[0], length: len(indices)})
+		segs = append(segs, segment{start: int(idxs[0]), length: len(idxs)})
 	}
 	return segs
 }

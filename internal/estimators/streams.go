@@ -1,0 +1,294 @@
+package estimators
+
+import (
+	"botmeter/internal/dga"
+	"botmeter/internal/sim"
+	"botmeter/internal/trace"
+)
+
+// This file makes MP, NC and MB truly incremental (DESIGN.md §17): their
+// sufficient statistics — visible-activation clusters for MP/NC, the
+// distinct (TTL-bucket, pool-position) set for MB — are folded in on
+// ingest, so the streaming engine's watermark-driven epoch close is O(1)
+// for MP/NC and O(changed positions) for MB instead of a re-scan of the
+// epoch's retained records. Estimate() runs the SAME kernels as the batch
+// paths (poissonEquation1, Bernoulli.estimatePairs), which is what keeps
+// batch↔stream byte-identical at any shard count.
+
+// clusterStream folds a non-decreasing timestamp stream into visible
+// activation clusters — the incremental form of clusterer.clusters, whose
+// batch loop it reproduces exactly because clustering decisions depend only
+// on timestamps (never on tie order).
+type clusterStream struct {
+	mergeWindow sim.Time
+	done        []cluster
+	cur         cluster
+	started     bool
+}
+
+func (cs *clusterStream) observe(t sim.Time) {
+	if !cs.started {
+		cs.cur = cluster{start: t, end: t, count: 1}
+		cs.started = true
+		return
+	}
+	if t-cs.cur.start <= cs.mergeWindow {
+		cs.cur.end = t
+		cs.cur.count++
+		return
+	}
+	cs.done = append(cs.done, cs.cur)
+	cs.cur = cluster{start: t, end: t, count: 1}
+}
+
+// snapshot appends the live clusters (done plus the open one) to buf.
+func (cs *clusterStream) snapshot(buf []cluster) []cluster {
+	buf = append(buf, cs.done...)
+	if cs.started {
+		buf = append(buf, cs.cur)
+	}
+	return buf
+}
+
+func (cs *clusterStream) count() int {
+	n := len(cs.done)
+	if cs.started {
+		n++
+	}
+	return n
+}
+
+// ClusterState is one serialized activation cluster.
+type ClusterState struct {
+	Start sim.Time `json:"start"`
+	End   sim.Time `json:"end"`
+	Count int      `json:"count"`
+}
+
+// ClusterStreamState is the serializable state of an incremental MP/NC
+// epoch: the closed clusters in time order plus the still-open one.
+type ClusterStreamState struct {
+	Done []ClusterState `json:"done,omitempty"`
+	Cur  *ClusterState  `json:"cur,omitempty"`
+}
+
+func (cs *clusterStream) exportState() ClusterStreamState {
+	st := ClusterStreamState{}
+	if len(cs.done) > 0 {
+		st.Done = make([]ClusterState, len(cs.done))
+		for i, c := range cs.done {
+			st.Done[i] = ClusterState{Start: c.start, End: c.end, Count: c.count}
+		}
+	}
+	if cs.started {
+		st.Cur = &ClusterState{Start: cs.cur.start, End: cs.cur.end, Count: cs.cur.count}
+	}
+	return st
+}
+
+func (cs *clusterStream) restoreState(st ClusterStreamState) {
+	cs.done = cs.done[:0]
+	for _, c := range st.Done {
+		cs.done = append(cs.done, cluster{start: c.Start, end: c.End, count: c.Count})
+	}
+	if st.Cur != nil {
+		cs.cur = cluster{start: st.Cur.Start, end: st.Cur.End, count: st.Cur.Count}
+		cs.started = true
+	} else {
+		cs.cur = cluster{}
+		cs.started = false
+	}
+}
+
+// PoissonStream is MP's per-(server, epoch) incremental state: clusters
+// accumulate on ingest, and epoch close is one pass of Equation 1 over
+// them — cost proportional to the visible activations, independent of the
+// record count or pool size.
+type PoissonStream struct {
+	cs          clusterStream
+	windowStart sim.Time
+	deltaL      sim.Time
+	epochLen    sim.Time
+}
+
+// OpenEpoch implements StreamCapable.
+func (*Poisson) OpenEpoch(epoch int, cfg Config) EpochStream {
+	if !cfg.normalized {
+		cfg = cfg.withDefaults()
+	}
+	return &PoissonStream{
+		cs:          clusterStream{mergeWindow: mergeWindowFor(cfg)},
+		windowStart: sim.Time(epoch) * cfg.EpochLen,
+		deltaL:      cfg.NegativeTTL,
+		epochLen:    cfg.EpochLen,
+	}
+}
+
+// Observe implements EpochStream.
+func (s *PoissonStream) Observe(rec trace.ObservedRecord) { s.cs.observe(rec.T) }
+
+// Advance implements EpochStream. Cluster state is already bounded by the
+// number of visible activations; nothing expires early.
+func (s *PoissonStream) Advance(sim.Time) {}
+
+// Estimate implements EpochStream: Equation 1 over a snapshot of the live
+// clusters. Valid mid-epoch (provisional) and at close (final, identical
+// to the batch path on the same records).
+func (s *PoissonStream) Estimate() float64 {
+	if s.cs.count() == 0 {
+		return 0
+	}
+	buf := s.cs.snapshot(make([]cluster, 0, s.cs.count()))
+	return poissonEquation1(buf, s.windowStart, s.deltaL, s.epochLen)
+}
+
+// ExportState / RestoreState are the checkpoint codec.
+func (s *PoissonStream) ExportState() ClusterStreamState    { return s.cs.exportState() }
+func (s *PoissonStream) RestoreState(st ClusterStreamState) { s.cs.restoreState(st) }
+
+// NaiveStream is NC's incremental state: the visible-cluster count.
+type NaiveStream struct {
+	cs clusterStream
+}
+
+// OpenEpoch implements StreamCapable.
+func (*Naive) OpenEpoch(_ int, cfg Config) EpochStream {
+	if !cfg.normalized {
+		cfg = cfg.withDefaults()
+	}
+	return &NaiveStream{cs: clusterStream{mergeWindow: mergeWindowFor(cfg)}}
+}
+
+// Observe implements EpochStream.
+func (s *NaiveStream) Observe(rec trace.ObservedRecord) { s.cs.observe(rec.T) }
+
+// Advance implements EpochStream.
+func (s *NaiveStream) Advance(sim.Time) {}
+
+// Estimate implements EpochStream.
+func (s *NaiveStream) Estimate() float64 { return float64(s.cs.count()) }
+
+// ExportState / RestoreState are the checkpoint codec.
+func (s *NaiveStream) ExportState() ClusterStreamState    { return s.cs.exportState() }
+func (s *NaiveStream) RestoreState(st ClusterStreamState) { s.cs.restoreState(st) }
+
+// BernoulliStream is MB's per-(server, epoch) incremental state: the
+// distinct (TTL-bucket, pool-position) pair set, updated in O(1) per
+// record on ingest. Epoch close sorts the pair log and runs the same
+// segment pipeline as the batch path — O(changed positions), not O(pool).
+type BernoulliStream struct {
+	mb         *Bernoulli
+	cfg        Config
+	epoch      int
+	epochStart sim.Time
+	numBuckets int
+	pool       *dga.Pool
+	ps         *pairSet
+}
+
+// OpenEpoch implements StreamCapable.
+func (mb *Bernoulli) OpenEpoch(epoch int, cfg Config) EpochStream {
+	if !cfg.normalized {
+		cfg = cfg.withDefaults()
+	}
+	return &BernoulliStream{
+		mb:         mb,
+		cfg:        cfg,
+		epoch:      epoch,
+		epochStart: sim.Time(epoch) * cfg.EpochLen,
+		numBuckets: ttlBuckets(cfg, !mb.DisableTTLPartition),
+		pool:       cfg.poolFor(epoch),
+		ps:         getPairSet(),
+	}
+}
+
+// Observe implements EpochStream: resolve the record's pool position and
+// fold the (bucket, position) pair into the set. Duplicates — the common
+// case once a position has been seen in a TTL window — cost one probe.
+func (s *BernoulliStream) Observe(rec trace.ObservedRecord) {
+	pos, ok := position(s.pool, rec)
+	if !ok || s.pool.ValidAt(pos) {
+		return
+	}
+	s.ps.add(ttlBucketOf(rec.T, s.epochStart, s.cfg, s.numBuckets), pos)
+}
+
+// Advance implements EpochStream. The pair set is already a sufficient
+// statistic; nothing expires.
+func (s *BernoulliStream) Advance(sim.Time) {}
+
+// Estimate implements EpochStream: the batch segment pipeline over the
+// sorted pair log. Sorting in place is safe — the set's semantics are
+// order-free — so provisional mid-epoch estimates and the final close run
+// the identical code path.
+func (s *BernoulliStream) Estimate() float64 {
+	if s.ps.len() == 0 {
+		return 0
+	}
+	view, thetaQ := s.mb.viewFor(s.pool, s.epoch, s.cfg)
+	if view.size() == 0 {
+		return 0
+	}
+	return s.mb.estimatePairs(view, s.ps.sorted(), thetaQ)
+}
+
+// Release implements Releasable: the engine calls it when the epoch cell
+// closes for good, returning the pair set to the pool.
+func (s *BernoulliStream) Release() {
+	putPairSet(s.ps)
+	s.ps = getPairSetReleased()
+}
+
+// getPairSetReleased returns a fresh empty set so a (buggy) post-Release
+// Observe cannot corrupt pooled state; it is intentionally not pooled.
+func getPairSetReleased() *pairSet {
+	ps := new(pairSet)
+	ps.reset()
+	return ps
+}
+
+// BernoulliBucket is one TTL sub-window's distinct observed pool positions,
+// ascending.
+type BernoulliBucket struct {
+	Bucket    int   `json:"bucket"`
+	Positions []int `json:"positions"`
+}
+
+// BernoulliState is the serializable state of an incremental MB epoch. Pool
+// positions — not process-local symtab IDs — make the state stable across
+// processes; buckets and positions are sorted so identical state always
+// serialises to identical bytes.
+type BernoulliState struct {
+	Buckets []BernoulliBucket `json:"buckets,omitempty"`
+}
+
+// ExportState is the checkpoint codec: the sorted pair log re-grouped per
+// bucket.
+func (s *BernoulliStream) ExportState() BernoulliState {
+	st := BernoulliState{}
+	pairs := s.ps.sorted()
+	for i := 0; i < len(pairs); {
+		b := pairBucket(pairs[i])
+		j := i
+		for j < len(pairs) && pairBucket(pairs[j]) == b {
+			j++
+		}
+		bucket := BernoulliBucket{Bucket: b, Positions: make([]int, 0, j-i)}
+		for ; i < j; i++ {
+			bucket.Positions = append(bucket.Positions, pairPos(pairs[i]))
+		}
+		st.Buckets = append(st.Buckets, bucket)
+	}
+	return st
+}
+
+// RestoreState replaces the stream's pair set with a previously exported
+// one.
+func (s *BernoulliStream) RestoreState(st BernoulliState) {
+	s.ps.reset()
+	for _, bucket := range st.Buckets {
+		for _, pos := range bucket.Positions {
+			s.ps.add(bucket.Bucket, pos)
+		}
+	}
+}

@@ -1,9 +1,10 @@
 package estimators
 
 import (
-	"sort"
+	"slices"
 
 	"botmeter/internal/sim"
+	"botmeter/internal/symtab"
 	"botmeter/internal/trace"
 )
 
@@ -33,10 +34,14 @@ func NewTiming() *Timing { return &Timing{} }
 func (*Timing) Name() string { return "MT" }
 
 // timingEntry is one candidate bot: its first lookup time and the domains
-// attributed to it.
+// attributed to it. While the owning stream runs in ID mode (every record so
+// far carried an interned domain ID) attribution lives in ids and domains is
+// empty; a string-mode stream uses domains only. Exactly one of the two sets
+// is populated at any time.
 type timingEntry struct {
 	first   sim.Time
 	domains map[string]struct{}
+	ids     map[symtab.ID]struct{}
 }
 
 // EstimateEpoch implements Estimator (Algorithm 1). The batch form is the
@@ -44,20 +49,42 @@ type timingEntry struct {
 // implementation serves both paths, which is what makes the batch↔stream
 // equivalence contract (internal/stream) checkable rather than aspirational.
 func (mt *Timing) EstimateEpoch(obs trace.Observed, epoch int, cfg Config) (float64, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
-		return 0, err
+	if !cfg.normalized {
+		cfg = cfg.withDefaults()
+		if err := cfg.Validate(); err != nil {
+			return 0, err
+		}
 	}
 	if len(obs) == 0 {
 		return 0, nil
 	}
-	s := make(trace.Observed, len(obs))
-	copy(s, obs)
-	sort.SliceStable(s, func(i, j int) bool { return s[i].T < s[j].T })
+	// Epoch slices from the analysis pipeline arrive already time-sorted
+	// (windowed views of a sorted trace), so the defensive copy+stable-sort
+	// only runs when a caller hands over genuinely unordered records. A
+	// stable sort's output is input-determined, so the generic sort is
+	// order-identical to the reflect-based sort.SliceStable it replaced.
+	s := obs
+	if !obs.IsSorted() {
+		s = make(trace.Observed, len(obs))
+		copy(s, obs)
+		slices.SortStableFunc(s, func(a, b trace.ObservedRecord) int {
+			switch {
+			case a.T < b.T:
+				return -1
+			case a.T > b.T:
+				return 1
+			}
+			return 0
+		})
+	}
 
 	stream := mt.OpenEpoch(epoch, cfg)
 	for _, rec := range s {
 		stream.Observe(rec)
 	}
-	return stream.Estimate(), nil
+	v := stream.Estimate()
+	if r, ok := stream.(Releasable); ok {
+		r.Release()
+	}
+	return v, nil
 }

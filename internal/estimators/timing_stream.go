@@ -2,10 +2,39 @@ package estimators
 
 import (
 	"sort"
+	"sync"
 
 	"botmeter/internal/sim"
+	"botmeter/internal/symtab"
 	"botmeter/internal/trace"
 )
+
+// timingEntryPool recycles candidate entries (struct + attribution maps)
+// across streams and epochs. Per-candidate map allocation was the dominant
+// MT allocation site (one map per bot activation per epoch); recycled maps
+// keep their buckets, so a steady-state workload allocates no candidate
+// state at all. Entries are returned on expiry (Advance) and at Release; the
+// maps come back cleared.
+var timingEntryPool = sync.Pool{
+	New: func() any {
+		return &timingEntry{
+			domains: make(map[string]struct{}, 8),
+			ids:     make(map[symtab.ID]struct{}, 8),
+		}
+	},
+}
+
+func getTimingEntry(first sim.Time) *timingEntry {
+	e := timingEntryPool.Get().(*timingEntry)
+	e.first = first
+	return e
+}
+
+func putTimingEntry(e *timingEntry) {
+	clear(e.domains)
+	clear(e.ids)
+	timingEntryPool.Put(e)
+}
 
 // StreamCapable is implemented by estimators that can consume one epoch's
 // matched lookups incrementally, in non-decreasing timestamp order, while
@@ -60,6 +89,15 @@ type TimingStream struct {
 	useModulo   bool
 	maxDuration sim.Time
 
+	// tab, when non-nil, puts the stream in ID mode: heuristic #1's
+	// domain-membership sets are keyed by interned domain ID (integer
+	// hashing) instead of by string. ID ↔ domain is a bijection within one
+	// intern table, so the absorption decisions — and hence the candidate
+	// count — are identical to string mode. The first record that arrives
+	// WITHOUT an ID demotes the whole stream to string mode (sets resolved
+	// through tab), so mixed traces degrade gracefully rather than wrongly.
+	tab *symtab.Table
+
 	// active candidates in creation order; `first` is non-decreasing, so
 	// expiry always pops a prefix.
 	active []*timingEntry
@@ -70,13 +108,23 @@ type TimingStream struct {
 
 // OpenEpoch implements StreamCapable.
 func (*Timing) OpenEpoch(_ int, cfg Config) EpochStream {
-	cfg = cfg.withDefaults()
+	if !cfg.normalized {
+		cfg = cfg.withDefaults()
+	}
 	deltaI := cfg.Spec.QueryInterval
-	return &TimingStream{
+	s := &TimingStream{
 		deltaI:      deltaI,
 		useModulo:   deltaI > 0 && (cfg.Granularity == 0 || cfg.Granularity <= deltaI),
 		maxDuration: cfg.Spec.MaxDuration(),
 	}
+	if cfg.Pools != nil {
+		// Records carrying an ID are, by the ObservedRecord contract,
+		// interned in the analysis pools' table (matching already relies on
+		// this), so that table resolves IDs back to strings on demotion and
+		// export.
+		s.tab = cfg.Pools.Table()
+	}
+	return s
 }
 
 // Observe implements EpochStream.
@@ -84,6 +132,31 @@ func (s *TimingStream) Observe(rec trace.ObservedRecord) {
 	// Expire candidates that can no longer absorb rec or anything after
 	// it (timestamps are non-decreasing from here on).
 	s.Advance(rec.T)
+	if s.tab != nil {
+		if rec.ID == symtab.None {
+			s.demote()
+		} else {
+			for _, entry := range s.active {
+				// Heuristic #1: domain already attributed to this bot.
+				if _, seen := entry.ids[rec.ID]; seen {
+					continue
+				}
+				// Heuristics #2 and #3 — see the string path below.
+				if entry.first+s.maxDuration <= rec.T {
+					continue
+				}
+				if s.useModulo && (rec.T-entry.first)%s.deltaI != 0 {
+					continue
+				}
+				entry.ids[rec.ID] = struct{}{}
+				return
+			}
+			entry := getTimingEntry(rec.T)
+			entry.ids[rec.ID] = struct{}{}
+			s.active = append(s.active, entry)
+			return
+		}
+	}
 	for _, entry := range s.active {
 		// Heuristic #1: domain already attributed to this bot.
 		if _, seen := entry.domains[rec.Domain]; seen {
@@ -102,10 +175,24 @@ func (s *TimingStream) Observe(rec trace.ObservedRecord) {
 		entry.domains[rec.Domain] = struct{}{}
 		return
 	}
-	s.active = append(s.active, &timingEntry{
-		first:   rec.T,
-		domains: map[string]struct{}{rec.Domain: {}},
-	})
+	entry := getTimingEntry(rec.T)
+	entry.domains[rec.Domain] = struct{}{}
+	s.active = append(s.active, entry)
+}
+
+// demote switches the stream from ID mode to string mode, resolving every
+// active candidate's ID set into its string set. Candidate order, `first`
+// times and set contents (under the ID ↔ domain bijection) are unchanged, so
+// all subsequent absorption decisions match a stream that ran in string mode
+// from the start.
+func (s *TimingStream) demote() {
+	for _, entry := range s.active {
+		for id := range entry.ids {
+			entry.domains[s.tab.Resolve(id)] = struct{}{}
+		}
+		clear(entry.ids)
+	}
+	s.tab = nil
 }
 
 // Advance implements EpochStream: candidates whose absorption window ends
@@ -114,7 +201,8 @@ func (s *TimingStream) Observe(rec trace.ObservedRecord) {
 func (s *TimingStream) Advance(watermark sim.Time) {
 	n := 0
 	for n < len(s.active) && s.active[n].first+s.maxDuration <= watermark {
-		s.active[n] = nil // release the entry (and its domain map)
+		putTimingEntry(s.active[n]) // recycle the entry and its domain map
+		s.active[n] = nil
 		n++
 	}
 	if n > 0 {
@@ -131,6 +219,19 @@ func (s *TimingStream) Estimate() float64 {
 // ActiveCandidates reports how many candidates still hold domain state —
 // the stream's memory footprint, exposed for bounded-memory assertions.
 func (s *TimingStream) ActiveCandidates() int { return len(s.active) }
+
+// Release implements Releasable: it recycles every still-active candidate
+// entry. Called after the final Estimate of an epoch (batch MT does this
+// internally; the streaming engine calls it at epoch close). The stream must
+// not Observe afterwards.
+func (s *TimingStream) Release() {
+	for i, entry := range s.active {
+		putTimingEntry(entry)
+		s.active[i] = nil
+	}
+	s.expired += len(s.active)
+	s.active = s.active[:0]
+}
 
 // TimingState is the serializable state of one TimingStream — everything a
 // checkpoint must persist to resume incremental MT estimation exactly where
@@ -150,16 +251,22 @@ type TimingCandidate struct {
 }
 
 // ExportState snapshots the stream for checkpointing. The stream remains
-// usable; the returned state shares nothing with it.
+// usable; the returned state shares nothing with it. An ID-mode stream
+// exports the same bytes as a string-mode one: candidate sets are resolved
+// to domain strings and sorted, so checkpoint contents are independent of
+// which attribution representation the stream happened to be running.
 func (s *TimingStream) ExportState() TimingState {
 	st := TimingState{Expired: s.expired}
 	if len(s.active) > 0 {
 		st.Active = make([]TimingCandidate, len(s.active))
 	}
 	for i, entry := range s.active {
-		domains := make([]string, 0, len(entry.domains))
+		domains := make([]string, 0, len(entry.domains)+len(entry.ids))
 		for d := range entry.domains {
 			domains = append(domains, d)
+		}
+		for id := range entry.ids {
+			domains = append(domains, s.tab.Resolve(id))
 		}
 		sort.Strings(domains)
 		st.Active[i] = TimingCandidate{First: entry.first, Domains: domains}
@@ -170,15 +277,23 @@ func (s *TimingStream) ExportState() TimingState {
 // RestoreState replaces the stream's state with a previously exported one.
 // The stream's configuration (δi, max duration) is NOT part of the state —
 // it is re-derived from the engine config at OpenEpoch, which checkpoint
-// recovery validates via the config fingerprint.
+// recovery validates via the config fingerprint. Restored candidate sets
+// are strings, so the stream continues in string mode regardless of how it
+// was opened; estimates are unaffected (the two modes are equivalent) and
+// subsequent exports are byte-identical either way.
 func (s *TimingStream) RestoreState(st TimingState) {
+	for i, entry := range s.active {
+		putTimingEntry(entry)
+		s.active[i] = nil
+	}
+	s.tab = nil
 	s.expired = st.Expired
 	s.active = s.active[:0]
 	for _, cand := range st.Active {
-		domains := make(map[string]struct{}, len(cand.Domains))
+		entry := getTimingEntry(cand.First)
 		for _, d := range cand.Domains {
-			domains[d] = struct{}{}
+			entry.domains[d] = struct{}{}
 		}
-		s.active = append(s.active, &timingEntry{first: cand.First, domains: domains})
+		s.active = append(s.active, entry)
 	}
 }

@@ -174,6 +174,12 @@ type trialParams struct {
 	granularity  sim.Time
 	seed         uint64
 	stages       *obs.StageSet
+	// pools, when non-nil, is the shared symbolized pool cache for this
+	// (model, trial) — sweep points of one trial draw identical pools (the
+	// per-trial seed does not depend on the swept x), so the panel driver
+	// generates them once per trial instead of once per grid point. Nil
+	// makes runTrial own a private cache.
+	pools *dga.PoolCache
 }
 
 func defaultTrialParams(spec dga.Spec, population int, seed uint64) trialParams {
@@ -193,10 +199,14 @@ func runTrial(p trialParams, ests []estimators.Estimator) (map[string]float64, e
 	// One intern table + pool cache per trial: the simulator, the matcher
 	// and every estimator below share the same symbolized pool objects, so
 	// the ID fast paths apply end-to-end and each epoch's pool is generated
-	// exactly once instead of once per estimator.
-	tab := symtab.Get()
-	defer tab.Release()
-	pools := dga.NewPoolCache(p.spec.Pool, p.seed, tab)
+	// exactly once instead of once per estimator (and, when the panel
+	// driver supplies p.pools, once per trial instead of once per point).
+	pools := p.pools
+	if pools == nil {
+		tab := symtab.Get()
+		defer tab.Release()
+		pools = dga.NewPoolCache(p.spec.Pool, p.seed, tab)
+	}
 
 	simStage := p.stages.Start("fig6:simulate")
 	net := dnssim.NewNetwork(dnssim.NetworkConfig{
@@ -235,17 +245,39 @@ func runTrial(p trialParams, ests []estimators.Estimator) (map[string]float64, e
 	net.ReleaseCaches()
 	estStage := p.stages.Start("fig6:estimate")
 	defer estStage.End()
-	out := make(map[string]float64, len(ests))
+	// MT rides the first model-specific estimator's Analyze through the
+	// SecondOpinion path instead of re-matching and re-grouping the trial's
+	// records in a dedicated run: SecondOpinion evaluates MT per epoch over
+	// the same windowed records in the same order, so its series is
+	// byte-identical to a standalone MT Analyze. When MT is the model's only
+	// estimator (AS/AP), it runs as the primary as before.
+	var primaries []estimators.Estimator
+	var timingEst estimators.Estimator
 	for _, est := range ests {
+		if est.Name() == "MT" && timingEst == nil {
+			timingEst = est
+			continue
+		}
+		primaries = append(primaries, est)
+	}
+	wantTiming := timingEst != nil
+	if len(primaries) == 0 && wantTiming {
+		primaries = []estimators.Estimator{timingEst}
+		wantTiming = false
+	}
+	out := make(map[string]float64, len(ests))
+	for i, est := range primaries {
+		second := wantTiming && i == 0
 		bm, err := core.New(core.Config{
-			Family:      p.spec,
-			Seed:        p.seed,
-			Pools:       pools,
-			NegativeTTL: p.negTTL,
-			Granularity: p.granularity,
-			Estimator:   est,
-			Detection:   detection,
-			Stages:      p.stages,
+			Family:        p.spec,
+			Seed:          p.seed,
+			Pools:         pools,
+			NegativeTTL:   p.negTTL,
+			Granularity:   p.granularity,
+			Estimator:     est,
+			Detection:     detection,
+			SecondOpinion: second,
+			Stages:        p.stages,
 		})
 		if err != nil {
 			return nil, err
@@ -255,6 +287,16 @@ func runTrial(p trialParams, ests []estimators.Estimator) (map[string]float64, e
 			return nil, err
 		}
 		out[est.Name()] = stats.ARE(land.Estimate("local-00"), truth)
+		if second {
+			var mt float64
+			for _, s := range land.Servers {
+				if s.Server == "local-00" {
+					mt = s.SecondOpinion
+					break
+				}
+			}
+			out["MT"] = stats.ARE(mt, truth)
+		}
 	}
 	return out, nil
 }
@@ -263,16 +305,18 @@ func runTrial(p trialParams, ests []estimators.Estimator) (map[string]float64, e
 // on the bounded worker pool; every per-trial seed is a function of the
 // trial index only, and the per-estimator error series are rebuilt in trial
 // order afterwards, so the rendered artifact is identical for any Workers.
-func sweepPoint(cfg Fig6Config, panel, sweep, model string, x float64, mutate func(*trialParams)) ([]Fig6Point, error) {
+func sweepPoint(cfg Fig6Config, panel, sweep, model string, x float64, pools []*dga.PoolCache, mutate func(*trialParams)) ([]Fig6Point, error) {
 	spec, err := modelSpec(model, cfg.Scale)
 	if err != nil {
 		return nil, err
 	}
 	ests := estimatorsFor(model, panel)
 	trials, err := runTrials(cfg.Workers, cfg.Obs, "fig6"+panel, cfg.Trials, func(trial int) (map[string]float64, error) {
-		seed := cfg.Seed ^ (uint64(trial)+1)*0x9e3779b97f4a7c15 ^ hash64(panel+model)
-		p := defaultTrialParams(spec, cfg.Population, seed)
+		p := defaultTrialParams(spec, cfg.Population, trialSeed(cfg, panel, model, trial))
 		p.stages = cfg.Stages
+		if pools != nil {
+			p.pools = pools[trial]
+		}
 		mutate(&p)
 		res, err := runTrial(p, ests)
 		if err != nil {
@@ -307,17 +351,58 @@ func sweepPoint(cfg Fig6Config, panel, sweep, model string, x float64, mutate fu
 	return points, nil
 }
 
+// trialSeed derives the per-trial seed. It depends on the trial index (and
+// the grid cell's panel+model) but NOT on the swept x — the property that
+// lets one trial's pool cache serve every sweep point.
+func trialSeed(cfg Fig6Config, panel, model string, trial int) uint64 {
+	return cfg.Seed ^ (uint64(trial)+1)*0x9e3779b97f4a7c15 ^ hash64(panel+model)
+}
+
 func runPanel(cfg Fig6Config, panel, sweep string, xs []float64, mutate func(*trialParams, float64)) ([]Fig6Point, error) {
 	cfg = cfg.withDefaults()
 	var out []Fig6Point
 	for _, model := range cfg.Models {
-		for _, x := range xs {
-			pts, err := sweepPoint(cfg, panel, sweep, model, x, func(p *trialParams) { mutate(p, x) })
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, pts...)
+		pts, err := runPanelModel(cfg, panel, sweep, model, xs, mutate)
+		if err != nil {
+			return nil, err
 		}
+		out = append(out, pts...)
+	}
+	return out, nil
+}
+
+// runPanelModel evaluates one model's row of a panel. It builds one
+// symbolized pool cache per trial up front and shares it across the sweep:
+// pool generation is a function of (pool model, seed, epoch) only, and the
+// per-trial seed is x-independent, so every grid point of a trial would
+// regenerate byte-identical pools — at Table I scale that regeneration was
+// ~10% of a panel's wall time. Intern-table IDs now accumulate across sweep
+// points instead of restarting per point, which changes no artifact: IDs are
+// an in-memory fast-path hint, never serialized, and every estimate keys on
+// pool positions or domain strings.
+func runPanelModel(cfg Fig6Config, panel, sweep, model string, xs []float64, mutate func(*trialParams, float64)) ([]Fig6Point, error) {
+	spec, err := modelSpec(model, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	tabs := make([]*symtab.Table, cfg.Trials)
+	pools := make([]*dga.PoolCache, cfg.Trials)
+	for t := range pools {
+		tabs[t] = symtab.Get()
+		pools[t] = dga.NewPoolCache(spec.Pool, trialSeed(cfg, panel, model, t), tabs[t])
+	}
+	defer func() {
+		for _, tab := range tabs {
+			tab.Release()
+		}
+	}()
+	var out []Fig6Point
+	for _, x := range xs {
+		pts, err := sweepPoint(cfg, panel, sweep, model, x, pools, func(p *trialParams) { mutate(p, x) })
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pts...)
 	}
 	return out, nil
 }

@@ -114,53 +114,79 @@ func Figure7(cfg Fig7Config) ([]Fig7Series, error) {
 	// series is built.
 	defer tr.Close()
 
+	// The trace leaves Generate time-sorted, so per-day windows are sliced
+	// with the binary-search fast path — the full-trace sortedness scan
+	// inside Window ran once per (family, estimator, day) before, which at a
+	// season-long horizon dominated the analysis loop.
+	observed := tr.Observed
+	if !observed.IsSorted() {
+		observed.Sort()
+	}
+
 	var series []Fig7Series
 	for _, inf := range infections {
 		inf := inf
-		// Each day is analysed on its own BotMeter (and estimator)
-		// instance so the per-day loop can fan out across the worker pool
-		// without sharing lazily built matcher state; every day maps to a
-		// distinct epoch, so no cross-day matcher reuse is lost.
-		for _, mkEst := range []func() estimators.Estimator{
-			func() estimators.Estimator { return estimators.ForModel(inf.Spec) },
-			func() estimators.Estimator { return estimators.NewTiming() },
-		} {
-			mkEst := mkEst
-			estName := mkEst().Name()
-			s := Fig7Series{
-				Family:    inf.Spec.Name,
-				Model:     inf.Spec.ModelName(),
-				Estimator: estName,
-				Truth:     tr.GroundTruth[inf.Spec.Name],
-			}
-			famStage := cfg.Stages.Start("fig7:analyze:" + inf.Spec.Name + "/" + estName)
-			estimates, err := runTrials(cfg.Workers, cfg.Obs, "fig7", tr.Days, func(day int) (float64, error) {
-				bm, err := core.New(core.Config{
-					Family:      inf.Spec,
-					Seed:        inf.Seed,
-					Pools:       tr.Pools[inf.Spec.Name],
-					Granularity: sim.Second,
-					Estimator:   mkEst(),
-					Stages:      cfg.Stages,
-				})
-				if err != nil {
-					return 0, err
-				}
-				w := sim.Window{Start: sim.Time(day) * sim.Day, End: sim.Time(day+1) * sim.Day}
-				land, err := bm.Analyze(tr.Observed.Window(w), w)
-				if err != nil {
-					return 0, fmt.Errorf("experiments: fig7 %s/%s day %d: %w",
-						inf.Spec.Name, estName, day, err)
-				}
-				return land.Estimate(tr.LocalServer), nil
+		primaryName := estimators.ForModel(inf.Spec).Name()
+		// Each day is analysed on its own BotMeter instance so the per-day
+		// loop can fan out across the worker pool without sharing lazily
+		// built matcher state; every day maps to a distinct epoch, so no
+		// cross-day matcher reuse is lost. One Analyze per day produces BOTH
+		// of the family's series: the model-specific estimator as primary
+		// and MT through the SecondOpinion path — matching and grouping the
+		// day's records once instead of once per estimator. SecondOpinion
+		// evaluates MT per epoch over the same windowed records in the same
+		// order, so the MT series is byte-identical to a dedicated MT run.
+		type dayEstimates struct{ Primary, Timing float64 }
+		famStage := cfg.Stages.Start("fig7:analyze:" + inf.Spec.Name)
+		estimates, err := runTrials(cfg.Workers, cfg.Obs, "fig7", tr.Days, func(day int) (dayEstimates, error) {
+			bm, err := core.New(core.Config{
+				Family:        inf.Spec,
+				Seed:          inf.Seed,
+				Pools:         tr.Pools[inf.Spec.Name],
+				Granularity:   sim.Second,
+				Estimator:     estimators.ForModel(inf.Spec),
+				SecondOpinion: true,
+				Stages:        cfg.Stages,
 			})
-			famStage.End()
 			if err != nil {
-				return nil, err
+				return dayEstimates{}, err
 			}
-			s.Estimates = estimates
-			series = append(series, s)
+			w := sim.Window{Start: sim.Time(day) * sim.Day, End: sim.Time(day+1) * sim.Day}
+			land, err := bm.Analyze(observed.WindowSorted(w), w)
+			if err != nil {
+				return dayEstimates{}, fmt.Errorf("experiments: fig7 %s/%s day %d: %w",
+					inf.Spec.Name, primaryName, day, err)
+			}
+			out := dayEstimates{Primary: land.Estimate(tr.LocalServer)}
+			for _, s := range land.Servers {
+				if s.Server == tr.LocalServer {
+					out.Timing = s.SecondOpinion
+					break
+				}
+			}
+			return out, nil
+		})
+		famStage.End()
+		if err != nil {
+			return nil, err
 		}
+		primary := Fig7Series{
+			Family:    inf.Spec.Name,
+			Model:     inf.Spec.ModelName(),
+			Estimator: primaryName,
+			Truth:     tr.GroundTruth[inf.Spec.Name],
+		}
+		timing := Fig7Series{
+			Family:    inf.Spec.Name,
+			Model:     inf.Spec.ModelName(),
+			Estimator: "MT",
+			Truth:     tr.GroundTruth[inf.Spec.Name],
+		}
+		for _, est := range estimates {
+			primary.Estimates = append(primary.Estimates, est.Primary)
+			timing.Estimates = append(timing.Estimates, est.Timing)
+		}
+		series = append(series, primary, timing)
 	}
 	return series, nil
 }

@@ -41,6 +41,23 @@ func SplitFrom(seed, label uint64) *RNG {
 	return NewRNG(seed).Split(label)
 }
 
+// PermInto writes a pseudo-random permutation of [0, n) into buf (grown as
+// needed) and returns it. The draw sequence is exactly Perm's — identity
+// fill, then Shuffle, whose draws depend only on n — so swapping Perm for
+// PermInto leaves the RNG stream and the produced permutation bit-identical
+// while reusing one buffer across calls.
+func (r *RNG) PermInto(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { buf[i], buf[j] = buf[j], buf[i] })
+	return buf
+}
+
 // Exp returns an exponentially distributed duration with the given rate
 // (events per virtual-time unit). A non-positive rate yields an effectively
 // infinite duration.

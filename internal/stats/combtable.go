@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// LogCombTable precomputes the log-factorial ladder the estimators'
+// combinatorial kernels are built from, so their inner loops replace
+// per-call math.Lgamma with one array read. The table also owns a shared
+// StirlingTable, giving callers every log-domain combinatorial quantity —
+// log n!, log C(n, k), log S(n, m) — from one object.
+//
+// Bit-identity contract: entry n stores exactly what the scalar
+// LogFactorial(n) computes (math.Lgamma(n+1)), and LogBinomial composes the
+// same three values with the same subtraction order as the scalar form, so
+// swapping the scalar calls for table lookups cannot move a golden artifact
+// by even an ulp. TestLogCombTableBitIdentical pins this over the full
+// argument range the estimators use.
+//
+// Concurrency: reads are lock-free — the factorial ladder is an immutable
+// snapshot behind an atomic pointer, republished on growth under a mutex
+// (the symtab intern-table idiom). Rows only ever grow and values never
+// change, which is what makes one process-global table (Comb) safe to share
+// across servers, trials and stream shards: a hit computed for one trial is
+// a hit for every later one.
+type LogCombTable struct {
+	mu   sync.Mutex
+	snap atomic.Pointer[[]float64] // snap[n] = log n!
+	st   StirlingTable
+}
+
+// Comb is the process-global table shared by every estimator instance.
+// Sharing is sound because every entry is a pure function of its index.
+var Comb = NewLogCombTable()
+
+// NewLogCombTable returns an empty table; entries are computed on demand.
+func NewLogCombTable() *LogCombTable {
+	return &LogCombTable{}
+}
+
+// Len reports how many factorial entries are currently materialised.
+func (t *LogCombTable) Len() int {
+	if p := t.snap.Load(); p != nil {
+		return len(*p)
+	}
+	return 0
+}
+
+// LogFactorial returns log(n!), bit-identical to the scalar LogFactorial.
+func (t *LogCombTable) LogFactorial(n int) float64 {
+	if n < 0 {
+		return LogZero
+	}
+	if p := t.snap.Load(); p != nil && n < len(*p) {
+		return (*p)[n]
+	}
+	return t.grow(n)
+}
+
+// grow extends the ladder through at least index n and returns entry n.
+// The new snapshot is a fresh slice: readers holding the old pointer keep
+// seeing a consistent (shorter) table.
+func (t *LogCombTable) grow(n int) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var cur []float64
+	if p := t.snap.Load(); p != nil {
+		cur = *p
+	}
+	if n < len(cur) { // another goroutine grew it while we waited
+		return cur[n]
+	}
+	size := 1024
+	for size <= n {
+		size *= 2
+	}
+	next := make([]float64, size)
+	copy(next, cur)
+	for i := len(cur); i < size; i++ {
+		// Each entry is computed independently via Lgamma — NOT by adding
+		// log(i) to the previous entry — so it is the exact float64 the
+		// scalar path produces.
+		lg, _ := math.Lgamma(float64(i) + 1)
+		next[i] = lg
+	}
+	t.snap.Store(&next)
+	return next[n]
+}
+
+// LogBinomial returns log C(n, k), bit-identical to the scalar LogBinomial:
+// the same special-case branches and the same lf(n) − lf(k) − lf(n−k)
+// evaluation order.
+func (t *LogCombTable) LogBinomial(n, k int) float64 {
+	if k < 0 || n < 0 || k > n {
+		return LogZero
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	p := t.snap.Load()
+	if p == nil || n >= len(*p) {
+		t.grow(n)
+		p = t.snap.Load()
+	}
+	lf := *p
+	return lf[n] - lf[k] - lf[n-k]
+}
+
+// LogStirling returns log S(n, m) from the table's shared StirlingTable.
+func (t *LogCombTable) LogStirling(n, m int) float64 {
+	return t.st.Log(n, m)
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestLogCombTableBitIdentical pins the bit-identity contract: every table
+// lookup must return the exact float64 the scalar functions produce, over
+// the full (n, m) range the estimators exercise (segment lengths up to the
+// MB kernel's maxN of 4096, binomial arguments from the gap-probability
+// alternating sums, Stirling rows from the occupancy DP).
+func TestLogCombTableBitIdentical(t *testing.T) {
+	tbl := NewLogCombTable()
+
+	for _, n := range []int{-3, -1, 0, 1, 2, 7, 63, 64, 1023, 1024, 1025, 4096, 5000} {
+		got := tbl.LogFactorial(n)
+		want := LogFactorial(n)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("LogFactorial(%d): table %v != scalar %v", n, got, want)
+		}
+	}
+
+	// Full dense sweep over the range the MB gap kernel uses.
+	const maxN = 600
+	for n := -1; n <= maxN; n++ {
+		for k := -1; k <= n+1; k++ {
+			got := tbl.LogBinomial(n, k)
+			want := LogBinomial(n, k)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("LogBinomial(%d,%d): table %v != scalar %v", n, k, got, want)
+			}
+		}
+	}
+
+	// Spot-check large arguments past several growth boundaries.
+	for _, n := range []int{1024, 2048, 4096, 4500} {
+		for _, k := range []int{0, 1, n / 3, n / 2, n - 1, n} {
+			got := tbl.LogBinomial(n, k)
+			want := LogBinomial(n, k)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("LogBinomial(%d,%d): table %v != scalar %v", n, k, got, want)
+			}
+		}
+	}
+
+	// Stirling rows route through the shared StirlingTable recurrence.
+	var st StirlingTable
+	for n := 0; n <= 64; n++ {
+		for m := 0; m <= n+1; m++ {
+			got := tbl.LogStirling(n, m)
+			want := st.Log(n, m)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("LogStirling(%d,%d): table %v != scalar %v", n, m, got, want)
+			}
+		}
+	}
+}
+
+// TestLogCombTableGlobal exercises the shared process-global table.
+func TestLogCombTableGlobal(t *testing.T) {
+	if got, want := Comb.LogBinomial(100, 40), LogBinomial(100, 40); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("Comb.LogBinomial(100,40) = %v, want %v", got, want)
+	}
+	if Comb.Len() == 0 {
+		t.Fatal("global table did not materialise any entries")
+	}
+}
+
+// TestLogCombTableConcurrentGrowth hammers growth from many goroutines;
+// run under -race this verifies the snapshot publication protocol.
+func TestLogCombTableConcurrentGrowth(t *testing.T) {
+	tbl := NewLogCombTable()
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 1; n < 3000; n += 37 + g {
+				got := tbl.LogFactorial(n)
+				want := LogFactorial(n)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					select {
+					case errs <- "mismatch":
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+func BenchmarkLogCombTable(b *testing.B) {
+	tbl := NewLogCombTable()
+	tbl.LogFactorial(4096) // pre-grow so we measure steady-state lookups
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += tbl.LogBinomial(2000+i%100, 700+i%50)
+	}
+	_ = sink
+}
+
+func BenchmarkLogCombScalar(b *testing.B) {
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += LogBinomial(2000+i%100, 700+i%50)
+	}
+	_ = sink
+}

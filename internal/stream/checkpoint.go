@@ -51,8 +51,13 @@ const (
 // mid-write leaves only a .tmp- file, which recovery ignores and the next
 // successful checkpoint sweeps away.
 const (
-	checkpointMagic   = "BMCP"
-	checkpointVersion = 1
+	checkpointMagic = "BMCP"
+	// checkpointVersion 2 (PR 8): EpochCellState grew the per-family
+	// streaming states (clusters, bernoulli) and MP/NC/MB became streaming
+	// estimators — a v1 file restored into a v2 engine would misroute their
+	// cells through the micro-batch path, so old checkpoints are rejected
+	// and recovery falls back to a fresh replay.
+	checkpointVersion = 2
 	checkpointHeader  = 48
 	checkpointPrefix  = "checkpoint-"
 	checkpointExt     = ".ckpt"

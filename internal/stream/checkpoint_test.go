@@ -599,9 +599,13 @@ func TestCheckpointDecodeRejects(t *testing.T) {
 		t.Fatalf("DecodeCheckpoint rejected a good frame: %v", err)
 	}
 	cases := map[string]func([]byte) []byte{
-		"short":           func(b []byte) []byte { return b[:20] },
-		"bad-magic":       func(b []byte) []byte { b[0] = 'X'; return b },
-		"bad-version":     func(b []byte) []byte { b[7] = 99; return b },
+		"short":       func(b []byte) []byte { return b[:20] },
+		"bad-magic":   func(b []byte) []byte { b[0] = 'X'; return b },
+		"bad-version": func(b []byte) []byte { b[7] = 99; return b },
+		// Version 1 frames predate the per-family intern-aware cell layout
+		// (checkpointVersion 2); they must be rejected — not misparsed —
+		// so recovery falls back to a clean cold start.
+		"old-version-1":   func(b []byte) []byte { b[7] = 1; return b },
 		"length-mismatch": func(b []byte) []byte { return b[:len(b)-1] },
 		"payload-flip":    func(b []byte) []byte { b[len(b)-1] ^= 1; return b },
 		"checksum-flip":   func(b []byte) []byte { b[20] ^= 1; return b },

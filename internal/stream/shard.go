@@ -38,6 +38,12 @@ type shard struct {
 	// epochs below it are closed as soon as it advances.
 	maxEmittedEpoch int
 
+	// lastMatcher memoises the last epoch's matcher: records arrive in
+	// near-epoch-order, so the common case skips EpochMatchers.For's mutex
+	// on every ingest.
+	lastMatcher      *core.EpochMatcher
+	lastMatcherEpoch int
+
 	servers map[string]*serverState
 
 	retained     int // buffered + open-epoch records currently held
@@ -180,7 +186,11 @@ func (s *shard) ingestLocked(rec trace.ObservedRecord) {
 	}
 
 	epoch := int(rec.T / e.cfg.Core.EpochLen)
-	if !e.matchers.For(epoch).MatchRecord(rec) {
+	if s.lastMatcher == nil || epoch != s.lastMatcherEpoch {
+		s.lastMatcher = e.matchers.For(epoch)
+		s.lastMatcherEpoch = epoch
+	}
+	if !s.lastMatcher.MatchRecord(rec) {
 		s.stats.Unmatched++
 		e.m.unmatched.Inc()
 		return
@@ -318,6 +328,14 @@ func (s *shard) closeCellLocked(sv *serverState, epoch int) {
 	sv.perEpoch[epoch] = v
 	if cell.second != nil {
 		sv.perEpochMT[epoch] = cell.second.Estimate()
+	}
+	// Pooled-state streams (MB's pair set) recycle their scratch now that
+	// the cell can never be estimated again.
+	if r, ok := cell.prim.(estimators.Releasable); ok {
+		r.Release()
+	}
+	if r, ok := cell.second.(estimators.Releasable); ok {
+		r.Release()
 	}
 	s.retainInc(-len(cell.recs))
 	delete(sv.open, epoch)

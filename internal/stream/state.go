@@ -165,23 +165,83 @@ type EpochValue struct {
 	Value float64 `json:"value"`
 }
 
-// EpochCellState is one open (server, epoch) cell: either the streaming
-// estimator's incremental state or the retained micro-batch records, plus
-// the second-opinion MT state when enabled.
+// EpochCellState is one open (server, epoch) cell: the streaming
+// estimator's incremental state (exactly one of Timing, Clusters or
+// Bernoulli, matching the estimator family) or the retained micro-batch
+// records, plus the second-opinion MT state when enabled.
 type EpochCellState struct {
-	Epoch   int                     `json:"epoch"`
-	Records []RecordEntry           `json:"records,omitempty"`
-	Timing  *estimators.TimingState `json:"timing,omitempty"`
-	Second  *estimators.TimingState `json:"second,omitempty"`
+	Epoch     int                            `json:"epoch"`
+	Records   []RecordEntry                  `json:"records,omitempty"`
+	Timing    *estimators.TimingState        `json:"timing,omitempty"`
+	Clusters  *estimators.ClusterStreamState `json:"clusters,omitempty"`
+	Bernoulli *estimators.BernoulliState     `json:"bernoulli,omitempty"`
+	Second    *estimators.TimingState        `json:"second,omitempty"`
 }
 
-// streamStateCodec is the serialization hook a StreamCapable estimator's
-// EpochStream must provide to be checkpointable. TimingStream — the only
-// streaming estimator today — implements it; a future streaming estimator
-// with different sufficient statistics would generalise the state type.
-type streamStateCodec interface {
+// timingStateCodec is the serialization hook of the second-opinion MT
+// stream, which is always a TimingStream.
+type timingStateCodec interface {
 	ExportState() estimators.TimingState
 	RestoreState(estimators.TimingState)
+}
+
+// exportEpochStream serialises one primary estimator stream into the cell,
+// dispatching on the stream's state type: MT exports candidate state,
+// MP/NC their activation clusters, MB its distinct (bucket, position) set.
+func exportEpochStream(es estimators.EpochStream, cs *EpochCellState) error {
+	switch st := es.(type) {
+	case timingStateCodec:
+		ts := st.ExportState()
+		cs.Timing = &ts
+	case interface {
+		ExportState() estimators.ClusterStreamState
+	}:
+		v := st.ExportState()
+		cs.Clusters = &v
+	case interface {
+		ExportState() estimators.BernoulliState
+	}:
+		v := st.ExportState()
+		cs.Bernoulli = &v
+	default:
+		return fmt.Errorf("stream: estimator stream %T is not checkpointable", es)
+	}
+	return nil
+}
+
+// restoreEpochStream loads the cell's serialized state into a freshly
+// opened stream, requiring the state field to match the stream's family.
+func restoreEpochStream(es estimators.EpochStream, cs EpochCellState) error {
+	switch st := es.(type) {
+	case timingStateCodec:
+		if cs.Timing == nil {
+			return fmt.Errorf("missing timing state for stream %T", es)
+		}
+		st.RestoreState(*cs.Timing)
+	case interface {
+		RestoreState(estimators.ClusterStreamState)
+	}:
+		if cs.Clusters == nil {
+			return fmt.Errorf("missing cluster state for stream %T", es)
+		}
+		st.RestoreState(*cs.Clusters)
+	case interface {
+		RestoreState(estimators.BernoulliState)
+	}:
+		if cs.Bernoulli == nil {
+			return fmt.Errorf("missing Bernoulli state for stream %T", es)
+		}
+		st.RestoreState(*cs.Bernoulli)
+	default:
+		return fmt.Errorf("estimator stream %T is not checkpointable", es)
+	}
+	return nil
+}
+
+// hasStreamState reports whether the cell carries any primary streaming
+// estimator state.
+func (cs EpochCellState) hasStreamState() bool {
+	return cs.Timing != nil || cs.Clusters != nil || cs.Bernoulli != nil
 }
 
 // ExportState captures the engine's complete serializable state through a
@@ -341,12 +401,9 @@ func (s *shard) exportLocked() (ShardState, error) {
 			cell := sv.open[ep]
 			cs := EpochCellState{Epoch: ep}
 			if cell.prim != nil {
-				codec, ok := cell.prim.(streamStateCodec)
-				if !ok {
-					return ShardState{}, fmt.Errorf("stream: estimator stream %T is not checkpointable", cell.prim)
+				if err := exportEpochStream(cell.prim, &cs); err != nil {
+					return ShardState{}, err
 				}
-				ts := codec.ExportState()
-				cs.Timing = &ts
 			} else {
 				cs.Records = make([]RecordEntry, len(cell.recs))
 				for i, rec := range cell.recs {
@@ -354,7 +411,7 @@ func (s *shard) exportLocked() (ShardState, error) {
 				}
 			}
 			if cell.second != nil {
-				codec, ok := cell.second.(streamStateCodec)
+				codec, ok := cell.second.(timingStateCodec)
 				if !ok {
 					return ShardState{}, fmt.Errorf("stream: second-opinion stream %T is not checkpointable", cell.second)
 				}
@@ -418,18 +475,16 @@ func (s *shard) importState(st ShardState) error {
 		for _, cs := range ss.Open {
 			cell := &epochCell{}
 			if e.streaming != nil {
-				if cs.Timing == nil {
+				if !cs.hasStreamState() {
 					return fmt.Errorf("server %s epoch %d: missing streaming estimator state", ss.Name, cs.Epoch)
 				}
 				prim := e.streaming.OpenEpoch(cs.Epoch, e.estCfg)
-				codec, ok := prim.(streamStateCodec)
-				if !ok {
-					return fmt.Errorf("estimator stream %T is not checkpointable", prim)
+				if err := restoreEpochStream(prim, cs); err != nil {
+					return fmt.Errorf("server %s epoch %d: %w", ss.Name, cs.Epoch, err)
 				}
-				codec.RestoreState(*cs.Timing)
 				cell.prim = prim
 			} else {
-				if cs.Timing != nil {
+				if cs.hasStreamState() {
 					return fmt.Errorf("server %s epoch %d: streaming state for a micro-batch estimator", ss.Name, cs.Epoch)
 				}
 				cell.recs = make(trace.Observed, len(cs.Records))
@@ -443,7 +498,7 @@ func (s *shard) importState(st ShardState) error {
 					return fmt.Errorf("server %s epoch %d: missing second-opinion state", ss.Name, cs.Epoch)
 				}
 				second := e.secondSrc.OpenEpoch(cs.Epoch, e.estCfg)
-				codec, ok := second.(streamStateCodec)
+				codec, ok := second.(timingStateCodec)
 				if !ok {
 					return fmt.Errorf("second-opinion stream %T is not checkpointable", second)
 				}

@@ -244,6 +244,13 @@ func newEngine(cfg Config) (*Engine, error) {
 			Pools:       cfg.Core.Pools,
 		},
 	}
+	// Normalise the estimator config once: every per-(server, epoch) cell —
+	// OpenEpoch, epoch close, provisional snapshot estimates — then takes
+	// EstimateEpoch's fast path instead of re-running defaults + validation.
+	var err error
+	if e.estCfg, err = e.estCfg.Normalized(); err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
 	if sc, ok := est.(estimators.StreamCapable); ok {
 		e.streaming = sc
 	}

@@ -1,6 +1,7 @@
 package stream_test
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -323,56 +324,62 @@ func TestBatchStreamEquivalence(t *testing.T) {
 				}))},
 			}
 			for _, v := range variants {
-				t.Run(v.name, func(t *testing.T) {
-					coreCfg := core.Config{
-						Family:        tc.spec,
-						Seed:          seed,
-						EpochLen:      testEpochLen,
-						SecondOpinion: tc.secondOpinion,
-					}
-					streamCfg := stream.Config{
-						Core:          coreCfg,
-						Shards:        4,
-						ReorderWindow: reorderWindow,
-						Registry:      obs.NewRegistry(),
-					}
-					if tc.estimator != nil {
-						coreCfg.Estimator = tc.estimator()
-						streamCfg.Core.Estimator = tc.estimator()
-					}
-					want := runBatch(t, coreCfg, v.delivered)
-					got, stats := runStream(t, streamCfg, v.delivered)
-					if stats.DroppedLate != 0 || stats.ReorderEvictions != 0 {
-						t.Fatalf("delivery was supposed to be loss-free: %d late drops, %d evictions",
-							stats.DroppedLate, stats.ReorderEvictions)
-					}
-					if stats.Ingested != uint64(len(v.delivered)) {
-						t.Fatalf("ingested %d of %d records", stats.Ingested, len(v.delivered))
-					}
-					if stats.Matched == 0 || stats.Unmatched == 0 {
-						t.Fatalf("degenerate trace: matched=%d unmatched=%d", stats.Matched, stats.Unmatched)
-					}
-					requireEqualLandscapes(t, want, got)
+				// Shard count must be invisible in the estimates: a single
+				// shard exercises the purely sequential incremental kernels,
+				// four shards the same kernels under server-hash fan-out.
+				for _, shards := range []int{1, 4} {
+					shards := shards
+					t.Run(fmt.Sprintf("%s/shards=%d", v.name, shards), func(t *testing.T) {
+						coreCfg := core.Config{
+							Family:        tc.spec,
+							Seed:          seed,
+							EpochLen:      testEpochLen,
+							SecondOpinion: tc.secondOpinion,
+						}
+						streamCfg := stream.Config{
+							Core:          coreCfg,
+							Shards:        shards,
+							ReorderWindow: reorderWindow,
+							Registry:      obs.NewRegistry(),
+						}
+						if tc.estimator != nil {
+							coreCfg.Estimator = tc.estimator()
+							streamCfg.Core.Estimator = tc.estimator()
+						}
+						want := runBatch(t, coreCfg, v.delivered)
+						got, stats := runStream(t, streamCfg, v.delivered)
+						if stats.DroppedLate != 0 || stats.ReorderEvictions != 0 {
+							t.Fatalf("delivery was supposed to be loss-free: %d late drops, %d evictions",
+								stats.DroppedLate, stats.ReorderEvictions)
+						}
+						if stats.Ingested != uint64(len(v.delivered)) {
+							t.Fatalf("ingested %d of %d records", stats.Ingested, len(v.delivered))
+						}
+						if stats.Matched == 0 || stats.Unmatched == 0 {
+							t.Fatalf("degenerate trace: matched=%d unmatched=%d", stats.Matched, stats.Unmatched)
+						}
+						requireEqualLandscapes(t, want, got)
 
-					// Bounded memory: retention peaks far below the trace.
-					matched := int(stats.Matched)
-					if tc.estimator != nil {
-						// Incremental MT retains only the reorder buffer.
-						if stats.PeakRetained*10 > matched {
-							t.Fatalf("MT peak retention %d vs %d matched records — engine is buffering epochs",
+						// Bounded memory: retention peaks far below the trace.
+						matched := int(stats.Matched)
+						if tc.estimator != nil {
+							// Incremental MT retains only the reorder buffer.
+							if stats.PeakRetained*10 > matched {
+								t.Fatalf("MT peak retention %d vs %d matched records — engine is buffering epochs",
+									stats.PeakRetained, matched)
+							}
+						} else if stats.PeakRetained*10 > matched*7 {
+							t.Fatalf("peak retention %d vs %d matched records — epochs are not being freed",
 								stats.PeakRetained, matched)
 						}
-					} else if stats.PeakRetained*10 > matched*7 {
-						t.Fatalf("peak retention %d vs %d matched records — epochs are not being freed",
-							stats.PeakRetained, matched)
-					}
-					if stats.Retained != 0 {
-						t.Fatalf("%d records still retained after Close", stats.Retained)
-					}
-					if stats.EpochsClosed == 0 {
-						t.Fatal("no epochs were closed")
-					}
-				})
+						if stats.Retained != 0 {
+							t.Fatalf("%d records still retained after Close", stats.Retained)
+						}
+						if stats.EpochsClosed == 0 {
+							t.Fatal("no epochs were closed")
+						}
+					})
+				}
 			}
 		})
 	}

@@ -8,6 +8,7 @@
 package trace
 
 import (
+	"slices"
 	"sort"
 
 	"botmeter/internal/sim"
@@ -46,14 +47,46 @@ type Raw []RawRecord
 type Observed []ObservedRecord
 
 // Sort orders the dataset by timestamp (stable, preserving insertion order
-// of simultaneous records).
+// of simultaneous records). A stable sort's output is uniquely determined by
+// the input, so the generic slices.SortStableFunc here produces the exact
+// record order the earlier reflect-based sort.SliceStable did — just without
+// reflect's per-swap overhead, which dominated multi-million-record trace
+// normalisation.
 func (r Raw) Sort() {
-	sort.SliceStable(r, func(i, j int) bool { return r[i].T < r[j].T })
+	slices.SortStableFunc(r, func(a, b RawRecord) int {
+		switch {
+		case a.T < b.T:
+			return -1
+		case a.T > b.T:
+			return 1
+		}
+		return 0
+	})
 }
 
-// Sort orders the dataset by timestamp.
+// Sort orders the dataset by timestamp (stable; see Raw.Sort on why the
+// generic sort is order-identical to the reflect-based one it replaced).
 func (o Observed) Sort() {
-	sort.SliceStable(o, func(i, j int) bool { return o[i].T < o[j].T })
+	slices.SortStableFunc(o, func(a, b ObservedRecord) int {
+		switch {
+		case a.T < b.T:
+			return -1
+		case a.T > b.T:
+			return 1
+		}
+		return 0
+	})
+}
+
+// IsSorted reports whether the dataset is in non-decreasing timestamp order
+// — the precondition for the zero-copy WindowSorted fast path.
+func (o Observed) IsSorted() bool {
+	for i := 1; i < len(o); i++ {
+		if o[i].T < o[i-1].T {
+			return false
+		}
+	}
+	return true
 }
 
 // Window filters records to the half-open interval w.
@@ -86,9 +119,7 @@ func (o Observed) Window(w sim.Window) Observed {
 		}
 	}
 	if sorted {
-		lo := sort.Search(len(o), func(i int) bool { return o[i].T >= w.Start })
-		hi := lo + sort.Search(len(o)-lo, func(i int) bool { return o[lo+i].T >= w.End })
-		return o[lo:hi:hi]
+		return o.WindowSorted(w)
 	}
 	out := make(Observed, 0, len(o))
 	for _, rec := range o {
@@ -99,11 +130,53 @@ func (o Observed) Window(w sim.Window) Observed {
 	return out
 }
 
+// WindowSorted filters a KNOWN time-sorted dataset to the half-open
+// interval w in O(log n): the interval's bounds are found by binary search
+// and the result is a read-only subslice of o. It is Window's fast path
+// without Window's O(n) sortedness re-scan — for callers that window the
+// same dataset many times (the per-day analysis loops window a season-long
+// trace hundreds of times), checking sortedness once via IsSorted and then
+// slicing with WindowSorted turns a quadratic scan bill into one pass.
+// Calling it on unsorted data returns an arbitrary subslice; callers own
+// the precondition.
+func (o Observed) WindowSorted(w sim.Window) Observed {
+	lo := sort.Search(len(o), func(i int) bool { return o[i].T >= w.Start })
+	hi := lo + sort.Search(len(o)-lo, func(i int) bool { return o[lo+i].T >= w.End })
+	return o[lo:hi:hi]
+}
+
 // ByServer groups observed records by forwarding server, preserving order.
+// A dataset from a single server — the common shape in per-server analysis
+// pipelines and single-vantage experiments — is returned as one aliased
+// group with no copying (detected with cheap string compares, no hashing).
+// Otherwise two passes: the first sizes each server's group so the second
+// fills exact-capacity slices — no append regrowth, which dominated the
+// grouping cost on multi-million-record traces.
 func (o Observed) ByServer() map[string]Observed {
-	out := make(map[string]Observed)
+	single := true
+	for i := 1; i < len(o); i++ {
+		if o[i].Server != o[0].Server {
+			single = false
+			break
+		}
+	}
+	if single {
+		if len(o) == 0 {
+			return map[string]Observed{}
+		}
+		return map[string]Observed{o[0].Server: o}
+	}
+	counts := make(map[string]int)
 	for _, rec := range o {
-		out[rec.Server] = append(out[rec.Server], rec)
+		counts[rec.Server]++
+	}
+	out := make(map[string]Observed, len(counts))
+	for _, rec := range o {
+		s, ok := out[rec.Server]
+		if !ok {
+			s = make(Observed, 0, counts[rec.Server])
+		}
+		out[rec.Server] = append(s, rec)
 	}
 	return out
 }
@@ -134,6 +207,100 @@ func (o Observed) Domains() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// DistinctDomainCount counts the distinct domains without materialising the
+// sorted name list Domains builds. When every record carries an interned ID
+// the count deduplicates through a bitset indexed by ID — IDs are dense
+// (interned sequentially from 1), so the bitset spans at most the intern
+// table and each record costs one masked load instead of a map probe —
+// which is valid because ID ↔ domain is a bijection within one intern
+// table; any string-only record routes the whole count through strings.
+func (o Observed) DistinctDomainCount() int {
+	if len(o) == 0 {
+		return 0
+	}
+	maxID := symtab.None
+	for _, rec := range o {
+		if rec.ID == symtab.None {
+			// Distinct domains are typically orders of magnitude fewer than
+			// records (bots re-query the same pool), so the set hint is
+			// capped — a hint of len(o) would allocate and zero a
+			// records-sized bucket array per call.
+			hint := len(o)
+			if hint > 1024 {
+				hint = 1024
+			}
+			set := make(map[string]struct{}, hint)
+			for _, r := range o {
+				set[r.Domain] = struct{}{}
+			}
+			return len(set)
+		}
+		if rec.ID > maxID {
+			maxID = rec.ID
+		}
+	}
+	words := make([]uint64, int(maxID)/64+1)
+	n := 0
+	for _, rec := range o {
+		w, bit := int(rec.ID)>>6, uint64(1)<<(uint(rec.ID)&63)
+		if words[w]&bit == 0 {
+			words[w] |= bit
+			n++
+		}
+	}
+	return n
+}
+
+// Builder accumulates an Observed dataset in fixed-size chunks. Appending
+// to one grown slice re-copies the whole prefix repeatedly (Go's large-slice
+// growth factor makes cumulative allocation ~5× the final size) and
+// presizing to an upper bound allocates and zeroes memory that filtered
+// appends never use; chunks allocate exactly once each and Build flattens
+// them once into an exact-size slice. The zero value is ready to use.
+type Builder struct {
+	done  []Observed // filled chunks, in append order
+	cur   Observed   // chunk being filled
+	total int
+}
+
+// builderChunk is the Builder chunk capacity (~3.5 MiB of records).
+const builderChunk = 1 << 16
+
+// Append adds one record.
+func (b *Builder) Append(rec ObservedRecord) {
+	if len(b.cur) == cap(b.cur) {
+		if cap(b.cur) > 0 {
+			b.done = append(b.done, b.cur)
+		}
+		b.cur = make(Observed, 0, builderChunk)
+	}
+	b.cur = append(b.cur, rec)
+	b.total++
+}
+
+// Len reports the number of records appended so far.
+func (b *Builder) Len() int { return b.total }
+
+// Build flattens the chunks into one contiguous exact-size dataset,
+// preserving append order. The builder remains valid and keeps its records;
+// Build may be called repeatedly (each call allocates a fresh slice).
+func (b *Builder) Build() Observed {
+	if b.total == 0 {
+		return nil
+	}
+	if len(b.done) == 0 {
+		// Single partially-filled chunk: hand it out directly. Appends keep
+		// filling the spare capacity but never move records the caller can
+		// see, and Builder users discard the builder after Build anyway.
+		return b.cur
+	}
+	flat := make(Observed, 0, b.total)
+	for _, c := range b.done {
+		flat = append(flat, c...)
+	}
+	return append(flat, b.cur...)
 }
 
 // DistinctClients counts the unique clients in a raw dataset — the paper's
