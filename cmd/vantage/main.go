@@ -100,6 +100,7 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	obsAddr := fs.String("obs-addr", "", "HTTP diagnostics address serving /metrics, /healthz, /debug/vars and /debug/pprof (empty disables)")
 	liveFamily := fs.String("live-estimate", "", "maintain a live landscape for this DGA family in-process; served as JSON at /landscape on -obs-addr")
 	liveSeed := fs.Uint64("live-seed", 1, "DGA seed reconstructing the -live-estimate family's pools")
+	vantageID := fs.String("vantage-id", "", "with -live-estimate: name this vantage point; exported state carries the identity so a landscape-server can federate it via /state")
 	checkpointDir := fs.String("checkpoint-dir", "", "with -live-estimate: checkpoint the engine state here and recover it (checkpoint restore + replay of the observed dataset) on startup")
 	checkpointInterval := fs.Duration("checkpoint-interval", 30*time.Second, "with -checkpoint-dir: wall-clock checkpoint cadence (0 disables the time trigger)")
 	checkpointEvery := fs.Uint64("checkpoint-every", 0, "with -checkpoint-dir: also checkpoint every N observed records (0 disables the count trigger)")
@@ -173,6 +174,7 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		}
 		streamCfg := stream.Config{
 			Core:     core.Config{Family: spec, Seed: *liveSeed},
+			Vantage:  *vantageID,
 			Registry: reg,
 		}
 		var skip uint64
@@ -328,6 +330,16 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		muxCfg := obs.MuxConfig{Registry: reg, Health: srv.health}
 		if est != nil {
 			muxCfg.Landscape = est.LandscapeJSON
+			// /state serves the exported sufficient statistics as a
+			// checkpoint frame, the pull side of federation: a
+			// landscape-server fetches this from every vantage and merges.
+			muxCfg.State = func() ([]byte, error) {
+				st, err := est.ExportState()
+				if err != nil {
+					return nil, err
+				}
+				return stream.EncodeCheckpoint(st)
+			}
 		}
 		if obsy != nil {
 			muxCfg.Series = obsy.Store()

@@ -36,6 +36,11 @@ type MuxConfig struct {
 	// (per-family totals, deltas, estimator disagreement) as JSON bytes.
 	// Nil yields 404; an error yields 500.
 	History func() ([]byte, error)
+	// State backs /state: the engine's exported sufficient statistics as a
+	// checkpoint frame (stream.EncodeCheckpoint bytes), pulled by a
+	// landscape-server federating this vantage. Nil yields 404; an error
+	// yields 500.
+	State func() ([]byte, error)
 }
 
 // NewMux builds the diagnostic mux: /metrics (Prometheus text), /healthz,
@@ -86,6 +91,19 @@ func NewMux(cfg MuxConfig) *http.ServeMux {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
+		w.Write(body) //nolint:errcheck // client gone
+	})
+	mux.HandleFunc("/state", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.State == nil {
+			http.NotFound(w, r)
+			return
+		}
+		body, err := cfg.State()
+		if err != nil {
+			http.Error(w, fmt.Sprintf("state: %v", err), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Write(body) //nolint:errcheck // client gone
 	})
 	mux.HandleFunc("/debug/series", func(w http.ResponseWriter, r *http.Request) {

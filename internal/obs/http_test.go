@@ -79,7 +79,8 @@ func TestMuxMetricsAndHealth(t *testing.T) {
 	}
 }
 
-// TestMuxNilBackends: the mux must serve sanely with nothing wired in.
+// TestMuxNilBackends: the mux must serve sanely with nothing wired in —
+// always-on endpoints answer 200, optional backends answer 404.
 func TestMuxNilBackends(t *testing.T) {
 	srv := httptest.NewServer(NewMux(MuxConfig{}))
 	defer srv.Close()
@@ -91,6 +92,73 @@ func TestMuxNilBackends(t *testing.T) {
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			t.Errorf("%s = %d with nil backends", path, resp.StatusCode)
+		}
+	}
+	for _, path := range []string{"/landscape", "/landscape/history", "/state", "/debug/series"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s = %d with nil backends, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestMuxBytesBackends: the byte-producing backends (/landscape,
+// /landscape/history, /state) serve their payloads with the right
+// content type and surface backend errors as 500s.
+func TestMuxBytesBackends(t *testing.T) {
+	var mu sync.Mutex
+	fail := false
+	payload := func(body string) func() ([]byte, error) {
+		return func() ([]byte, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			if fail {
+				return nil, errors.New("export broke")
+			}
+			return []byte(body), nil
+		}
+	}
+	srv := httptest.NewServer(NewMux(MuxConfig{
+		Landscape: payload(`{"total":1}`),
+		History:   payload(`{"points":[]}`),
+		State:     payload("BMCP-frame-bytes"),
+	}))
+	defer srv.Close()
+	cases := []struct{ path, body, ctype string }{
+		{"/landscape", `{"total":1}`, "application/json"},
+		{"/landscape/history", `{"points":[]}`, "application/json"},
+		{"/state", "BMCP-frame-bytes", "application/octet-stream"},
+	}
+	for _, tc := range cases {
+		resp, err := http.Get(srv.URL + tc.path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", tc.path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || string(body) != tc.body {
+			t.Fatalf("%s = %d %q", tc.path, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("Content-Type"); got != tc.ctype {
+			t.Errorf("%s content-type = %q, want %q", tc.path, got, tc.ctype)
+		}
+	}
+	mu.Lock()
+	fail = true
+	mu.Unlock()
+	for _, tc := range cases {
+		resp, err := http.Get(srv.URL + tc.path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", tc.path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError || !strings.Contains(string(body), "export broke") {
+			t.Fatalf("%s while failing = %d %q, want 500 with the error", tc.path, resp.StatusCode, body)
 		}
 	}
 }

@@ -1,0 +1,87 @@
+package stream_test
+
+import (
+	"bytes"
+	"testing"
+
+	"botmeter/internal/core"
+	"botmeter/internal/stream"
+)
+
+// FuzzDecodeEngineState hardens the federation's wire boundary: a
+// landscape-server decodes checkpoint frames pulled from remote vantage
+// daemons, so DecodeCheckpoint must never panic on hostile bytes, and
+// any frame it accepts must survive the coordinator's merge→encode path
+// and re-merge to a byte-stable state.
+func FuzzDecodeEngineState(f *testing.F) {
+	// Seed the corpus with real exported states — one per differential
+	// case so every estimator family's cell shape is represented.
+	for _, tc := range diffCases() {
+		trc := synthTrace(f, tc.spec, 0x5EED, 6, 2, tc.activations)
+		cfg := stream.Config{
+			Core:    core.Config{Family: tc.spec, Seed: 0x5EED, EpochLen: testEpochLen, SecondOpinion: tc.secondOpinion},
+			Shards:  2,
+			Vantage: "fuzz-seed",
+		}
+		if tc.estimator != nil {
+			cfg.Core.Estimator = tc.estimator()
+		}
+		eng, err := stream.New(cfg)
+		if err != nil {
+			f.Fatalf("stream.New(%s): %v", tc.name, err)
+		}
+		for _, rec := range trc {
+			if err := eng.Observe(rec); err != nil {
+				f.Fatalf("Observe(%s): %v", tc.name, err)
+			}
+		}
+		st, err := eng.ExportState()
+		if err != nil {
+			f.Fatalf("ExportState(%s): %v", tc.name, err)
+		}
+		eng.Kill()
+		frame, err := stream.EncodeCheckpoint(st)
+		if err != nil {
+			f.Fatalf("EncodeCheckpoint(%s): %v", tc.name, err)
+		}
+		f.Add(frame)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("BMCP"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := stream.DecodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		// An accepted frame feeds the coordinator's merge path. Mutated
+		// frames that clear the checksum (corpus mutations of real seeds
+		// re-frame the payload) may still be semantically invalid — merge
+		// is allowed to reject them, never to panic.
+		merged, err := stream.MergeStates(st)
+		if err != nil {
+			return
+		}
+		frame, err := stream.EncodeCheckpoint(merged)
+		if err != nil {
+			t.Fatalf("merged state failed to encode: %v", err)
+		}
+		// Merge output is canonical: decode→merge must be a fixed point.
+		again, err := stream.DecodeCheckpoint(frame)
+		if err != nil {
+			t.Fatalf("re-decode of encoded merge output: %v", err)
+		}
+		stable, err := stream.MergeStates(again)
+		if err != nil {
+			t.Fatalf("re-merge of canonical state: %v", err)
+		}
+		frame2, err := stream.EncodeCheckpoint(stable)
+		if err != nil {
+			t.Fatalf("re-encode of canonical state: %v", err)
+		}
+		if !bytes.Equal(frame, frame2) {
+			t.Fatal("decode→merge→encode is not byte-stable on its own output")
+		}
+	})
+}

@@ -108,6 +108,14 @@ type SourcePos struct {
 type EngineState struct {
 	Fingerprint Fingerprint `json:"fingerprint"`
 	Source      SourcePos   `json:"source"`
+	// Vantages names the observation points whose records this state
+	// covers: the engine's own Config.Vantage for a live export, the sorted
+	// union of the inputs' after MergeStates. Vantage identity is NOT part
+	// of the fingerprint — states from different vantages under one
+	// analysis config are exactly what a coordinator merges — but
+	// MergeStates refuses to fold two states claiming the same vantage:
+	// a re-merge of the same snapshot would double MP/NC/MT atoms.
+	Vantages []string `json:"vantages,omitempty"`
 	// Symtab is the pool cache's intern table (Config.Core.Pools), exported
 	// so a restored process reproduces the exact domain-ID assignment.
 	Symtab []string     `json:"symtab,omitempty"`
@@ -281,6 +289,9 @@ func (e *Engine) ExportState() (*EngineState, error) {
 			st.Symtab = tab.Export()
 		}
 	}
+	if v := e.cfg.Vantage; v != "" {
+		st.Vantages = []string{v}
+	}
 	return st, nil
 }
 
@@ -328,7 +339,7 @@ func Restore(cfg Config, st *EngineState) (*Engine, error) {
 		return nil, err
 	}
 	if fp := e.fingerprint(); fp != st.Fingerprint {
-		return nil, fmt.Errorf("stream: checkpoint fingerprint mismatch (checkpoint %+v, engine %+v)", st.Fingerprint, fp)
+		return nil, &FingerprintMismatchError{Checkpoint: st.Fingerprint, Engine: fp}
 	}
 	if len(st.Shards) != len(e.shards) {
 		return nil, fmt.Errorf("stream: checkpoint has %d shard states for %d shards", len(st.Shards), len(e.shards))

@@ -98,6 +98,14 @@ type Config struct {
 	// aligned for the batch↔stream contract). Zero derives the window from
 	// the observed data, epoch-aligned, exactly like cmd/botmeter.
 	Window sim.Window
+	// Vantage, when non-empty, names this engine's observation point in a
+	// multi-vantage federation (DESIGN.md §18). It is stamped into exported
+	// EngineState.Vantages so MergeStates can refuse to fold two snapshots
+	// claiming the same vantage, and a coordinator can track per-vantage
+	// freshness. It is deliberately NOT part of the config fingerprint:
+	// states from different vantages under one analysis config must remain
+	// mergeable, and a vantage rename must not invalidate its checkpoints.
+	Vantage string
 	// Registry exports stream_* metrics when non-nil.
 	Registry *obs.Registry
 	// Clock overrides the wall-clock source behind the watermark-lag and
