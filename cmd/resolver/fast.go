@@ -1,0 +1,230 @@
+// The wire fast path (DESIGN.md §19): one worker goroutine per
+// SO_REUSEPORT socket, each owning a private dnswire.Arena, symtab intern
+// table, cache shard and encode buffer, so the steady-state cache-hit path
+// — decode, canonicalise, intern, cache lookup, encode, send — performs
+// zero heap allocations and takes no locks. Only the miss path (an
+// upstream network exchange) touches the shared forwarder machinery.
+package main
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"strings"
+	"sync"
+	"time"
+
+	"botmeter/internal/dnssim"
+	"botmeter/internal/dnswire"
+	"botmeter/internal/obs"
+	"botmeter/internal/symtab"
+)
+
+// wireServe runs one fast-path worker per socket and blocks until all of
+// them return. A closed socket (shutdown) is a clean exit; the first real
+// error wins.
+func (f *forwarder) wireServe(conns []net.PacketConn) error {
+	errs := make([]error, len(conns))
+	var wg sync.WaitGroup
+	for i, c := range conns {
+		w := newFastWorker(f, c)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.serve()
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// fastWorker is the single-goroutine state of one socket's pipeline. Every
+// field is owned by the worker; the only shared state it touches is the
+// forwarder's miss-path counters (mutex) and the nil-safe obs instruments
+// (atomics).
+type fastWorker struct {
+	f     *forwarder
+	conn  net.PacketConn
+	uconn *net.UDPConn // non-nil: the alloc-free netip.AddrPort read/write path
+
+	arena dnswire.Arena
+	msg   dnswire.Message
+	tab   *symtab.Table // arena name → stable ID for the cache shard
+	cache *dnssim.Cache // private shard: no mutex on the hit path
+	rbuf  []byte
+	enc   []byte
+	resp  dnswire.Message
+	ans   [1]dnswire.ResourceRecord
+	sink4 [4]byte
+
+	queries int // merged into the forwarder's counters at exit
+}
+
+func newFastWorker(f *forwarder, conn net.PacketConn) *fastWorker {
+	cache := dnssim.NewCache(f.cfg.posTTL, f.cfg.negTTL)
+	cache.StaleTTL = f.cfg.serveStale
+	if f.cfg.reg != nil {
+		// Same series as the slow path's cache: the obs counters are
+		// atomics shared by name, so shards aggregate into one level.
+		cache.Instrument(f.cfg.reg, "level", "resolver")
+	}
+	w := &fastWorker{
+		f:     f,
+		conn:  conn,
+		tab:   symtab.New(),
+		cache: cache,
+		rbuf:  make([]byte, 65535),
+		enc:   make([]byte, 0, 512),
+	}
+	w.uconn, _ = conn.(*net.UDPConn)
+	// Canonicalise during decode: label bytes are lowercased as they are
+	// copied into the arena, so cache keys need no per-query ToLower pass.
+	w.arena.LowerASCII = true
+	copy(w.sink4[:], net.ParseIP("192.0.2.1").To4())
+	return w
+}
+
+func (w *fastWorker) serve() error {
+	defer func() {
+		w.f.mu.Lock()
+		w.f.queries += w.queries
+		w.f.mu.Unlock()
+	}()
+	for {
+		var (
+			n    int
+			ap   netip.AddrPort
+			addr net.Addr
+			err  error
+		)
+		if w.uconn != nil {
+			n, ap, err = w.uconn.ReadFromUDPAddrPort(w.rbuf)
+		} else {
+			n, addr, err = w.conn.ReadFrom(w.rbuf)
+		}
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		resp := w.handle(w.rbuf[:n])
+		if resp == nil {
+			continue
+		}
+		if w.uconn != nil {
+			_, err = w.uconn.WriteToUDPAddrPort(resp, ap)
+		} else {
+			_, err = w.conn.WriteTo(resp, addr)
+		}
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// handle serves one datagram. Cache hits never leave the worker; misses
+// reuse the forwarder's retry/validation/serve-stale machinery (the
+// exchange is network-bound, so its allocations and locks are noise there).
+func (w *fastWorker) handle(pkt []byte) []byte {
+	if err := dnswire.DecodeInto(pkt, &w.msg, &w.arena); err != nil ||
+		w.msg.Header.QR || len(w.msg.Questions) == 0 {
+		return nil
+	}
+	w.queries++
+	w.f.m.queries.Inc()
+	var t0 time.Time
+	if w.f.m.querySecs != nil {
+		t0 = time.Now()
+	}
+	// The arena decoded the name already lowercased; Lookup works with the
+	// arena-backed string directly, and only a first sight pays for the
+	// stable copy the intern table keeps.
+	name := w.msg.Questions[0].Name
+	id, ok := w.tab.Lookup(name)
+	if !ok {
+		id = w.tab.Intern(strings.Clone(name))
+	}
+	now := w.f.now()
+	if ans, hit := w.cache.LookupID(now, id); hit {
+		w.f.observeQuery(t0)
+		return w.appendAnswer(ans.NX, 60)
+	}
+
+	upstreamResp, parsed, err := w.f.forward(pkt, &w.msg, (*obs.Span)(nil))
+	if err != nil {
+		// Same degradation ladder as the slow path: stale beats SERVFAIL
+		// while the upstream is dark (RFC 8767).
+		stale, ok := w.cache.LookupStaleID(now, id)
+		w.f.mu.Lock()
+		if ok {
+			w.f.staleServed++
+		} else {
+			w.f.servfails++
+		}
+		w.f.failStreak++
+		streak := w.f.failStreak
+		w.f.mu.Unlock()
+		w.f.m.failStreak.Set(float64(streak))
+		if ok {
+			w.f.m.staleServed.Inc()
+			w.f.observeQuery(t0)
+			return w.appendAnswer(stale.NX, staleAnswerTTL)
+		}
+		w.f.m.servfails.Inc()
+		w.f.observeQuery(t0)
+		return w.appendServfail()
+	}
+	w.cache.StoreID(now, id, parsed.Header.Rcode == dnswire.RcodeNXDomain)
+	w.f.mu.Lock()
+	w.f.forwarded++
+	w.f.failStreak = 0
+	w.f.mu.Unlock()
+	w.f.m.forwarded.Inc()
+	w.f.m.failStreak.Set(0)
+	w.f.observeQuery(t0)
+	return upstreamResp
+}
+
+// appendAnswer builds the cached/stale response into the worker's reused
+// encode buffer — the alloc-free twin of encodeAnswer.
+func (w *fastWorker) appendAnswer(nx bool, ttl uint32) []byte {
+	w.resp.Header = dnswire.Header{
+		ID: w.msg.Header.ID, QR: true, RD: w.msg.Header.RD, RA: true, AA: true,
+	}
+	w.resp.Questions = w.msg.Questions
+	w.resp.Answers = nil
+	if nx {
+		w.resp.Header.Rcode = dnswire.RcodeNXDomain
+	} else {
+		w.ans[0] = dnswire.ResourceRecord{
+			Name: w.msg.Questions[0].Name, Type: dnswire.TypeA, Class: dnswire.ClassIN,
+			TTL: ttl, Data: w.sink4[:],
+		}
+		w.resp.Answers = w.ans[:]
+	}
+	var err error
+	w.enc, err = w.resp.AppendEncode(w.enc[:0])
+	if err != nil {
+		return nil
+	}
+	return w.enc
+}
+
+// appendServfail builds the retry-exhausted response in place.
+func (w *fastWorker) appendServfail() []byte {
+	w.resp.Header = dnswire.Header{
+		ID: w.msg.Header.ID, QR: true, RD: w.msg.Header.RD, Rcode: dnswire.RcodeServFail,
+	}
+	w.resp.Questions = w.msg.Questions
+	w.resp.Answers = nil
+	var err error
+	w.enc, err = w.resp.AppendEncode(w.enc[:0])
+	if err != nil {
+		return nil
+	}
+	return w.enc
+}

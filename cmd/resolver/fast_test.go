@@ -1,0 +1,208 @@
+package main
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"botmeter/internal/dnswire"
+	"botmeter/internal/netx"
+)
+
+// startWireFast brings up a fast-path forwarder on n loopback sockets and
+// returns a client dialled at the shared address.
+func startWireFast(t *testing.T, f *forwarder, n int) (net.Conn, chan error) {
+	t.Helper()
+	conns, _, err := netx.ListenUDP(context.Background(), "127.0.0.1:0", n)
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.wireServe(conns) }()
+	t.Cleanup(func() {
+		for _, c := range conns {
+			c.Close()
+		}
+		if err := <-done; err != nil {
+			t.Errorf("wireServe: %v", err)
+		}
+	})
+	client, err := net.Dial("udp", conns[0].LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client, done
+}
+
+// exchange sends one query over the client and decodes the response.
+func exchange(t *testing.T, client net.Conn, id uint16, domain string) *dnswire.Message {
+	t.Helper()
+	wire, err := dnswire.NewQuery(id, domain).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	client.SetReadDeadline(time.Now().Add(3 * time.Second))
+	buf := make([]byte, 4096)
+	n, err := client.Read(buf)
+	if err != nil {
+		t.Fatalf("no response for %s: %v", domain, err)
+	}
+	m, err := dnswire.Decode(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestWireFastResolvesAndCaches(t *testing.T) {
+	up := startFakeUpstream(t, "fast.example.com")
+	f := newTestForwarder(t, up.conn.LocalAddr().String())
+	client, _ := startWireFast(t, f, 1)
+
+	first := exchange(t, client, 11, "fast.example.com")
+	if first.Header.ID != 11 || len(first.Answers) != 1 {
+		t.Fatalf("first answer = %+v", first)
+	}
+	select {
+	case got := <-up.received:
+		if got != "fast.example.com" {
+			t.Fatalf("upstream saw %q", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("upstream never queried")
+	}
+	// Second query must be served from the worker's cache shard: the
+	// upstream sees nothing further.
+	second := exchange(t, client, 12, "fast.example.com")
+	if second.Header.ID != 12 || len(second.Answers) != 1 || second.Header.Rcode != dnswire.RcodeNoError {
+		t.Fatalf("cached answer = %+v", second)
+	}
+	select {
+	case got := <-up.received:
+		t.Fatalf("cache hit leaked upstream query for %q", got)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestWireFastCanonicalisesCase pins the ASCII-lowercase decode: a
+// mixed-case retransmission of a cached name must hit the shard cache.
+func TestWireFastCanonicalisesCase(t *testing.T) {
+	up := startFakeUpstream(t, "case.example.com")
+	f := newTestForwarder(t, up.conn.LocalAddr().String())
+	client, _ := startWireFast(t, f, 1)
+
+	if m := exchange(t, client, 21, "case.example.com"); len(m.Answers) != 1 {
+		t.Fatalf("first answer = %+v", m)
+	}
+	<-up.received
+	if m := exchange(t, client, 22, "CaSe.ExAmPlE.CoM"); len(m.Answers) != 1 {
+		t.Fatalf("mixed-case answer = %+v", m)
+	}
+	select {
+	case got := <-up.received:
+		t.Fatalf("mixed-case query missed the cache (upstream saw %q)", got)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestWireFastNegativeAndGarbage(t *testing.T) {
+	up := startFakeUpstream(t) // nothing registered: every answer is NXDOMAIN
+	f := newTestForwarder(t, up.conn.LocalAddr().String())
+	client, _ := startWireFast(t, f, 1)
+
+	if m := exchange(t, client, 31, "unregistered.example"); m.Header.Rcode != dnswire.RcodeNXDomain {
+		t.Fatalf("rcode = %d, want NXDOMAIN", m.Header.Rcode)
+	}
+	<-up.received
+	// Cached negative: no second upstream query.
+	if m := exchange(t, client, 32, "unregistered.example"); m.Header.Rcode != dnswire.RcodeNXDomain {
+		t.Fatalf("cached rcode = %d, want NXDOMAIN", m.Header.Rcode)
+	}
+	select {
+	case got := <-up.received:
+		t.Fatalf("negative cache miss (upstream saw %q)", got)
+	case <-time.After(100 * time.Millisecond):
+	}
+	// Garbage and responses are dropped without an answer.
+	if _, err := client.Write([]byte{0x01, 0x02, 0x03}); err != nil {
+		t.Fatal(err)
+	}
+	client.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	buf := make([]byte, 512)
+	if n, err := client.Read(buf); err == nil {
+		t.Fatalf("garbage got a %d-byte response", n)
+	}
+}
+
+func TestWireFastServfailOnDeadUpstream(t *testing.T) {
+	// An address nothing listens on: every attempt times out.
+	dead, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	addr := dead.LocalAddr().String()
+	dead.Close()
+	f := newForwarder(forwarderConfig{
+		upstream: addr,
+		timeout:  100 * time.Millisecond,
+		deadline: 300 * time.Millisecond,
+		retries:  0,
+		seed:     1,
+	})
+	client, _ := startWireFast(t, f, 1)
+	if m := exchange(t, client, 41, "gone.example"); m.Header.Rcode != dnswire.RcodeServFail {
+		t.Fatalf("rcode = %d, want SERVFAIL", m.Header.Rcode)
+	}
+}
+
+// TestWireFastMultiSocket drives the sharded shape end to end: many client
+// sockets against 4 SO_REUSEPORT listeners, every query answered. Worker
+// query counts merge into the forwarder at shutdown, so the test owns the
+// socket lifecycle and asserts stats after wireServe returns.
+func TestWireFastMultiSocket(t *testing.T) {
+	up := startFakeUpstream(t, "multi.example.com")
+	f := newTestForwarder(t, up.conn.LocalAddr().String())
+	conns, reuse, err := netx.ListenUDP(context.Background(), "127.0.0.1:0", 4)
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.wireServe(conns) }()
+	addr := conns[0].LocalAddr().String()
+
+	const clients = 16
+	for i := 0; i < clients; i++ {
+		c, err := net.Dial("udp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := exchange(t, c, uint16(100+i), "multi.example.com")
+		if len(m.Answers) != 1 {
+			t.Fatalf("client %d answer = %+v", i, m)
+		}
+		c.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("wireServe: %v", err)
+	}
+	q, forwarded := f.stats()
+	if q < clients {
+		t.Fatalf("stats queries = %d, want ≥ %d", q, clients)
+	}
+	// Each shard forwards its first sight of the domain at most once.
+	maxMisses := len(conns)
+	if !reuse {
+		maxMisses = 1
+	}
+	if forwarded < 1 || forwarded > maxMisses {
+		t.Fatalf("forwarded = %d, want 1..%d (one miss per shard at most)", forwarded, maxMisses)
+	}
+}

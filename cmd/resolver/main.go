@@ -21,11 +21,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"sync"
 	"syscall"
@@ -34,6 +36,7 @@ import (
 	"botmeter/internal/dnssim"
 	"botmeter/internal/dnswire"
 	"botmeter/internal/faults"
+	"botmeter/internal/netx"
 	"botmeter/internal/obs"
 	"botmeter/internal/sim"
 )
@@ -70,6 +73,8 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	serveStale := fs.Duration("serve-stale", time.Hour, "how long past expiry cached answers may be served when the upstream is unreachable (0 disables)")
 	chaosSpec := fs.String("chaos", "", "inject faults on the client socket, e.g. loss=0.2,dup=0.01,delay=5ms,blackout=10s+2s")
 	chaosSeed := fs.Uint64("chaos-seed", 1, "seed for deterministic fault injection")
+	wireFast := fs.Bool("wire-fast", true, "zero-copy sharded wire path (arena decode, per-socket cache shards); false selects the single-socket slow path")
+	listeners := fs.Int("listeners", 0, "with the wire fast path: SO_REUSEPORT listener sockets (0 = GOMAXPROCS, capped at 8)")
 	obsAddr := fs.String("obs-addr", "", "HTTP diagnostics address serving /metrics, /healthz, /debug/vars, /debug/spans and /debug/pprof (empty disables)")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	logFormat := fs.String("log-format", "logfmt", "log encoding: logfmt or json")
@@ -102,23 +107,55 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		}
 	}
 
-	conn, err := net.ListenPacket("udp", *listen)
-	if err != nil {
-		return err
+	// The wire fast path is the default; chaos injection demotes to the
+	// single-socket slow path, whose PacketConn wrapper and deterministic
+	// single-stream RNG the fault model is defined against.
+	useFast := *wireFast
+	if rates.Enabled() && useFast {
+		useFast = false
+		logger.Info("chaos enabled: using the single-socket slow path")
 	}
-	defer conn.Close()
+	var conns []net.PacketConn
 	var inj *faults.Injector
-	if rates.Enabled() {
-		inj = faults.New(*chaosSeed, rates)
-		inj.Instrument(reg)
-		conn = faults.WrapPacketConn(conn, inj)
-		logger.Warn("chaos enabled on client socket", "rates", rates.String(), "seed", *chaosSeed)
+	if useFast {
+		var reuse bool
+		conns, reuse, err = netx.ListenUDP(ctx, *listen, resolveListeners(*listeners))
+		if err != nil {
+			return err
+		}
+		if tracer != nil {
+			logger.Info("wire fast path skips per-query spans (use -wire-fast=false to trace)")
+		}
+		logger.Info("serving (wire fast path)",
+			"listen", conns[0].LocalAddr().String(),
+			"listeners", len(conns),
+			"reuseport", reuse,
+			"upstream", *upstream,
+			"retries", *retries,
+			"serve_stale", serveStale.String())
+	} else {
+		conn, err := net.ListenPacket("udp", *listen)
+		if err != nil {
+			return err
+		}
+		if rates.Enabled() {
+			inj = faults.New(*chaosSeed, rates)
+			inj.Instrument(reg)
+			conn = faults.WrapPacketConn(conn, inj)
+			logger.Warn("chaos enabled on client socket", "rates", rates.String(), "seed", *chaosSeed)
+		}
+		conns = []net.PacketConn{conn}
+		logger.Info("serving",
+			"listen", conn.LocalAddr().String(),
+			"upstream", *upstream,
+			"retries", *retries,
+			"serve_stale", serveStale.String())
 	}
-	logger.Info("serving",
-		"listen", conn.LocalAddr().String(),
-		"upstream", *upstream,
-		"retries", *retries,
-		"serve_stale", serveStale.String())
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
 
 	fwd := newForwarder(forwarderConfig{
 		upstream:   *upstream,
@@ -146,7 +183,11 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		logger.Info("diagnostics listening", "obs_addr", diag.Addr())
 	}
 	done := make(chan error, 1)
-	go func() { done <- fwd.serve(conn) }()
+	if useFast {
+		go func() { done <- fwd.wireServe(conns) }()
+	} else {
+		go func() { done <- fwd.serve(conns[0]) }()
+	}
 	defer func() {
 		c := fwd.counters()
 		logger.Info("final counters",
@@ -158,7 +199,9 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	}()
 	select {
 	case <-ctx.Done():
-		conn.Close()
+		for _, c := range conns {
+			c.Close()
+		}
 		<-done
 		return nil
 	case err := <-done:
@@ -167,6 +210,20 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		}
 		return nil
 	}
+}
+
+// resolveListeners maps the -listeners flag onto a socket count: 0 asks for
+// one socket per scheduler thread, capped at 8 (beyond that the loopback
+// benchmark shows the kernel flow hash, not socket count, is the limit).
+func resolveListeners(n int) int {
+	if n > 0 {
+		return n
+	}
+	n = runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	return n
 }
 
 // forwarderConfig bundles the forwarder's resilience policy.
@@ -330,7 +387,7 @@ func (f *forwarder) serve(conn net.PacketConn) error {
 	for {
 		n, addr, err := conn.ReadFrom(buf)
 		if err != nil {
-			if strings.Contains(err.Error(), "use of closed") {
+			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return err
@@ -354,7 +411,7 @@ func (f *forwarder) handle(pkt []byte) []byte {
 	if err != nil || msg.Header.QR || len(msg.Questions) == 0 {
 		return nil
 	}
-	domain := strings.ToLower(msg.Questions[0].Name)
+	domain := dnswire.CanonicalLower(msg.Questions[0].Name)
 	now := f.now()
 	var t0 time.Time
 	if f.m.querySecs != nil {
@@ -492,6 +549,12 @@ func (f *forwarder) forward(pkt []byte, q *dnswire.Message, span *obs.Span) ([]b
 	return nil, nil, lastErr
 }
 
+// upstreamBufPool recycles the datagram-sized read buffer of one upstream
+// attempt; at high miss rates the per-attempt 64 KiB make was measurable.
+var upstreamBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 65535); return &b },
+}
+
 // attempt performs one upstream exchange, reading until a validated
 // response arrives or the attempt deadline passes.
 func (f *forwarder) attempt(pkt []byte, q *dnswire.Message, overall time.Time) ([]byte, *dnswire.Message, error) {
@@ -513,7 +576,9 @@ func (f *forwarder) attempt(pkt []byte, q *dnswire.Message, overall time.Time) (
 	if _, err := c.Write(pkt); err != nil {
 		return nil, nil, err
 	}
-	buf := make([]byte, 65535)
+	bufp := upstreamBufPool.Get().(*[]byte)
+	defer upstreamBufPool.Put(bufp)
+	buf := *bufp
 	for {
 		n, err := c.Read(buf)
 		if err != nil {

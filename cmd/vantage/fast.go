@@ -1,0 +1,273 @@
+// The wire fast path (DESIGN.md §19): one worker goroutine per
+// SO_REUSEPORT socket. Each worker owns a dnswire.Arena, an intern table
+// stabilising domain strings for the live engine, a private SafeWriter
+// batch buffer over the shared O_APPEND dataset file, a source-address
+// string cache and reused encode buffers — so the steady-state
+// observe-and-answer path performs no heap allocations and the only
+// cross-worker synchronisation is each writer's own flush mutex plus the
+// engine's sharded channels. Modes that need an ordered single consumer
+// (-checkpoint-dir, -crash) or the single wrapped chaos socket demote the
+// daemon to the classic serve loop.
+package main
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"botmeter/internal/dnswire"
+	"botmeter/internal/sim"
+	"botmeter/internal/symtab"
+	"botmeter/internal/trace"
+)
+
+// zoneAnswer is a pre-resolved positive answer: record type plus wire-format
+// address bytes, computed once at startup so the hot path does no To4/To16.
+type zoneAnswer struct {
+	typ  uint16
+	data []byte
+}
+
+// buildZoneAnswers precomputes the answer bytes for every registered domain.
+func buildZoneAnswers(zone map[string]net.IP) map[string]zoneAnswer {
+	za := make(map[string]zoneAnswer, len(zone))
+	for d, ip := range zone {
+		if v4 := ip.To4(); v4 != nil {
+			za[d] = zoneAnswer{typ: dnswire.TypeA, data: v4}
+		} else {
+			za[d] = zoneAnswer{typ: dnswire.TypeAAAA, data: ip.To16()}
+		}
+	}
+	return za
+}
+
+// wireServe runs one fast-path worker per socket and blocks until all
+// return, then closes the per-worker writers (flushing their tails) and
+// folds the workers' durable-record counts into the sink. A closed socket
+// is a clean shutdown; the first real error wins.
+func (s *sink) wireServe(conns []net.PacketConn) error {
+	workers := make([]*vantageWorker, len(conns))
+	for i, c := range conns {
+		workers[i] = newVantageWorker(s, c)
+	}
+	// Register the batch writers before serving so /healthz covers every
+	// worker's sticky error from the first datagram on.
+	s.mu.Lock()
+	for _, w := range workers {
+		s.writers = append(s.writers, w.out)
+	}
+	s.mu.Unlock()
+
+	errs := make([]error, len(workers)+1)
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w *vantageWorker) {
+			defer wg.Done()
+			errs[i] = w.serve()
+		}(i, w)
+	}
+	wg.Wait()
+	var closeErrs []error
+	for _, w := range workers {
+		if err := w.out.Close(); err != nil {
+			closeErrs = append(closeErrs, err)
+		}
+		s.consumed += w.consumed
+	}
+	errs[len(workers)] = errors.Join(closeErrs...)
+	return errors.Join(errs...)
+}
+
+// vantageWorker is the single-goroutine state of one socket's pipeline.
+type vantageWorker struct {
+	s     *sink
+	conn  net.PacketConn
+	uconn *net.UDPConn // non-nil: the alloc-free netip.AddrPort read/write path
+
+	arena   dnswire.Arena
+	msg     dnswire.Message
+	tab     *symtab.Table         // stabilises arena names handed to the engine
+	out     *trace.SafeWriter     // private batch buffer over the shared O_APPEND file
+	servers map[netip.Addr]string // source address → forwarding-server identity
+	rbuf    []byte
+	enc     []byte
+	resp    dnswire.Message
+	ans     [1]dnswire.ResourceRecord
+
+	consumed uint64 // durable records; merged into the sink at shutdown
+}
+
+// maxServerCache bounds the per-worker source-address string cache; a border
+// vantage sees a small stable set of forwarders, so eviction is a non-event.
+const maxServerCache = 4096
+
+func newVantageWorker(s *sink, conn net.PacketConn) *vantageWorker {
+	w := &vantageWorker{
+		s:       s,
+		conn:    conn,
+		tab:     symtab.New(),
+		out:     trace.NewSafeWriter(s.file, s.swCfg),
+		servers: make(map[netip.Addr]string),
+		rbuf:    make([]byte, 65535),
+		enc:     make([]byte, 0, 512),
+	}
+	w.uconn, _ = conn.(*net.UDPConn)
+	// Canonicalise during decode: label bytes are lowercased as they are
+	// copied into the arena, matching the slow path's ToLower.
+	w.arena.LowerASCII = true
+	return w
+}
+
+func (w *vantageWorker) serve() error {
+	for {
+		var (
+			n      int
+			ap     netip.AddrPort
+			addr   net.Addr
+			server string
+			err    error
+		)
+		if w.uconn != nil {
+			n, ap, err = w.uconn.ReadFromUDPAddrPort(w.rbuf)
+		} else {
+			n, addr, err = w.conn.ReadFrom(w.rbuf)
+		}
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if w.uconn != nil {
+			server = w.serverFor(ap)
+		} else {
+			server = hostOf(addr.String())
+		}
+		resp := w.handle(w.rbuf[:n], server)
+		if resp == nil {
+			continue
+		}
+		if w.uconn != nil {
+			_, err = w.uconn.WriteToUDPAddrPort(resp, ap)
+		} else {
+			_, err = w.conn.WriteTo(resp, addr)
+		}
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// serverFor resolves the forwarding server's stable identity (the host, as
+// in the slow path's SplitHostPort) with a per-worker cache, so steady state
+// pays one map probe instead of an Addr.String allocation per datagram.
+func (w *vantageWorker) serverFor(ap netip.AddrPort) string {
+	a := ap.Addr()
+	if s, ok := w.servers[a]; ok {
+		return s
+	}
+	if len(w.servers) >= maxServerCache {
+		clear(w.servers)
+	}
+	s := a.Unmap().String()
+	w.servers[a] = s
+	return s
+}
+
+// hostOf strips the port from a "host:port" address string (generic-conn
+// fallback; the UDPConn path uses serverFor).
+func hostOf(addr string) string {
+	if host, _, err := net.SplitHostPort(addr); err == nil {
+		return host
+	}
+	return addr
+}
+
+// handle serves one datagram: decode into the arena, record the observation
+// (batched write + live engine), answer from the precomputed zone.
+func (w *vantageWorker) handle(pkt []byte, server string) []byte {
+	if err := dnswire.DecodeInto(pkt, &w.msg, &w.arena); err != nil ||
+		w.msg.Header.QR || len(w.msg.Questions) == 0 {
+		return nil
+	}
+	s := w.s
+	s.m.queries.Inc()
+	name := w.msg.Questions[0].Name // arena-backed, already lowercase
+	t := sim.Time(time.Now().UnixMilli())
+	domain := name
+	if s.est != nil {
+		// Records handed to the engine outlive this packet (sharded channel
+		// queues), so the arena-backed name must be stabilised: one clone on
+		// first sight, the interned string forever after.
+		id, ok := w.tab.Lookup(name)
+		if !ok {
+			id = w.tab.Intern(strings.Clone(name))
+		}
+		domain = w.tab.Resolve(id)
+	}
+	// AppendObserved copies into the writer's buffer before returning, so an
+	// arena-backed domain is safe here even without the engine's intern.
+	if err := w.out.AppendObserved(t, server, domain); err != nil {
+		s.recordWriteError(err)
+	} else {
+		s.m.observed.Inc()
+		w.consumed++
+	}
+	if s.est != nil {
+		// Backpressure from the engine's shard channels bounds queuing; the
+		// only possible error is "engine closed" during shutdown.
+		s.est.Observe(trace.ObservedRecord{T: t, Server: server, Domain: domain}) //nolint:errcheck
+	}
+	za, ok := s.zone4[name]
+	if !ok {
+		return w.appendResponse(0, nil)
+	}
+	return w.appendResponse(za.typ, za.data)
+}
+
+// appendResponse builds the answer into the worker's reused encode buffer —
+// the alloc-free twin of dnswire.NewResponse + Encode (nil data = NXDOMAIN).
+func (w *vantageWorker) appendResponse(typ uint16, data []byte) []byte {
+	w.resp.Header = dnswire.Header{
+		ID: w.msg.Header.ID, QR: true, RD: w.msg.Header.RD, RA: true, AA: true,
+	}
+	w.resp.Questions = w.msg.Questions
+	w.resp.Answers = nil
+	if data == nil {
+		w.resp.Header.Rcode = dnswire.RcodeNXDomain
+	} else {
+		w.ans[0] = dnswire.ResourceRecord{
+			Name: w.msg.Questions[0].Name, Type: typ, Class: dnswire.ClassIN,
+			TTL: w.s.ttl, Data: data,
+		}
+		w.resp.Answers = w.ans[:]
+	}
+	var err error
+	w.enc, err = w.resp.AppendEncode(w.enc[:0])
+	if err != nil {
+		return nil
+	}
+	return w.enc
+}
+
+// resolveListeners maps the -listeners flag to a socket count: explicit
+// values win, 0 means one socket per CPU capped at 8 (beyond that the
+// symtab/writer duplication costs more than the parallelism returns).
+func resolveListeners(n int) int {
+	if n > 0 {
+		return n
+	}
+	n = runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	return n
+}

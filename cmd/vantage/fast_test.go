@@ -1,0 +1,240 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"botmeter/internal/core"
+	"botmeter/internal/dga"
+	"botmeter/internal/dnswire"
+	"botmeter/internal/netx"
+	"botmeter/internal/stream"
+	"botmeter/internal/trace"
+)
+
+// newFastSink builds a sink wired for the fast path: a real temp dataset
+// file (per-worker writers share the fd) and a precomputed zone.
+func newFastSink(t *testing.T, zoneLines string) (*sink, string) {
+	t.Helper()
+	dir := t.TempDir()
+	zonePath := filepath.Join(dir, "zone.txt")
+	if err := os.WriteFile(zonePath, []byte(zoneLines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	zone, err := loadZone(zonePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsPath := filepath.Join(dir, "obs.jsonl")
+	f, err := os.OpenFile(obsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	swCfg := trace.SafeWriterConfig{FlushInterval: -1, FlushEvery: 1}
+	s := &sink{
+		zone:  zone,
+		zone4: buildZoneAnswers(zone),
+		ttl:   60,
+		file:  f,
+		swCfg: swCfg,
+		out:   trace.NewSafeWriter(f, swCfg),
+	}
+	t.Cleanup(func() { s.out.Close() })
+	return s, obsPath
+}
+
+// startWireSink serves the fast path on n sockets and returns the address.
+func startWireSink(t *testing.T, s *sink, n int) string {
+	t.Helper()
+	conns, _, err := netx.ListenUDP(context.Background(), "127.0.0.1:0", n)
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.wireServe(conns) }()
+	t.Cleanup(func() {
+		for _, c := range conns {
+			c.Close()
+		}
+		if err := <-done; err != nil {
+			t.Errorf("wireServe: %v", err)
+		}
+	})
+	return conns[0].LocalAddr().String()
+}
+
+func wireExchange(t *testing.T, addr string, id uint16, domain string) *dnswire.Message {
+	t.Helper()
+	client, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	wire, err := dnswire.NewQuery(id, domain).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	client.SetReadDeadline(time.Now().Add(3 * time.Second))
+	buf := make([]byte, 4096)
+	n, err := client.Read(buf)
+	if err != nil {
+		t.Fatalf("no response for %s: %v", domain, err)
+	}
+	m, err := dnswire.Decode(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestWireSinkAnswersAndRecords(t *testing.T) {
+	s, obsPath := newFastSink(t, "live.example.com 192.0.2.5\n")
+	addr := startWireSink(t, s, 1)
+
+	// Registered domain: one A answer with the zone's address.
+	m := wireExchange(t, addr, 7, "live.example.com")
+	if m.Header.ID != 7 || len(m.Answers) != 1 || m.Header.Rcode != dnswire.RcodeNoError {
+		t.Fatalf("registered response = %+v", m)
+	}
+	if got := net.IP(m.Answers[0].Data).String(); got != "192.0.2.5" {
+		t.Fatalf("answer IP = %s, want 192.0.2.5", got)
+	}
+	// Unknown (sinkholed DGA) domain: NXDOMAIN, still recorded. Mixed case
+	// must be canonicalised by the arena's lowering.
+	if m := wireExchange(t, addr, 8, "X9K2Q.NewGOZ.biz"); m.Header.Rcode != dnswire.RcodeNXDomain {
+		t.Fatalf("unknown rcode = %d, want NXDOMAIN", m.Header.Rcode)
+	}
+
+	data, err := os.ReadFile(obsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.ReadObservedJSONL(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("observed %d records, want 2: %s", len(recs), data)
+	}
+	if recs[0].Domain != "live.example.com" || recs[1].Domain != "x9k2q.newgoz.biz" {
+		t.Fatalf("observed domains = %q, %q", recs[0].Domain, recs[1].Domain)
+	}
+	for i, r := range recs {
+		if r.Server != "127.0.0.1" {
+			t.Fatalf("record %d server = %q, want 127.0.0.1", i, r.Server)
+		}
+		if r.T <= 0 {
+			t.Fatalf("record %d has no timestamp", i)
+		}
+	}
+}
+
+// TestWireSinkFeedsEngine pins the lifetime contract: domains handed to the
+// live engine must survive arena reuse, so later packets cannot corrupt
+// earlier observations queued in the engine's shards.
+func TestWireSinkFeedsEngine(t *testing.T) {
+	spec, err := dga.Lookup("newgoz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := stream.New(stream.Config{Core: core.Config{Family: spec, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := newFastSink(t, "")
+	s.est = est
+	addr := startWireSink(t, s, 1)
+
+	const queries = 64
+	for i := 0; i < queries; i++ {
+		d := "d" + string(rune('a'+i%26)) + ".example"
+		if m := wireExchange(t, addr, uint16(i+1), d); m.Header.Rcode != dnswire.RcodeNXDomain {
+			t.Fatalf("query %d rcode = %d", i, m.Header.Rcode)
+		}
+	}
+	if err := est.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	if stats := est.Stats(); stats.Ingested != queries {
+		t.Fatalf("engine ingested %d, want %d", stats.Ingested, queries)
+	}
+	if _, err := est.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWireSinkShardedWriters: concurrent workers over one O_APPEND file must
+// interleave whole lines only, and every record must survive.
+func TestWireSinkShardedWriters(t *testing.T) {
+	s, obsPath := newFastSink(t, "")
+	addr := startWireSink(t, s, 4)
+
+	const clients, perClient = 8, 16
+	for c := 0; c < clients; c++ {
+		conn, err := net.Dial("udp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < perClient; q++ {
+			m := wireExchange(t, addr, uint16(c*perClient+q+1), "sharded.example")
+			if m.Header.Rcode != dnswire.RcodeNXDomain {
+				t.Fatalf("client %d query %d rcode = %d", c, q, m.Header.Rcode)
+			}
+		}
+		conn.Close()
+	}
+	data, err := os.ReadFile(obsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.ReadObservedJSONL(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("dataset unparseable (torn interleave?): %v", err)
+	}
+	if len(recs) != clients*perClient {
+		t.Fatalf("observed %d records, want %d", len(recs), clients*perClient)
+	}
+	if err := s.health(); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+}
+
+func TestWireSinkIgnoresGarbage(t *testing.T) {
+	s, _ := newFastSink(t, "")
+	addr := startWireSink(t, s, 1)
+	client, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Write([]byte{0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	client.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	buf := make([]byte, 512)
+	if n, err := client.Read(buf); err == nil {
+		t.Fatalf("garbage got a %d-byte response", n)
+	}
+	// The plane is still up afterwards.
+	if m := wireExchange(t, addr, 5, "after.example"); m.Header.Rcode != dnswire.RcodeNXDomain {
+		t.Fatalf("post-garbage rcode = %d", m.Header.Rcode)
+	}
+}
+
+func TestResolveListeners(t *testing.T) {
+	if got := resolveListeners(3); got != 3 {
+		t.Fatalf("explicit: %d, want 3", got)
+	}
+	if got := resolveListeners(0); got < 1 || got > 8 {
+		t.Fatalf("default: %d, want 1..8", got)
+	}
+}

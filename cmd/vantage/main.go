@@ -24,6 +24,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -38,6 +39,7 @@ import (
 	"botmeter/internal/dga"
 	"botmeter/internal/dnswire"
 	"botmeter/internal/faults"
+	"botmeter/internal/netx"
 	"botmeter/internal/obs"
 	"botmeter/internal/obs/series"
 	"botmeter/internal/sim"
@@ -111,6 +113,8 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	historyInterval := fs.Duration("history-interval", 10*time.Second, "with -live-estimate: landscape history sampling cadence")
 	historyPoints := fs.Int("history-points", 512, "with -live-estimate: points kept per series and in /landscape/history")
 	historyStep := fs.Duration("history-step", time.Second, "with -live-estimate: time-series downsampling step for /debug/series")
+	wireFast := fs.Bool("wire-fast", true, "serve with the zero-copy arena decoder and per-socket pipelines (demoted to the classic loop when -chaos, -checkpoint-dir or -crash is set)")
+	listeners := fs.Int("listeners", 0, "fast-path SO_REUSEPORT listener sockets (0 = one per CPU, capped at 8; ignored on the classic loop)")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	logFormat := fs.String("log-format", "logfmt", "log encoding: logfmt or json")
 	if err := fs.Parse(args); err != nil {
@@ -232,25 +236,75 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	}
 	defer out.Close()
 
-	conn, err := net.ListenPacket("udp", *listen)
-	if err != nil {
-		return err
+	// The fast path's per-socket workers append and count durable records
+	// concurrently, which is incompatible with the modes that need one
+	// ordered consumer: the checkpoint cut (-checkpoint-dir) and crash
+	// injection (-crash) key exactly-once semantics to a single serve
+	// goroutine's record sequence, and chaos wraps one PacketConn around a
+	// deterministic RNG. Those modes demote to the classic loop.
+	useFast := *wireFast
+	demote := ""
+	switch {
+	case rates.Enabled():
+		demote = "-chaos"
+	case *checkpointDir != "":
+		demote = "-checkpoint-dir"
+	case crasher != nil:
+		demote = "-crash"
 	}
-	defer conn.Close()
-	var inj *faults.Injector
-	if rates.Enabled() {
-		inj = faults.New(*chaosSeed, rates)
-		inj.Instrument(reg)
-		conn = faults.WrapPacketConn(conn, inj)
-		logger.Warn("chaos enabled", "rates", rates.String(), "seed", *chaosSeed)
+	if useFast && demote != "" {
+		useFast = false
+		logger.Info("wire fast path demoted to classic loop", "reason", demote)
 	}
-	logger.Info("serving",
-		"listen", conn.LocalAddr().String(),
-		"zone_domains", len(zone),
-		"observed", *observedPath)
 
+	var conns []net.PacketConn
+	var reuseport bool
+	var inj *faults.Injector
+	if useFast {
+		conns, reuseport, err = netx.ListenUDP(ctx, *listen, resolveListeners(*listeners))
+		if err != nil {
+			return err
+		}
+	} else {
+		conn, err := net.ListenPacket("udp", *listen)
+		if err != nil {
+			return err
+		}
+		if rates.Enabled() {
+			inj = faults.New(*chaosSeed, rates)
+			inj.Instrument(reg)
+			conn = faults.WrapPacketConn(conn, inj)
+			logger.Warn("chaos enabled", "rates", rates.String(), "seed", *chaosSeed)
+		}
+		conns = []net.PacketConn{conn}
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	if useFast {
+		logger.Info("serving (wire fast path)",
+			"listen", conns[0].LocalAddr().String(),
+			"listeners", len(conns),
+			"reuseport", reuseport,
+			"zone_domains", len(zone),
+			"observed", *observedPath)
+	} else {
+		logger.Info("serving",
+			"listen", conns[0].LocalAddr().String(),
+			"zone_domains", len(zone),
+			"observed", *observedPath)
+	}
+
+	swCfg := trace.SafeWriterConfig{
+		FlushInterval: *flushInterval,
+		FlushEvery:    *flushEvery,
+		FsyncInterval: *fsyncInterval,
+	}
 	srv := &sink{
 		zone:     zone,
+		zone4:    buildZoneAnswers(zone),
 		ttl:      uint32(*ttl),
 		started:  time.Now(),
 		inj:      inj,
@@ -258,11 +312,9 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		crash:    crasher,
 		consumed: consumed,
 		log:      logger,
-		out: trace.NewSafeWriter(out, trace.SafeWriterConfig{
-			FlushInterval: *flushInterval,
-			FlushEvery:    *flushEvery,
-			FsyncInterval: *fsyncInterval,
-		}),
+		file:     out,
+		swCfg:    swCfg,
+		out:      trace.NewSafeWriter(out, swCfg),
 	}
 	if reg != nil {
 		srv.m = newSinkMetrics(reg)
@@ -374,10 +426,16 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		logger.Info("diagnostics listening", "obs_addr", diag.Addr())
 	}
 	done := make(chan error, 1)
-	go func() { done <- srv.serve(conn) }()
+	if useFast {
+		go func() { done <- srv.wireServe(conns) }()
+	} else {
+		go func() { done <- srv.serve(conns[0]) }()
+	}
 	select {
 	case <-ctx.Done():
-		conn.Close()
+		for _, c := range conns {
+			c.Close()
+		}
 		<-done
 	case err := <-done:
 		if err != nil && ctx.Err() == nil {
@@ -414,9 +472,12 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 // sink answers queries and records observations.
 type sink struct {
 	zone    map[string]net.IP
+	zone4   map[string]zoneAnswer // precomputed wire answers (fast path)
 	ttl     uint32
 	started time.Time
 	out     *trace.SafeWriter
+	file    *os.File               // the O_APPEND dataset file behind out
+	swCfg   trace.SafeWriterConfig // config for per-worker fast-path writers
 	inj     *faults.Injector
 	est     *stream.Engine
 	ck      *stream.Checkpointer
@@ -426,22 +487,48 @@ type sink struct {
 
 	// consumed counts well-formed records durably appended to the observed
 	// dataset (seeded with the records found at startup). It is the source
-	// position checkpoints cut at — only touched by the serve goroutine.
+	// position checkpoints cut at — only touched by the serve goroutine (the
+	// fast path folds its per-worker counts in after the workers exit).
 	consumed uint64
 
 	mu        sync.Mutex
+	writers   []*trace.SafeWriter // fast-path per-worker writers, for health
 	writeErrs int
 	ckErrs    int
 }
 
-// health implements the /healthz probe: unhealthy while the observed-
+// health implements the /healthz probe: unhealthy while any observed-
 // dataset writer holds a sticky error — the DNS plane still answers, but
 // the vantage point is no longer recording, which is this daemon's job.
 func (s *sink) health() error {
 	if err := s.out.Err(); err != nil {
 		return fmt.Errorf("observed dataset writer: %w", err)
 	}
+	s.mu.Lock()
+	writers := s.writers
+	s.mu.Unlock()
+	for i, w := range writers {
+		if err := w.Err(); err != nil {
+			return fmt.Errorf("observed dataset writer %d: %w", i, err)
+		}
+	}
 	return nil
+}
+
+// recordWriteError accounts one failed observation append: a failing disk
+// must not take the DNS plane down, but it must be loud — log the first few
+// occurrences, keep counting, and flip the sticky-error gauge so /metrics
+// and /healthz surface the outage instead of it only appearing at exit.
+func (s *sink) recordWriteError(err error) {
+	s.mu.Lock()
+	s.writeErrs++
+	n := s.writeErrs
+	s.mu.Unlock()
+	s.m.writeErrors.Inc()
+	s.m.stickyError.Set(1)
+	if n <= 3 {
+		s.log.Error("observation write error", "count", n, "err", err)
+	}
 }
 
 func (s *sink) serve(conn net.PacketConn) error {
@@ -449,7 +536,7 @@ func (s *sink) serve(conn net.PacketConn) error {
 	for {
 		n, addr, err := conn.ReadFrom(buf)
 		if err != nil {
-			if strings.Contains(err.Error(), "use of closed") {
+			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return err
@@ -470,7 +557,7 @@ func (s *sink) handle(pkt []byte, from net.Addr) []byte {
 	if err != nil || msg.Header.QR || len(msg.Questions) == 0 {
 		return nil
 	}
-	domain := strings.ToLower(msg.Questions[0].Name)
+	domain := dnswire.CanonicalLower(msg.Questions[0].Name)
 	s.m.queries.Inc()
 
 	// Application-level chaos: a SERVFAIL burst means the query was
@@ -501,19 +588,7 @@ func (s *sink) handle(pkt []byte, from net.Addr) []byte {
 	}
 	durable := false
 	if err := s.out.Append(rec); err != nil {
-		// A failing disk must not take the DNS plane down, but it must be
-		// loud: log the first few occurrences, keep counting, and flip the
-		// sticky-error gauge so /metrics and /healthz surface the outage
-		// instead of it only appearing at process exit.
-		s.mu.Lock()
-		s.writeErrs++
-		n := s.writeErrs
-		s.mu.Unlock()
-		s.m.writeErrors.Inc()
-		s.m.stickyError.Set(1)
-		if n <= 3 {
-			s.log.Error("observation write error", "count", n, "err", err)
-		}
+		s.recordWriteError(err)
 	} else {
 		s.m.observed.Inc()
 		s.consumed++

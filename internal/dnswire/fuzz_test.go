@@ -54,6 +54,81 @@ func FuzzNameRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzDecodeIntoMatchesDecode is the differential fuzzer for the zero-copy
+// fast path: the arena decoder must agree with the allocating decoder on
+// every input — same accept/reject decision and, on accept, the same header,
+// questions and answers field for field. It also re-decodes into the SAME
+// arena a second time to prove reuse does not leak state between packets.
+func FuzzDecodeIntoMatchesDecode(f *testing.F) {
+	q, _ := NewQuery(0x1234, "seed.example.com").Encode()
+	f.Add(q)
+	resp, _ := NewResponse(NewQuery(2, "pool-domain.biz"), net.ParseIP("192.0.2.1"), 300).Encode()
+	f.Add(resp)
+	resp6, _ := NewResponse(NewQuery(3, "v6.example"), net.ParseIP("2001:db8::1"), 60).Encode()
+	f.Add(resp6)
+	nx, _ := NewResponse(NewQuery(4, "nxd.example"), nil, 0).Encode()
+	f.Add(nx)
+	f.Add([]byte{})
+	f.Add([]byte{0xC0, 0x0C})
+	// Compressed response: answer name points back at the question name.
+	f.Add([]byte{
+		0x00, 0x05, 0x80, 0x00, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00,
+		0x01, 'a', 0x02, 'b', 'c', 0x00, 0x00, 0x01, 0x00, 0x01,
+		0xC0, 0x0C, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x3C, 0x00, 0x04, 192, 0, 2, 1,
+	})
+	// Presentation-ambiguous label ('.' inside a label): both must reject.
+	f.Add([]byte{
+		0x00, 0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+		0x02, 'a', '.', 0x00, 0x00, 0x01, 0x00, 0x01,
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		want, wantErr := Decode(data)
+		var arena Arena
+		var msg Message
+		gotErr := DecodeInto(data, &msg, &arena)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("accept/reject disagreement: Decode err=%v, DecodeInto err=%v", wantErr, gotErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		assertSameMessage(t, "first decode", want, &msg)
+		// Arena reuse: decoding the same packet again into the same arena
+		// must reproduce the message (stale state from the previous decode
+		// must not bleed through).
+		if err := DecodeInto(data, &msg, &arena); err != nil {
+			t.Fatalf("second DecodeInto rejected an accepted packet: %v", err)
+		}
+		assertSameMessage(t, "arena reuse", want, &msg)
+	})
+}
+
+// assertSameMessage fails the test when two decoded messages differ in any
+// field the codec preserves.
+func assertSameMessage(t *testing.T, stage string, want, got *Message) {
+	t.Helper()
+	if want.Header != got.Header {
+		t.Fatalf("%s: header\nDecode     %+v\nDecodeInto %+v", stage, want.Header, got.Header)
+	}
+	if len(want.Questions) != len(got.Questions) {
+		t.Fatalf("%s: question count %d vs %d", stage, len(want.Questions), len(got.Questions))
+	}
+	for i := range want.Questions {
+		if want.Questions[i] != got.Questions[i] {
+			t.Fatalf("%s: question %d\nDecode     %+v\nDecodeInto %+v", stage, i, want.Questions[i], got.Questions[i])
+		}
+	}
+	if len(want.Answers) != len(got.Answers) {
+		t.Fatalf("%s: answer count %d vs %d", stage, len(want.Answers), len(got.Answers))
+	}
+	for i := range want.Answers {
+		a, b := want.Answers[i], got.Answers[i]
+		if a.Name != b.Name || a.Type != b.Type || a.Class != b.Class || a.TTL != b.TTL || !bytes.Equal(a.Data, b.Data) {
+			t.Fatalf("%s: answer %d\nDecode     %+v\nDecodeInto %+v", stage, i, a, b)
+		}
+	}
+}
+
 // FuzzDecodeMessage is the full message round-trip fuzzer: any datagram
 // that Decode accepts must re-encode and decode again into the SAME
 // message — header flags, questions and answers all preserved. (Sections

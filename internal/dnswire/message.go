@@ -77,10 +77,20 @@ type Message struct {
 // maxNameLen bounds a presentation-format domain name.
 const maxNameLen = 255
 
-// Encode serialises the message. Name compression is not emitted (it is
-// optional for senders); names must be valid presentation-format FQDNs.
+// Encode serialises the message into a fresh buffer. Name compression is
+// not emitted (it is optional for senders); names must be valid
+// presentation-format FQDNs.
 func (m *Message) Encode() ([]byte, error) {
-	buf := make([]byte, 0, 64)
+	return m.AppendEncode(make([]byte, 0, 64))
+}
+
+// AppendEncode serialises the message, appending the wire image to buf and
+// returning the extended slice — the zero-allocation twin of Encode for
+// callers that own a reusable buffer (socket workers, the loadgen's packet
+// factory) or rent one from GetBuf. On error the returned slice's contents
+// past the original length are unspecified; callers reusing a buffer
+// re-slice it to [:0] anyway.
+func (m *Message) AppendEncode(buf []byte) ([]byte, error) {
 	flags := uint16(0)
 	if m.Header.QR {
 		flags |= 1 << 15
@@ -132,6 +142,8 @@ func (m *Message) Encode() ([]byte, error) {
 }
 
 // appendName writes a presentation-format name as length-prefixed labels.
+// Labels are sliced out in place (no strings.Split) so encoding a valid
+// name allocates nothing beyond buffer growth.
 func appendName(buf []byte, name string) ([]byte, error) {
 	name = strings.TrimSuffix(name, ".")
 	if len(name) > maxNameLen {
@@ -140,7 +152,12 @@ func appendName(buf []byte, name string) ([]byte, error) {
 	if name == "" {
 		return append(buf, 0), nil
 	}
-	for _, label := range strings.Split(name, ".") {
+	start := 0
+	for i := 0; i <= len(name); i++ {
+		if i < len(name) && name[i] != '.' {
+			continue
+		}
+		label := name[start:i]
 		if label == "" {
 			return nil, fmt.Errorf("dnswire: empty label in %q", name)
 		}
@@ -149,8 +166,43 @@ func appendName(buf []byte, name string) ([]byte, error) {
 		}
 		buf = append(buf, byte(len(label)))
 		buf = append(buf, label...)
+		start = i + 1
 	}
 	return append(buf, 0), nil
+}
+
+// CanonicalLower lowercases a domain name for cache/zone keying. The common
+// case — a name that is already all-lowercase ASCII, which is every name a
+// well-behaved client or the DGA families emit — returns the input string
+// unchanged with no allocation. Mixed-case ASCII lowercases just the ASCII
+// letters (DNS case-insensitivity is ASCII-only, RFC 4343); any non-ASCII
+// byte falls back to strings.ToLower for exact compatibility with the
+// previous behaviour of the daemons' slow paths.
+func CanonicalLower(s string) string {
+	i := 0
+	for ; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x80 {
+			return strings.ToLower(s)
+		}
+		if c >= 'A' && c <= 'Z' {
+			break
+		}
+	}
+	if i == len(s) {
+		return s // already canonical: the hot-path exit, zero allocations
+	}
+	b := []byte(s)
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c >= 0x80 {
+			return strings.ToLower(s)
+		}
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + ('a' - 'A')
+		}
+	}
+	return string(b)
 }
 
 // Decode parses a wire-format message, following compression pointers.

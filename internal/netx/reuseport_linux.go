@@ -1,0 +1,18 @@
+//go:build linux
+
+package netx
+
+import "syscall"
+
+// soReusePort is SO_REUSEPORT on Linux (asm-generic/socket.h). The stdlib
+// syscall package does not export the constant (it postdates the package
+// freeze), so it is spelled here rather than pulling in golang.org/x/sys.
+const soReusePort = 0xf
+
+// reusePortSupported reports whether this platform can shard one UDP port
+// across sockets (Linux ≥ 3.9; the setsockopt itself is the runtime check).
+const reusePortSupported = true
+
+func setReusePort(fd uintptr) error {
+	return syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+}

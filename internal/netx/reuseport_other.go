@@ -1,0 +1,11 @@
+//go:build !linux
+
+package netx
+
+// Non-Linux platforms take the graceful single-socket fallback: the wire
+// fast path still runs, with one shard. (Darwin and the BSDs do have
+// SO_REUSEPORT, but with different load-balancing semantics; the production
+// target is Linux, so everything else gets the conservative shape.)
+const reusePortSupported = false
+
+func setReusePort(fd uintptr) error { return nil }

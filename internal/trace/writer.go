@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"sync"
 	"time"
+
+	"botmeter/internal/sim"
 )
 
 // SafeWriterConfig tunes the crash-safety/throughput trade-off of a
@@ -131,6 +134,54 @@ func (s *SafeWriter) Append(rec ObservedRecord) error {
 		s.flushLocked()
 	}
 	return s.err
+}
+
+// AppendObserved is the alloc-free twin of Append for the ingest hot path:
+// it formats the record straight into the writer's buffer, byte-identical to
+// json.Marshal of the equivalent ObservedRecord. Strings that would need any
+// JSON escaping (quotes, backslashes, control bytes, non-ASCII, or <>& which
+// encoding/json HTML-escapes) take the Append fallback, so output bytes never
+// depend on which entry point appended them.
+func (s *SafeWriter) AppendObserved(t sim.Time, server, domain string) error {
+	if !plainJSONString(server) || !plainJSONString(domain) {
+		return s.Append(ObservedRecord{T: t, Server: server, Domain: domain})
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	// Field order must mirror the ObservedRecord struct: t, server, domain.
+	need := len(server) + len(domain) + 64
+	if len(s.buf)+need > cap(s.buf) && len(s.buf) > 0 {
+		s.flushLocked()
+	}
+	s.buf = append(s.buf, `{"t":`...)
+	s.buf = strconv.AppendInt(s.buf, int64(t), 10)
+	s.buf = append(s.buf, `,"server":"`...)
+	s.buf = append(s.buf, server...)
+	s.buf = append(s.buf, `","domain":"`...)
+	s.buf = append(s.buf, domain...)
+	s.buf = append(s.buf, '"', '}', '\n')
+	s.pending++
+	s.records++
+	if s.cfg.FlushEvery > 0 && s.pending >= s.cfg.FlushEvery {
+		s.flushLocked()
+	}
+	return s.err
+}
+
+// plainJSONString reports whether s encodes to JSON as itself: printable
+// ASCII with no escapes. encoding/json additionally escapes <, > and & (HTML
+// safety), so those force the fallback too.
+func plainJSONString(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x80 || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			return false
+		}
+	}
+	return true
 }
 
 // Flush pushes buffered complete lines to the underlying writer.

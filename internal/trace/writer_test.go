@@ -484,3 +484,89 @@ func TestTruncateTornTailTwice(t *testing.T) {
 		t.Errorf("after double repair = %q", got)
 	}
 }
+
+// TestAppendObservedByteIdentical drives both entry points over a corpus
+// spanning the fast path and every escape class that forces the Marshal
+// fallback, asserting the output bytes cannot reveal which one ran.
+func TestAppendObservedByteIdentical(t *testing.T) {
+	cases := []ObservedRecord{
+		{T: 0, Server: "local0", Domain: "abc.example"},
+		{T: 123456789012, Server: "10.0.0.7", Domain: "x7f3k9.newgoz.biz"},
+		{T: -5, Server: "s", Domain: ""},
+		{T: 42, Server: "with\"quote", Domain: "plain.example"},
+		{T: 42, Server: "back\\slash", Domain: "plain.example"},
+		{T: 42, Server: "local0", Domain: "tab\there"},
+		{T: 42, Server: "local0", Domain: "a<b"},
+		{T: 42, Server: "a>b", Domain: "plain"},
+		{T: 42, Server: "a&b", Domain: "plain"},
+		{T: 42, Server: "local0", Domain: "ünïcode.example"},
+		{T: 42, Server: "local0", Domain: "high\x80byte"},
+		{T: 42, Server: "local0", Domain: "nul\x00byte"},
+	}
+	var viaAppend, viaFast bytes.Buffer
+	a := manual(&viaAppend)
+	f := manual(&viaFast)
+	for _, c := range cases {
+		if err := a.Append(c); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.AppendObserved(c.T, c.Server, c.Domain); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaAppend.Bytes(), viaFast.Bytes()) {
+		t.Fatalf("encodings diverge:\nAppend:         %q\nAppendObserved: %q",
+			viaAppend.String(), viaFast.String())
+	}
+}
+
+func TestAppendObservedZeroAllocs(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Grow(1 << 20)
+	sw := manual(&buf)
+	defer sw.Close()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := sw.AppendObserved(1754500000000, "192.168.7.31", "k3j9x0ab2.newgoz.biz"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// bytes.Buffer growth inside Flush is amortised noise; the append path
+	// itself must not allocate.
+	if allocs > 0.05 {
+		t.Fatalf("AppendObserved allocates %.2f/op, want 0", allocs)
+	}
+}
+
+func TestAppendObservedCountsAndFlushes(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewSafeWriter(&buf, SafeWriterConfig{FlushInterval: -1, FlushEvery: 2})
+	defer sw.Close()
+	sw.AppendObserved(1, "s", "a.example")
+	if buf.Len() != 0 {
+		t.Fatalf("flushed before the threshold: %q", buf.String())
+	}
+	sw.AppendObserved(2, "s", "b.example")
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Fatalf("after threshold: %d lines flushed, want 2", got)
+	}
+	if records, flushes, _ := sw.Stats(); records != 2 || flushes != 1 {
+		t.Fatalf("stats = %d records, %d flushes; want 2, 1", records, flushes)
+	}
+}
+
+func TestAppendObservedSticky(t *testing.T) {
+	sw := NewSafeWriter(&failingWriter{failAfter: 0}, SafeWriterConfig{FlushInterval: -1, FlushEvery: 1})
+	defer sw.Close()
+	if err := sw.AppendObserved(1, "s", "a.example"); err == nil {
+		t.Fatal("first append: flush against a failing writer must error")
+	}
+	if err := sw.AppendObserved(2, "s", "b.example"); err == nil {
+		t.Fatal("sticky error must surface on subsequent appends")
+	}
+}

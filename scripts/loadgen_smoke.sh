@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Wire fast-path smoke (DESIGN.md §19): stand up the production pipeline —
+# vantage with live estimation behind resolver, both on their zero-copy
+# SO_REUSEPORT serve loops — and drive it with cmd/loadgen at a modest
+# fixed open-loop rate for 5 seconds. The run must finish with zero drops
+# and zero decode errors, and both daemons' /healthz must answer 200 the
+# whole time (polled concurrently with the load).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+WORK="$(mktemp -d)"
+BIN="$WORK/bin"
+VPID=""
+RPID=""
+WATCH=""
+cleanup() {
+  [ -n "$WATCH" ] && kill "$WATCH" 2>/dev/null || true
+  [ -n "$RPID" ] && kill -9 "$RPID" 2>/dev/null || true
+  [ -n "$VPID" ] && kill -9 "$VPID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+cd "$ROOT"
+
+VANTAGE_DNS=127.0.0.1:15490
+VANTAGE_OBS=127.0.0.1:15491
+RESOLVER_DNS=127.0.0.1:15492
+RESOLVER_OBS=127.0.0.1:15493
+RATE=1000
+DURATION=5s
+
+mkdir -p "$BIN"
+go build -o "$BIN" ./cmd/vantage ./cmd/resolver ./cmd/loadgen
+
+"$BIN/vantage" \
+  -listen "$VANTAGE_DNS" \
+  -observed "$WORK/observed.jsonl" \
+  -flush-interval 200ms -flush-every 64 \
+  -live-estimate newgoz -live-seed 7 \
+  -obs-addr "$VANTAGE_OBS" \
+  >>"$WORK/vantage.log" 2>&1 &
+VPID=$!
+disown
+
+"$BIN/resolver" \
+  -listen "$RESOLVER_DNS" \
+  -upstream "$VANTAGE_DNS" \
+  -obs-addr "$RESOLVER_OBS" \
+  >>"$WORK/resolver.log" 2>&1 &
+RPID=$!
+disown
+
+wait_healthz() {
+  local addr="$1" name="$2"
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "$name never became healthy" >&2
+  cat "$WORK/$name.log" >&2
+  return 1
+}
+wait_healthz "$VANTAGE_OBS" vantage
+wait_healthz "$RESOLVER_OBS" resolver
+
+# Health watcher: any non-200 during the load is a failure. It polls both
+# daemons every 200ms and records misses; the main flow asserts the file
+# stays empty.
+(
+  while :; do
+    for pair in "vantage=$VANTAGE_OBS" "resolver=$RESOLVER_OBS"; do
+      name="${pair%%=*}"
+      addr="${pair#*=}"
+      if ! curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then
+        echo "$(date -u +%T) $name /healthz not 200" >>"$WORK/health_failures"
+      fi
+    done
+    sleep 0.2
+  done
+) &
+WATCH=$!
+
+"$BIN/loadgen" \
+  -target "$RESOLVER_DNS" \
+  -rate "$RATE" -duration "$DURATION" -drain 2s \
+  -sockets 2 -domains 256 \
+  -json "$WORK/summary.json" \
+  -pipeline-pids "$RPID,$VPID" \
+  | tee "$WORK/loadgen.out"
+
+kill "$WATCH" 2>/dev/null || true
+WATCH=""
+
+if [ -s "$WORK/health_failures" ]; then
+  echo "healthz degraded during the load:" >&2
+  cat "$WORK/health_failures" >&2
+  cat "$WORK/vantage.log" "$WORK/resolver.log" >&2
+  exit 1
+fi
+
+python3 - "$WORK/summary.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    s = json.load(f)
+problems = []
+if s["sent"] == 0:
+    problems.append("no queries sent")
+if s["drops"] != 0:
+    problems.append(f"drops={s['drops']} (sent={s['sent']} received={s['received']})")
+if s["decode_errors"] != 0:
+    problems.append(f"decode_errors={s['decode_errors']}")
+if problems:
+    print("loadgen smoke failed: " + "; ".join(problems), file=sys.stderr)
+    print(json.dumps(s, indent=2), file=sys.stderr)
+    sys.exit(1)
+print(f"OK: {s['sent']} queries, 0 drops, 0 decode errors, "
+      f"p99={s['p99_sec']*1e6:.0f}us, qps/core={s.get('qps_per_core', 0):.0f}")
+PY
+
+# Final explicit 200s after the load has drained.
+curl -fsS "http://$VANTAGE_OBS/healthz" >/dev/null
+curl -fsS "http://$RESOLVER_OBS/healthz" >/dev/null
+echo "OK: loadgen smoke passed (pipeline healthy throughout)"
